@@ -1,0 +1,366 @@
+// Package salient holds the top-level benchmark harness: one testing.B
+// benchmark per table and figure of the paper's evaluation, each driving the
+// same experiment code as `salient <id>` (see internal/bench). Run with
+//
+//	go test -bench=. -benchmem
+//
+// Timing exhibits (Tables 1-3, 7; Figures 4-6) execute the calibrated
+// virtual-time simulations; accuracy exhibits (Table 6, Figure 3, the
+// Figure 6 accuracy series) run real training at reduced scale; Figure 2
+// measures the real sampler implementations. Reported metrics use
+// b.ReportMetric so the paper-facing quantity (virtual seconds per epoch,
+// speedup, accuracy) appears alongside wall-clock ns/op.
+package salient
+
+import (
+	"io"
+	"testing"
+
+	"salient/internal/bench"
+	"salient/internal/dataset"
+	"salient/internal/ddp"
+	"salient/internal/device"
+	"salient/internal/infer"
+	"salient/internal/pipeline"
+	"salient/internal/prep"
+	"salient/internal/rng"
+	"salient/internal/sampler"
+	"salient/internal/train"
+)
+
+// --- Figure 1: mini-batch timelines ------------------------------------------
+
+func BenchmarkFig1(b *testing.B) {
+	pr := device.PaperProfile()
+	cal := device.Calibration("arxiv")
+	for _, mode := range []pipeline.Mode{pipeline.Baseline, pipeline.Pipelined} {
+		b.Run(mode.String(), func(b *testing.B) {
+			var spans int
+			for i := 0; i < b.N; i++ {
+				tr := pipeline.TraceEpoch(pr, cal, mode, uint64(i+1), 12)
+				spans = len(tr.Spans)
+			}
+			b.ReportMetric(float64(spans), "spans")
+		})
+	}
+}
+
+// --- Table 1: baseline per-operation breakdown -----------------------------
+
+func BenchmarkTable1(b *testing.B) {
+	pr := device.PaperProfile()
+	for _, name := range []string{"arxiv", "products", "papers"} {
+		cal := device.Calibration(name)
+		b.Run(name, func(b *testing.B) {
+			var last pipeline.Breakdown
+			for i := 0; i < b.N; i++ {
+				last = pipeline.SimulateEpoch(pr, cal, pipeline.Baseline, uint64(i+1))
+			}
+			b.ReportMetric(last.Total, "vsec/epoch")
+			b.ReportMetric(100*last.TrainBlock/last.Total, "train%")
+		})
+	}
+}
+
+// --- Table 2: batch preparation throughput ---------------------------------
+
+func BenchmarkTable2(b *testing.B) {
+	pr := device.PaperProfile()
+	cal := device.Calibration("products")
+	for _, p := range []int{1, 10, 20} {
+		for _, sys := range []struct {
+			name    string
+			salient bool
+		}{{"pyg", false}, {"salient", true}} {
+			b.Run(sys.name+"/P="+itoa(p), func(b *testing.B) {
+				var both float64
+				for i := 0; i < b.N; i++ {
+					_, _, both = pipeline.PrepOnly(pr, cal, sys.salient, p)
+				}
+				b.ReportMetric(both, "vsec/epoch")
+			})
+		}
+	}
+}
+
+// --- Table 3: cumulative optimization impact --------------------------------
+
+func BenchmarkTable3(b *testing.B) {
+	pr := device.PaperProfile()
+	modes := []pipeline.Mode{pipeline.Baseline, pipeline.FastSample, pipeline.SharedMem, pipeline.Pipelined}
+	for _, name := range []string{"arxiv", "products", "papers"} {
+		cal := device.Calibration(name)
+		for _, m := range modes {
+			b.Run(name+"/"+m.String(), func(b *testing.B) {
+				var last pipeline.Breakdown
+				for i := 0; i < b.N; i++ {
+					last = pipeline.SimulateEpoch(pr, cal, m, uint64(i+1))
+				}
+				b.ReportMetric(last.Total, "vsec/epoch")
+			})
+		}
+	}
+}
+
+// --- Table 6: inference fanout vs accuracy (real training) ------------------
+
+func BenchmarkTable6(b *testing.B) {
+	ds, err := dataset.Load(dataset.Arxiv, 0.1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr, err := train.New(ds, train.Config{
+		Arch: "SAGE", Hidden: 32, Layers: 2, Fanouts: []int{10, 5},
+		BatchSize: 128, Workers: 2, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr.Fit(4)
+	for _, fan := range []int{20, 10, 5} {
+		b.Run("fanout="+itoa(fan), func(b *testing.B) {
+			var acc float64
+			for i := 0; i < b.N; i++ {
+				pred, err := infer.Sampled(tr.Model, ds, ds.Test, infer.Options{
+					Fanouts: []int{fan, fan}, Workers: 2, Seed: uint64(i + 1),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				acc = infer.Accuracy(pred, ds.Labels, ds.Test)
+			}
+			b.ReportMetric(acc, "accuracy")
+		})
+	}
+	b.Run("fanout=all", func(b *testing.B) {
+		var acc float64
+		for i := 0; i < b.N; i++ {
+			pred := infer.Full(tr.Model, ds, ds.Test)
+			acc = infer.Accuracy(pred, ds.Labels, ds.Test)
+		}
+		b.ReportMetric(acc, "accuracy")
+	})
+}
+
+// --- Table 7: cross-system headline ------------------------------------------
+
+func BenchmarkTable7(b *testing.B) {
+	pr := device.PaperProfile()
+	cal := device.Calibration("papers")
+	var res ddp.Result
+	for i := 0; i < b.N; i++ {
+		res = ddp.SimulateEpoch(pr, cal, 16, 2, uint64(i+1))
+	}
+	b.ReportMetric(res.Epoch, "vsec/epoch")
+}
+
+// --- Figure 2: sampler design space (real measurements) ---------------------
+
+func BenchmarkFig2(b *testing.B) {
+	ds, err := dataset.Load(dataset.Products, 0.1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		cfg  sampler.Config
+	}{
+		{"baseline", sampler.BaselineConfig()},
+		{"salient", sampler.FastConfig()},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			s := sampler.New(ds.G, []int{15, 10, 5}, c.cfg)
+			r := rng.New(1)
+			edges := 0
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				lo := (i * 256) % (len(ds.Train) - 256)
+				m := s.Sample(r, ds.Train[lo:lo+256])
+				edges += m.TotalEdges()
+			}
+			b.ReportMetric(float64(edges)/float64(b.N), "edges/batch")
+		})
+	}
+}
+
+// --- Figure 3: accuracy vs degree (real training) ----------------------------
+
+func BenchmarkFig3(b *testing.B) {
+	ds, err := dataset.Load(dataset.Products, 0.05)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr, err := train.New(ds, train.Config{
+		Arch: "SAGE", Hidden: 32, Layers: 2, Fanouts: []int{10, 5},
+		BatchSize: 128, Workers: 2, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr.Fit(3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pred, err := infer.Sampled(tr.Model, ds, ds.Test, infer.Options{
+			Fanouts: []int{20, 20}, Workers: 2, Seed: uint64(i + 1),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		bins := infer.AccuracyByDegree(ds.G, pred, ds.Labels, ds.Test)
+		if len(bins) == 0 {
+			b.Fatal("no bins")
+		}
+	}
+}
+
+// --- Figure 4: single-GPU SALIENT vs PyG -------------------------------------
+
+func BenchmarkFig4(b *testing.B) {
+	pr := device.PaperProfile()
+	for _, name := range []string{"arxiv", "products", "papers"} {
+		cal := device.Calibration(name)
+		b.Run(name, func(b *testing.B) {
+			var sp float64
+			for i := 0; i < b.N; i++ {
+				base := pipeline.SimulateEpoch(pr, cal, pipeline.Baseline, uint64(i+1))
+				sal := pipeline.SimulateEpoch(pr, cal, pipeline.Pipelined, uint64(i+1))
+				sp = base.Total / sal.Total
+			}
+			b.ReportMetric(sp, "speedup")
+		})
+	}
+}
+
+// --- Figure 5: multi-GPU scaling ---------------------------------------------
+
+func BenchmarkFig5(b *testing.B) {
+	pr := device.PaperProfile()
+	for _, name := range []string{"arxiv", "products", "papers"} {
+		cal := device.Calibration(name)
+		b.Run(name, func(b *testing.B) {
+			var sp float64
+			for i := 0; i < b.N; i++ {
+				res := ddp.ScalingCurve(pr, cal, []int{1, 2, 4, 8, 16}, 2, uint64(i+1))
+				sp = res[0].Epoch / res[4].Epoch
+			}
+			b.ReportMetric(sp, "speedup@16")
+		})
+	}
+}
+
+// --- Figure 6: architectures -------------------------------------------------
+
+func BenchmarkFig6(b *testing.B) {
+	pr := device.PaperProfile()
+	base := device.Calibration("papers")
+	for _, ac := range device.ArchCalibrations() {
+		cal := base
+		cal.TrainSec *= ac.TrainSecScale
+		cal.TransferBytes *= ac.BytesScale
+		cal.SampleSec *= ac.SampleScale
+		cal.GradBytes = ac.GradBytes
+		b.Run(ac.Name, func(b *testing.B) {
+			var sp float64
+			for i := 0; i < b.N; i++ {
+				sal := ddp.SimulateEpoch(pr, cal, 16, 2, uint64(i+1))
+				pyg := ddp.SimulateBaselineEpoch(pr, cal, 16, 2, uint64(i+1))
+				sp = pyg.Epoch / sal.Epoch
+			}
+			b.ReportMetric(sp, "speedup")
+		})
+	}
+}
+
+// --- Real data-path microbenchmarks ------------------------------------------
+
+// BenchmarkExecutors compares the two real batch-preparation data paths
+// end-to-end (the live analogue of Table 2's design comparison).
+func BenchmarkExecutors(b *testing.B) {
+	ds, err := dataset.Load(dataset.Arxiv, 0.1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := prep.Options{Workers: 2, BatchSize: 256, Fanouts: []int{10, 5}}
+
+	b.Run("salient", func(b *testing.B) {
+		o := opts
+		o.Sampler = sampler.FastConfig()
+		ex, err := prep.NewSalient(ds, o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s := ex.Run(ds.Train, uint64(i+1))
+			for batch := range s.C {
+				batch.Release()
+			}
+			s.Wait()
+		}
+	})
+	b.Run("pyg", func(b *testing.B) {
+		o := opts
+		o.Sampler = sampler.BaselineConfig()
+		ex, err := prep.NewPyG(ds, o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s := ex.Run(ds.Train, uint64(i+1))
+			for batch := range s.C {
+				batch.Release()
+			}
+			s.Wait()
+		}
+	})
+}
+
+// BenchmarkTrainEpoch measures a real end-to-end training epoch.
+func BenchmarkTrainEpoch(b *testing.B) {
+	ds, err := dataset.Load(dataset.Arxiv, 0.05)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr, err := train.New(ds, train.Config{
+		Arch: "SAGE", Hidden: 32, Layers: 2, Fanouts: []int{10, 5},
+		BatchSize: 128, Workers: 2, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.TrainEpoch(i)
+	}
+}
+
+// BenchmarkExperimentDrivers exercises the rendered experiment paths the CLI
+// uses (timing exhibits only; accuracy exhibits are benchmarked above).
+func BenchmarkExperimentDrivers(b *testing.B) {
+	o := bench.DefaultOptions()
+	for _, id := range []string{"table1", "table2", "table3", "fig4", "fig5", "table7"} {
+		b.Run(id, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if err := bench.RunOne(io.Discard, id, o); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}

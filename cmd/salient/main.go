@@ -1,0 +1,221 @@
+// Command salient regenerates the paper's tables and figures and runs quick
+// training/inference demos on the synthetic stand-in datasets.
+//
+// Usage:
+//
+//	salient list                      show available experiments
+//	salient all [flags]               run every experiment
+//	salient <experiment> [flags]      run one: fig1..fig6, table1..table7,
+//	                                  or the extension studies (strategies,
+//	                                  batching, cache, partition, memory,
+//	                                  sensitivity)
+//	salient train [flags]             train a model and report per-epoch stats
+//	salient gen [flags] <file>        generate a dataset and save its container
+//	salient stats [<file>]            print dataset statistics
+//
+// Flags:
+//
+//	-seed N        RNG seed for the virtual-time simulations (default 1)
+//	-full          use the thorough accuracy preset instead of the quick one
+//	-all           fig2: print the full 96-point scatter
+//	-trace PREFIX  fig1: also write Chrome trace JSON files
+//	-arch NAME     train: SAGE | GAT | GIN | SAGE-RI (default SAGE)
+//	-dataset NAME  train/gen/stats: arxiv | products | papers (default arxiv)
+//	-scale F       train/gen/stats: dataset scale factor (default 0.3)
+//	-epochs N      train: number of epochs (default 5)
+//	-executor E    train: salient | pyg (default salient)
+//	-workers N     train: preparation workers (default 4)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"salient/internal/bench"
+	"salient/internal/dataset"
+	"salient/internal/train"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd := os.Args[1]
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	seed := fs.Uint64("seed", 1, "simulation seed")
+	full := fs.Bool("full", false, "thorough accuracy preset")
+	allRows := fs.Bool("all", false, "fig2: full scatter")
+	tracePrefix := fs.String("trace", "", "fig1: write Chrome trace JSON files with this path prefix")
+	arch := fs.String("arch", "SAGE", "architecture for train")
+	dsName := fs.String("dataset", "arxiv", "dataset for train")
+	scale := fs.Float64("scale", 0.3, "dataset scale for train")
+	epochs := fs.Int("epochs", 5, "epochs for train")
+	executor := fs.String("executor", "salient", "batch-prep executor: salient|pyg")
+	workers := fs.Int("workers", 4, "preparation workers")
+	if err := fs.Parse(os.Args[2:]); err != nil {
+		os.Exit(2)
+	}
+
+	opts := bench.DefaultOptions()
+	opts.Seed = *seed
+	opts.AllRows = *allRows
+	if *full {
+		opts.Accuracy = bench.FullAcc()
+	}
+
+	switch cmd {
+	case "list":
+		for _, id := range bench.IDs() {
+			fmt.Println(id)
+		}
+	case "all":
+		if err := bench.RunAll(os.Stdout, opts); err != nil {
+			fatal(err)
+		}
+	case "train":
+		if err := runTrain(*arch, *dsName, *scale, *epochs, *executor, *workers, *seed); err != nil {
+			fatal(err)
+		}
+	case "gen":
+		if err := runGen(*dsName, *scale, fs.Args()); err != nil {
+			fatal(err)
+		}
+	case "stats":
+		if err := runStats(*dsName, *scale, fs.Args()); err != nil {
+			fatal(err)
+		}
+	case "help", "-h", "--help":
+		usage()
+	default:
+		if err := bench.RunOne(os.Stdout, cmd, opts); err != nil {
+			fatal(err)
+		}
+		if cmd == "fig1" && *tracePrefix != "" {
+			if err := writeTraces(*tracePrefix, *seed); err != nil {
+				fatal(err)
+			}
+		}
+	}
+}
+
+// writeTraces exports Chrome trace-event JSON for both Figure 1 timelines.
+func writeTraces(prefix string, seed uint64) error {
+	baseline, salient := bench.TraceFiles(seed)
+	for _, tc := range []struct {
+		name  string
+		trace interface{ ChromeJSON(io.Writer) error }
+	}{
+		{prefix + "-baseline.json", baseline},
+		{prefix + "-salient.json", salient},
+	} {
+		f, err := os.Create(tc.name)
+		if err != nil {
+			return err
+		}
+		if err := tc.trace.ChromeJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Println("wrote", tc.name)
+	}
+	return nil
+}
+
+func runTrain(arch, dsName string, scale float64, epochs int, executor string, workers int, seed uint64) error {
+	ds, err := dataset.Load(dsName, scale)
+	if err != nil {
+		return err
+	}
+	cfg := train.Config{
+		Arch:    arch,
+		Hidden:  64,
+		Workers: workers,
+		Seed:    seed,
+	}
+	switch executor {
+	case "salient":
+		cfg.Executor = train.ExecSalient
+	case "pyg":
+		cfg.Executor = train.ExecPyG
+	default:
+		return fmt.Errorf("unknown executor %q", executor)
+	}
+	tr, err := train.New(ds, cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("training %s on %s (N=%d, train=%d) with the %s executor\n",
+		arch, ds.Name, ds.G.N, len(ds.Train), executor)
+	for e := 0; e < epochs; e++ {
+		s := tr.TrainEpoch(e)
+		fmt.Printf("epoch %2d  loss %.4f  train-acc %.4f  wall %v (prep-wait %v, compute %v)\n",
+			s.Epoch, s.Loss, s.Acc, s.Wall.Round(1e6), s.PrepWait.Round(1e6), s.Compute.Round(1e6))
+	}
+	return nil
+}
+
+// runGen materializes a preset dataset and writes it to a binary container.
+func runGen(name string, scale float64, args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: salient gen -dataset NAME -scale F <output-file>")
+	}
+	ds, err := dataset.Load(name, scale)
+	if err != nil {
+		return err
+	}
+	if err := ds.SaveFile(args[0]); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s: %d nodes, %d edges, %d classes\n",
+		args[0], ds.G.N, ds.G.NumEdges(), ds.NumClasses)
+	return nil
+}
+
+// runStats prints dataset statistics, from a saved file when given one,
+// otherwise from a freshly generated preset.
+func runStats(name string, scale float64, args []string) error {
+	var ds *dataset.Dataset
+	var err error
+	if len(args) == 1 {
+		ds, err = dataset.LoadFile(args[0])
+	} else {
+		ds, err = dataset.Load(name, scale)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("dataset %s\n", ds.Name)
+	fmt.Printf("  nodes        %d\n", ds.G.N)
+	fmt.Printf("  edges        %d (avg degree %.1f, max %d)\n",
+		ds.G.NumEdges(), ds.G.AvgDegree(), ds.G.MaxDegree())
+	fmt.Printf("  features     %d dims (half-precision host storage: %.1f MB)\n",
+		ds.FeatDim, float64(len(ds.FeatHalf)*2)/(1<<20))
+	fmt.Printf("  classes      %d\n", ds.NumClasses)
+	fmt.Printf("  splits       train %d / val %d / test %d\n",
+		len(ds.Train), len(ds.Val), len(ds.Test))
+	hist := ds.G.DegreeHistogram()
+	fmt.Printf("  degree histogram (log2 bins):")
+	for i, c := range hist {
+		if c > 0 {
+			fmt.Printf(" [2^%d]=%d", i, c)
+		}
+	}
+	fmt.Println()
+	return nil
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: salient <list|all|train|experiment-id> [flags]")
+	fmt.Fprintln(os.Stderr, "experiments:", bench.IDs())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "salient:", err)
+	os.Exit(1)
+}

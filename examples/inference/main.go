@@ -1,0 +1,78 @@
+// Inference study: the paper's §5 workflow. Train once, then compare
+// full-neighborhood layer-wise inference against one-shot sampled inference
+// across fanouts, overall and per degree bin (the Table 6 / Figure 3
+// experiments on one dataset).
+//
+// The question the paper answers: does one-shot neighborhood sampling at
+// inference time sacrifice accuracy? (Answer: barely, once fanout reaches
+// ~20 — because high-degree nodes, the ones sampling truncates, are few and
+// are predicted imperfectly even with full neighborhoods.)
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"salient/internal/dataset"
+	"salient/internal/infer"
+	"salient/internal/train"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("inference: ")
+
+	ds, err := dataset.Load(dataset.Products, 0.2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("dataset %s: %d nodes, %d edges, avg degree %.1f\n",
+		ds.Name, ds.G.N, ds.G.NumEdges(), ds.G.AvgDegree())
+
+	tr, err := train.New(ds, train.Config{
+		Arch: "SAGE", Hidden: 64, Layers: 3, Fanouts: []int{15, 10, 5},
+		BatchSize: 256, Workers: 4, Seed: 7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("training 8 epochs with fanout (15,10,5)...")
+	stats := tr.Fit(8)
+	fmt.Printf("final train accuracy %.4f\n\n", stats[len(stats)-1].Acc)
+
+	// Full-neighborhood inference: layer-wise over the whole graph, the
+	// memory-hungry baseline (it OOMs on papers100M in the paper).
+	full := infer.Full(tr.Model, ds, ds.Test)
+	fullAcc := infer.Accuracy(full, ds.Labels, ds.Test)
+	fmt.Printf("%-18s accuracy %.4f\n", "full neighborhood", fullAcc)
+
+	// Sampled inference across fanouts.
+	for _, d := range []int{20, 10, 5, 2} {
+		pred, err := infer.Sampled(tr.Model, ds, ds.Test, infer.Options{
+			Fanouts: []int{d, d, d},
+			Workers: 4,
+			Seed:    uint64(d),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		acc := infer.Accuracy(pred, ds.Labels, ds.Test)
+		fmt.Printf("fanout (%2d,%2d,%2d)   accuracy %.4f  (Δ vs full %+.4f)\n",
+			d, d, d, acc, acc-fullAcc)
+	}
+
+	// Degree profile (Figure 3): where does sampling lose accuracy?
+	fmt.Println("\naccuracy by node degree (full vs fanout 5):")
+	pred5, err := infer.Sampled(tr.Model, ds, ds.Test, infer.Options{
+		Fanouts: []int{5, 5, 5}, Workers: 4, Seed: 5,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fullBins := infer.AccuracyByDegree(ds.G, full, ds.Labels, ds.Test)
+	s5Bins := infer.AccuracyByDegree(ds.G, pred5, ds.Labels, ds.Test)
+	fmt.Printf("%-12s %8s %8s %8s\n", "degree", "nodes", "full", "fanout5")
+	for i, b := range fullBins {
+		fmt.Printf("[%4d,%4d) %8d %8.3f %8.3f\n", b.Lo, b.Hi, b.Count, b.Accuracy, s5Bins[i].Accuracy)
+	}
+}

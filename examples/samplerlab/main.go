@@ -1,0 +1,111 @@
+// Samplerlab: explore the neighborhood-sampler design space of paper §4.1 /
+// Figure 2. The sampler is parameterized along four axes — global→local ID
+// map, without-replacement dedup structure, MFG build strategy, and buffer
+// reuse — giving 96 configurations. This example measures all of them on a
+// reference trace and prints the per-axis effects that led to SALIENT's
+// tuned configuration.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+	"time"
+
+	"salient/internal/dataset"
+	"salient/internal/rng"
+	"salient/internal/sampler"
+)
+
+const (
+	batchSize = 512
+	batches   = 4
+	rounds    = 2
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("samplerlab: ")
+
+	ds, err := dataset.Load(dataset.Products, 0.2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fanouts := []int{15, 10, 5}
+	fmt.Printf("reference trace: %s (%d nodes, %d edges), fanout %v, batch %d\n\n",
+		ds.Name, ds.G.N, ds.G.NumEdges(), fanouts, batchSize)
+
+	type result struct {
+		cfg sampler.Config
+		ns  float64 // ns per sampled edge
+	}
+	var results []result
+	for _, cfg := range sampler.Enumerate() {
+		results = append(results, result{cfg, measure(ds, fanouts, cfg)})
+	}
+	sort.Slice(results, func(i, j int) bool { return results[i].ns < results[j].ns })
+
+	base := measureCfg(ds, fanouts, sampler.BaselineConfig())
+	fmt.Println("fastest 10 configurations (speedup vs PyG-baseline config):")
+	for _, r := range results[:10] {
+		fmt.Printf("  %-50s %6.2f ns/edge  %5.2fx\n", r.cfg, r.ns, base/r.ns)
+	}
+	fmt.Println("\nslowest 3:")
+	for _, r := range results[len(results)-3:] {
+		fmt.Printf("  %-50s %6.2f ns/edge  %5.2fx\n", r.cfg, r.ns, base/r.ns)
+	}
+
+	tuned := measureCfg(ds, fanouts, sampler.FastConfig())
+	fmt.Printf("\nSALIENT tuned config %v:\n  %.2f ns/edge, %.2fx vs baseline (paper: ~2.5x)\n",
+		sampler.FastConfig(), tuned, base/tuned)
+
+	// Per-axis marginal effects: hold everything else at the tuned config
+	// and vary one axis.
+	fmt.Println("\nmarginal effect of each design axis (others fixed at tuned):")
+	tunedCfg := sampler.FastConfig()
+	for _, im := range []sampler.IDMapKind{sampler.IDMapStd, sampler.IDMapFlat, sampler.IDMapFlatPre, sampler.IDMapDirect} {
+		c := tunedCfg
+		c.IDMap = im
+		fmt.Printf("  %-16v %6.2f ns/edge\n", im, measureCfg(ds, fanouts, c))
+	}
+	for _, dd := range []sampler.DedupKind{sampler.DedupStdSet, sampler.DedupFlatSet, sampler.DedupArray, sampler.DedupFisherYates} {
+		c := tunedCfg
+		c.Dedup = dd
+		fmt.Printf("  %-16v %6.2f ns/edge\n", dd, measureCfg(ds, fanouts, c))
+	}
+	for _, bd := range []sampler.BuildKind{sampler.BuildFused, sampler.BuildTwoPhase} {
+		c := tunedCfg
+		c.Build = bd
+		fmt.Printf("  %-16v %6.2f ns/edge\n", bd, measureCfg(ds, fanouts, c))
+	}
+	for _, ru := range []sampler.ReuseKind{sampler.ReuseFresh, sampler.ReusePooledMaps, sampler.ReusePooledAll} {
+		c := tunedCfg
+		c.Reuse = ru
+		fmt.Printf("  %-16v %6.2f ns/edge\n", ru, measureCfg(ds, fanouts, c))
+	}
+}
+
+// measure returns ns per sampled edge for cfg, minimum over rounds.
+func measure(ds *dataset.Dataset, fanouts []int, cfg sampler.Config) float64 {
+	s := sampler.New(ds.G, fanouts, cfg)
+	best := 0.0
+	for round := 0; round < rounds; round++ {
+		r := rng.New(7)
+		edges := 0
+		start := time.Now()
+		for b := 0; b < batches; b++ {
+			lo := (b * batchSize) % (len(ds.Train) - batchSize)
+			m := s.Sample(r, ds.Train[lo:lo+batchSize])
+			edges += m.TotalEdges()
+		}
+		ns := float64(time.Since(start).Nanoseconds()) / float64(edges)
+		if round == 0 || ns < best {
+			best = ns
+		}
+	}
+	return best
+}
+
+func measureCfg(ds *dataset.Dataset, fanouts []int, cfg sampler.Config) float64 {
+	return measure(ds, fanouts, cfg)
+}

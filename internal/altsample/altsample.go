@@ -1,0 +1,442 @@
+// Package altsample implements the alternative sampling families the paper
+// surveys in §2.2, all emitting the same message-flow-graph format as the
+// node-wise sampler so models and training loops are reused unchanged:
+//
+//   - LayerWise (FastGCN / LADIES family): per layer, sample a fixed budget
+//     of nodes from the union neighborhood of the current frontier, either
+//     uniformly (FastGCN's proposal without importance weights) or
+//     degree-weighted (LADIES-flavoured: mass on well-connected candidates).
+//
+//   - SAINT (GraphSAINT family): sample a connected subgraph by random
+//     walks from the mini-batch roots and train on the induced subgraph.
+//
+//   - Cluster (Cluster-GCN family): pre-partition the graph (package
+//     partition) and use clusters as mini-batches over their induced
+//     subgraphs.
+//
+//   - GNS (global neighborhood sampling, Dong et al.): periodically cache a
+//     large random subgraph, then run cheap node-wise sampling inside the
+//     cache between refreshes.
+//
+// These are simplified, faithful-in-shape implementations: LADIES'
+// importance-weight rescaling (which preserves unbiasedness before the
+// nonlinearity) is omitted, as the paper notes nonlinearities break strict
+// unbiasedness anyway and convergence arguments rest on consistency.
+package altsample
+
+import (
+	"fmt"
+
+	"salient/internal/graph"
+	"salient/internal/mfg"
+	"salient/internal/rng"
+	"salient/internal/sampler"
+)
+
+// LayerWise samples a per-layer budget of nodes from the union neighborhood
+// of the frontier (paper §2.2, layer-wise family).
+type LayerWise struct {
+	G *graph.CSR
+	// Budgets[ℓ] is the maximum number of NEW nodes added for GNN layer
+	// ℓ+1's block (Budgets[0] feeds layer 1, the outermost hop).
+	Budgets []int
+	// Weighted selects degree-proportional candidate sampling (LADIES
+	// flavour); false gives uniform sampling (FastGCN flavour).
+	Weighted bool
+}
+
+// NewLayerWise validates the configuration.
+func NewLayerWise(g *graph.CSR, budgets []int, weighted bool) (*LayerWise, error) {
+	if len(budgets) == 0 {
+		return nil, fmt.Errorf("altsample: no layer budgets")
+	}
+	for _, b := range budgets {
+		if b < 1 {
+			return nil, fmt.Errorf("altsample: budget %d < 1", b)
+		}
+	}
+	return &LayerWise{G: g, Budgets: append([]int(nil), budgets...), Weighted: weighted}, nil
+}
+
+// Sample draws the layer-wise MFG for the seed mini-batch.
+func (s *LayerWise) Sample(r *rng.Rand, seeds []int32) *mfg.MFG {
+	L := len(s.Budgets)
+	local := make(map[int32]int32, len(seeds)*4)
+	nodeIDs := make([]int32, 0, len(seeds)*4)
+	assign := func(v int32) int32 {
+		if l, ok := local[v]; ok {
+			return l
+		}
+		l := int32(len(nodeIDs))
+		local[v] = l
+		nodeIDs = append(nodeIDs, v)
+		return l
+	}
+	for _, v := range seeds {
+		if v < 0 || v >= s.G.N {
+			panic(fmt.Sprintf("altsample: seed %d out of range", v))
+		}
+		if int(assign(v)) != len(nodeIDs)-1 {
+			panic(fmt.Sprintf("altsample: duplicate seed %d", v))
+		}
+	}
+
+	blocks := make([]mfg.Block, L)
+	frontier := int32(len(seeds))
+
+	for hop := 0; hop < L; hop++ {
+		blockIdx := L - 1 - hop
+		budget := s.Budgets[blockIdx]
+		numDst := frontier
+
+		// Candidate pool: union of neighborhoods of the frontier, deduped,
+		// excluding nodes already in scope.
+		seen := make(map[int32]struct{})
+		var pool []int32
+		var weights []float64
+		for v := int32(0); v < numDst; v++ {
+			for _, u := range s.G.Neighbors(nodeIDs[v]) {
+				if _, in := local[u]; in {
+					continue
+				}
+				if _, dup := seen[u]; dup {
+					continue
+				}
+				seen[u] = struct{}{}
+				pool = append(pool, u)
+				if s.Weighted {
+					weights = append(weights, float64(s.G.Degree(u)))
+				}
+			}
+		}
+		chosen := samplePool(r, pool, weights, budget)
+		for _, u := range chosen {
+			assign(u)
+		}
+
+		// Block edges: each destination keeps its neighbors that are in
+		// scope (previous nodes or newly chosen pool nodes).
+		dstPtr := make([]int32, numDst+1)
+		var src []int32
+		for v := int32(0); v < numDst; v++ {
+			dstPtr[v] = int32(len(src))
+			for _, u := range s.G.Neighbors(nodeIDs[v]) {
+				if lu, ok := local[u]; ok {
+					src = append(src, lu)
+				}
+			}
+		}
+		dstPtr[numDst] = int32(len(src))
+
+		frontier = int32(len(nodeIDs))
+		blocks[blockIdx] = mfg.Block{
+			DstPtr: dstPtr,
+			Src:    src,
+			NumDst: numDst,
+			NumSrc: frontier,
+		}
+	}
+	return &mfg.MFG{Blocks: blocks, NodeIDs: nodeIDs, Batch: int32(len(seeds))}
+}
+
+// samplePool draws up to k elements from pool without replacement, either
+// uniformly (weights == nil) or proportionally to weights.
+func samplePool(r *rng.Rand, pool []int32, weights []float64, k int) []int32 {
+	if len(pool) <= k {
+		return pool
+	}
+	if weights == nil {
+		out := make([]int32, 0, k)
+		out = r.SampleK(out, pool, k)
+		return out
+	}
+	// Weighted without replacement via repeated draws on a shrinking pool.
+	p := append([]int32(nil), pool...)
+	w := append([]float64(nil), weights...)
+	var total float64
+	for _, x := range w {
+		total += x
+	}
+	out := make([]int32, 0, k)
+	for len(out) < k && len(p) > 0 {
+		target := r.Float64() * total
+		acc := 0.0
+		idx := len(p) - 1
+		for i, x := range w {
+			acc += x
+			if target < acc {
+				idx = i
+				break
+			}
+		}
+		out = append(out, p[idx])
+		total -= w[idx]
+		p[idx] = p[len(p)-1]
+		w[idx] = w[len(w)-1]
+		p = p[:len(p)-1]
+		w = w[:len(w)-1]
+	}
+	return out
+}
+
+// SAINT samples a subgraph by random walks from the mini-batch roots
+// (GraphSAINT's RW sampler) and emits the induced subgraph as an MFG whose
+// final destinations are the roots.
+type SAINT struct {
+	G        *graph.CSR
+	WalkLen  int // steps per walk
+	NumWalks int // walks per root
+	Layers   int // GNN depth (number of MFG blocks)
+}
+
+// NewSAINT validates the configuration.
+func NewSAINT(g *graph.CSR, walkLen, numWalks, layers int) (*SAINT, error) {
+	if walkLen < 1 || numWalks < 1 || layers < 1 {
+		return nil, fmt.Errorf("altsample: invalid SAINT config (walkLen=%d numWalks=%d layers=%d)",
+			walkLen, numWalks, layers)
+	}
+	return &SAINT{G: g, WalkLen: walkLen, NumWalks: numWalks, Layers: layers}, nil
+}
+
+// Sample draws the random-walk subgraph MFG for the given roots.
+func (s *SAINT) Sample(r *rng.Rand, roots []int32) *mfg.MFG {
+	local := make(map[int32]int32, len(roots)*s.WalkLen)
+	nodeIDs := make([]int32, 0, len(roots)*s.WalkLen)
+	assign := func(v int32) int32 {
+		if l, ok := local[v]; ok {
+			return l
+		}
+		l := int32(len(nodeIDs))
+		local[v] = l
+		nodeIDs = append(nodeIDs, v)
+		return l
+	}
+	for _, v := range roots {
+		if v < 0 || v >= s.G.N {
+			panic(fmt.Sprintf("altsample: root %d out of range", v))
+		}
+		if int(assign(v)) != len(nodeIDs)-1 {
+			panic(fmt.Sprintf("altsample: duplicate root %d", v))
+		}
+	}
+	for _, root := range roots {
+		for w := 0; w < s.NumWalks; w++ {
+			cur := root
+			for step := 0; step < s.WalkLen; step++ {
+				ns := s.G.Neighbors(cur)
+				if len(ns) == 0 {
+					break
+				}
+				cur = ns[r.Intn(len(ns))]
+				assign(cur)
+			}
+		}
+	}
+	return inducedMFG(s.G, nodeIDs, local, int32(len(roots)), s.Layers)
+}
+
+// Cluster treats pre-computed partition clusters as mini-batches
+// (Cluster-GCN). Batches are the labeled nodes of one cluster; message
+// passing is restricted to the cluster's induced subgraph.
+type Cluster struct {
+	G      *graph.CSR
+	Layers int
+
+	members [][]int32 // nodes per cluster
+}
+
+// NewCluster groups nodes by their partition assignment.
+func NewCluster(g *graph.CSR, part []int32, parts, layers int) (*Cluster, error) {
+	if layers < 1 {
+		return nil, fmt.Errorf("altsample: layers %d < 1", layers)
+	}
+	if int32(len(part)) != g.N {
+		return nil, fmt.Errorf("altsample: assignment covers %d of %d nodes", len(part), g.N)
+	}
+	c := &Cluster{G: g, Layers: layers, members: make([][]int32, parts)}
+	for v, p := range part {
+		if p < 0 || int(p) >= parts {
+			return nil, fmt.Errorf("altsample: node %d in invalid part %d", v, p)
+		}
+		c.members[p] = append(c.members[p], int32(v))
+	}
+	return c, nil
+}
+
+// NumClusters returns the number of clusters.
+func (c *Cluster) NumClusters() int { return len(c.members) }
+
+// Batch builds the MFG for one cluster. labeled selects which member nodes
+// carry supervision (e.g. membership in the training split); they form the
+// MFG's seed prefix. Returns nil if the cluster has no labeled nodes.
+func (c *Cluster) Batch(cluster int, labeled func(int32) bool) *mfg.MFG {
+	if cluster < 0 || cluster >= len(c.members) {
+		panic(fmt.Sprintf("altsample: cluster %d out of range", cluster))
+	}
+	var ordered []int32
+	for _, v := range c.members[cluster] {
+		if labeled(v) {
+			ordered = append(ordered, v)
+		}
+	}
+	batch := int32(len(ordered))
+	if batch == 0 {
+		return nil
+	}
+	for _, v := range c.members[cluster] {
+		if !labeled(v) {
+			ordered = append(ordered, v)
+		}
+	}
+	local := make(map[int32]int32, len(ordered))
+	for i, v := range ordered {
+		local[v] = int32(i)
+	}
+	return inducedMFG(c.G, ordered, local, batch, c.Layers)
+}
+
+// inducedMFG builds an L-block MFG over the induced subgraph of nodeIDs:
+// inner blocks span the whole subgraph; the last block narrows to the
+// labeled/seed prefix of size batch.
+func inducedMFG(g *graph.CSR, nodeIDs []int32, local map[int32]int32, batch int32, layers int) *mfg.MFG {
+	n := int32(len(nodeIDs))
+	full := inducedBlock(g, nodeIDs, local, n)
+	blocks := make([]mfg.Block, layers)
+	for i := 0; i < layers-1; i++ {
+		blocks[i] = full
+	}
+	blocks[layers-1] = inducedBlock(g, nodeIDs, local, batch)
+	return &mfg.MFG{Blocks: blocks, NodeIDs: nodeIDs, Batch: batch}
+}
+
+// inducedBlock builds a bipartite block whose destinations are the first
+// numDst subgraph nodes and whose sources are the whole subgraph.
+func inducedBlock(g *graph.CSR, nodeIDs []int32, local map[int32]int32, numDst int32) mfg.Block {
+	dstPtr := make([]int32, numDst+1)
+	var src []int32
+	for v := int32(0); v < numDst; v++ {
+		dstPtr[v] = int32(len(src))
+		for _, u := range g.Neighbors(nodeIDs[v]) {
+			if lu, ok := local[u]; ok {
+				src = append(src, lu)
+			}
+		}
+	}
+	dstPtr[numDst] = int32(len(src))
+	return mfg.Block{DstPtr: dstPtr, Src: src, NumDst: numDst, NumSrc: int32(len(nodeIDs))}
+}
+
+// GNS caches a large random subgraph and runs node-wise sampling within it
+// (Dong et al. 2021, cited in §2.2 and §8). Refresh draws a new cache;
+// Sample is node-wise sampling restricted to the cached subgraph, with
+// global node IDs in the returned MFG.
+type GNS struct {
+	G       *graph.CSR
+	Fanouts []int
+
+	cacheNodes []int32 // global IDs of cached nodes
+	sub        *graph.CSR
+	globalOf   []int32         // cache-local -> global
+	localOf    map[int32]int32 // global -> cache-local
+	inner      *sampler.Sampler
+}
+
+// NewGNS builds an (empty) GNS sampler; call Refresh before Sample.
+func NewGNS(g *graph.CSR, fanouts []int) (*GNS, error) {
+	if len(fanouts) == 0 {
+		return nil, fmt.Errorf("altsample: no fanouts")
+	}
+	return &GNS{G: g, Fanouts: append([]int(nil), fanouts...)}, nil
+}
+
+// Refresh resamples the cached subgraph: `size` nodes chosen uniformly at
+// random plus all mustInclude nodes (the training seeds must be in cache).
+func (s *GNS) Refresh(r *rng.Rand, size int, mustInclude []int32) error {
+	seen := make(map[int32]struct{}, size+len(mustInclude))
+	nodes := make([]int32, 0, size+len(mustInclude))
+	for _, v := range mustInclude {
+		if _, dup := seen[v]; !dup {
+			seen[v] = struct{}{}
+			nodes = append(nodes, v)
+		}
+	}
+	for len(nodes) < size+len(mustInclude) && len(nodes) < int(s.G.N) {
+		v := int32(r.Intn(int(s.G.N)))
+		if _, dup := seen[v]; !dup {
+			seen[v] = struct{}{}
+			nodes = append(nodes, v)
+		}
+	}
+	sub, err := s.G.Induced(nodes)
+	if err != nil {
+		return err
+	}
+	s.cacheNodes = nodes
+	s.sub = sub
+	s.globalOf = nodes
+	s.localOf = make(map[int32]int32, len(nodes))
+	for i, v := range nodes {
+		s.localOf[v] = int32(i)
+	}
+	s.inner = sampler.New(sub, s.Fanouts, sampler.FastConfig())
+	return nil
+}
+
+// CacheSize returns the number of cached nodes (0 before the first Refresh).
+func (s *GNS) CacheSize() int { return len(s.cacheNodes) }
+
+// Sample runs node-wise sampling within the cached subgraph. Seeds must be
+// in the cache (guaranteed when passed via Refresh's mustInclude).
+func (s *GNS) Sample(r *rng.Rand, seeds []int32) *mfg.MFG {
+	if s.inner == nil {
+		panic("altsample: GNS.Sample before Refresh")
+	}
+	localSeeds := make([]int32, len(seeds))
+	for i, v := range seeds {
+		l, ok := s.localOf[v]
+		if !ok {
+			panic(fmt.Sprintf("altsample: seed %d not in GNS cache", v))
+		}
+		localSeeds[i] = l
+	}
+	// The inner sampler uses pooled buffers that its next Sample call
+	// invalidates; clone before translating cache-local IDs to global.
+	m := s.inner.Sample(r, localSeeds).Clone()
+	for i, l := range m.NodeIDs {
+		m.NodeIDs[i] = s.globalOf[l]
+	}
+	return m
+}
+
+// FullGraph builds the full-batch "MFG": every node participates at every
+// layer over the complete adjacency, with the labeled nodes ordered first
+// so the loss can be restricted to them. This is the batching scheme of the
+// full-batch systems the paper compares against in §7 (NeuGraph, Roc,
+// DeepGalois); one forward/backward per epoch over the whole graph.
+func FullGraph(g *graph.CSR, labeled []int32, layers int) (*mfg.MFG, error) {
+	if layers < 1 {
+		return nil, fmt.Errorf("altsample: layers %d < 1", layers)
+	}
+	isLabeled := make(map[int32]struct{}, len(labeled))
+	ordered := make([]int32, 0, g.N)
+	for _, v := range labeled {
+		if v < 0 || v >= g.N {
+			return nil, fmt.Errorf("altsample: labeled node %d out of range", v)
+		}
+		if _, dup := isLabeled[v]; dup {
+			return nil, fmt.Errorf("altsample: duplicate labeled node %d", v)
+		}
+		isLabeled[v] = struct{}{}
+		ordered = append(ordered, v)
+	}
+	for v := int32(0); v < g.N; v++ {
+		if _, ok := isLabeled[v]; !ok {
+			ordered = append(ordered, v)
+		}
+	}
+	local := make(map[int32]int32, len(ordered))
+	for i, v := range ordered {
+		local[v] = int32(i)
+	}
+	return inducedMFG(g, ordered, local, int32(len(labeled)), layers), nil
+}

@@ -1,0 +1,300 @@
+package altsample
+
+import (
+	"testing"
+
+	"salient/internal/dataset"
+	"salient/internal/partition"
+	"salient/internal/rng"
+)
+
+func testDS(t testing.TB) *dataset.Dataset {
+	t.Helper()
+	ds, err := dataset.Load(dataset.Products, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func TestLayerWiseProducesValidMFG(t *testing.T) {
+	ds := testDS(t)
+	for _, weighted := range []bool{false, true} {
+		s, err := NewLayerWise(ds.G, []int{256, 128, 64}, weighted)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := rng.New(1)
+		m := s.Sample(r, ds.Train[:64])
+		if err := m.Validate(); err != nil {
+			t.Fatalf("weighted=%v: %v", weighted, err)
+		}
+		if m.Batch != 64 || m.Layers() != 3 {
+			t.Fatalf("weighted=%v: batch %d layers %d", weighted, m.Batch, m.Layers())
+		}
+		// Seeds must be the NodeIDs prefix.
+		for i, v := range ds.Train[:64] {
+			if m.NodeIDs[i] != v {
+				t.Fatalf("seed %d not at prefix position %d", v, i)
+			}
+		}
+	}
+}
+
+func TestLayerWiseRespectsBudgets(t *testing.T) {
+	ds := testDS(t)
+	budgets := []int{100, 50, 25}
+	s, err := NewLayerWise(ds.G, budgets, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := s.Sample(rng.New(2), ds.Train[:32])
+	// Total nodes <= seeds + sum(budgets).
+	maxNodes := 32 + 100 + 50 + 25
+	if m.TotalNodes() > maxNodes {
+		t.Fatalf("expanded to %d nodes, budget caps at %d", m.TotalNodes(), maxNodes)
+	}
+	// Layer-wise sampling's selling point: expansion is linear in depth,
+	// not exponential. Compare per-block source growth.
+	for i := 0; i < m.Layers()-1; i++ {
+		grow := m.Blocks[i].NumSrc - m.Blocks[i].NumDst
+		if int(grow) > budgets[i] {
+			t.Fatalf("block %d grew by %d > budget %d", i, grow, budgets[i])
+		}
+	}
+}
+
+func TestLayerWiseDeterministic(t *testing.T) {
+	ds := testDS(t)
+	s, _ := NewLayerWise(ds.G, []int{64, 64}, true)
+	a := s.Sample(rng.New(7), ds.Train[:16])
+	b := s.Sample(rng.New(7), ds.Train[:16])
+	if a.TotalNodes() != b.TotalNodes() || a.TotalEdges() != b.TotalEdges() {
+		t.Fatal("same seed produced different layer-wise MFGs")
+	}
+}
+
+func TestLayerWiseValidation(t *testing.T) {
+	ds := testDS(t)
+	if _, err := NewLayerWise(ds.G, nil, false); err == nil {
+		t.Fatal("empty budgets accepted")
+	}
+	if _, err := NewLayerWise(ds.G, []int{0}, false); err == nil {
+		t.Fatal("zero budget accepted")
+	}
+}
+
+func TestSAINTProducesValidMFG(t *testing.T) {
+	ds := testDS(t)
+	s, err := NewSAINT(ds.G, 3, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	roots := ds.Train[:32]
+	m := s.Sample(rng.New(3), roots)
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Batch != int32(len(roots)) {
+		t.Fatalf("batch %d, want %d", m.Batch, len(roots))
+	}
+	// Subgraph semantics: inner blocks span the whole node set.
+	if m.Blocks[0].NumDst != int32(m.TotalNodes()) {
+		t.Fatalf("inner block NumDst %d != subgraph size %d", m.Blocks[0].NumDst, m.TotalNodes())
+	}
+	// Walks must actually add nodes beyond the roots.
+	if m.TotalNodes() <= len(roots) {
+		t.Fatal("random walks discovered no new nodes")
+	}
+}
+
+func TestSAINTEdgesAreInduced(t *testing.T) {
+	ds := testDS(t)
+	s, _ := NewSAINT(ds.G, 2, 1, 2)
+	m := s.Sample(rng.New(5), ds.Train[:16])
+	// Every MFG edge must be a real graph edge between member nodes.
+	for li := range m.Blocks {
+		blk := &m.Blocks[li]
+		for d := int32(0); d < blk.NumDst; d++ {
+			gd := m.NodeIDs[d]
+			for _, srcLocal := range blk.Neighbors(d) {
+				gs := m.NodeIDs[srcLocal]
+				if !ds.G.HasEdge(gd, gs) {
+					t.Fatalf("MFG edge %d<-%d not in graph", gd, gs)
+				}
+			}
+		}
+	}
+}
+
+func TestSAINTValidation(t *testing.T) {
+	ds := testDS(t)
+	if _, err := NewSAINT(ds.G, 0, 1, 1); err == nil {
+		t.Fatal("walkLen 0 accepted")
+	}
+	if _, err := NewSAINT(ds.G, 1, 0, 1); err == nil {
+		t.Fatal("numWalks 0 accepted")
+	}
+	if _, err := NewSAINT(ds.G, 1, 1, 0); err == nil {
+		t.Fatal("layers 0 accepted")
+	}
+}
+
+func TestClusterBatches(t *testing.T) {
+	ds := testDS(t)
+	const parts = 4
+	a, err := partition.LDG(ds.G, parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	isTrain := make(map[int32]bool, len(ds.Train))
+	for _, v := range ds.Train {
+		isTrain[v] = true
+	}
+	c, err := NewCluster(ds.G, a.Part, parts, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumClusters() != parts {
+		t.Fatalf("clusters %d, want %d", c.NumClusters(), parts)
+	}
+	totalLabeled := 0
+	for p := 0; p < parts; p++ {
+		m := c.Batch(p, func(v int32) bool { return isTrain[v] })
+		if m == nil {
+			continue
+		}
+		if err := m.Validate(); err != nil {
+			t.Fatalf("cluster %d: %v", p, err)
+		}
+		totalLabeled += int(m.Batch)
+		// The labeled prefix must all be training nodes.
+		for i := int32(0); i < m.Batch; i++ {
+			if !isTrain[m.NodeIDs[i]] {
+				t.Fatalf("cluster %d: unlabeled node %d in seed prefix", p, m.NodeIDs[i])
+			}
+		}
+		// All member nodes belong to this cluster.
+		for _, v := range m.NodeIDs {
+			if a.Part[v] != int32(p) {
+				t.Fatalf("cluster %d contains node %d from part %d", p, v, a.Part[v])
+			}
+		}
+	}
+	if totalLabeled != len(ds.Train) {
+		t.Fatalf("cluster batches cover %d train nodes, want %d", totalLabeled, len(ds.Train))
+	}
+}
+
+func TestClusterValidation(t *testing.T) {
+	ds := testDS(t)
+	if _, err := NewCluster(ds.G, make([]int32, 3), 2, 2); err == nil {
+		t.Fatal("short assignment accepted")
+	}
+	bad := make([]int32, ds.G.N)
+	bad[0] = 99
+	if _, err := NewCluster(ds.G, bad, 2, 2); err == nil {
+		t.Fatal("out-of-range part accepted")
+	}
+}
+
+func TestGNSSamplesWithinCache(t *testing.T) {
+	ds := testDS(t)
+	s, err := NewGNS(ds.G, []int{5, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seeds := ds.Train[:64]
+	if err := s.Refresh(rng.New(1), 500, seeds); err != nil {
+		t.Fatal(err)
+	}
+	if s.CacheSize() < 500 {
+		t.Fatalf("cache size %d < requested", s.CacheSize())
+	}
+	inCache := make(map[int32]bool, s.CacheSize())
+	for _, v := range s.cacheNodes {
+		inCache[v] = true
+	}
+	m := s.Sample(rng.New(2), seeds)
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range m.NodeIDs {
+		if !inCache[v] {
+			t.Fatalf("sampled node %d outside the GNS cache", v)
+		}
+	}
+	// Edges must be real graph edges (the cache is an induced subgraph).
+	blk := &m.Blocks[len(m.Blocks)-1]
+	for d := int32(0); d < blk.NumDst; d++ {
+		for _, srcLocal := range blk.Neighbors(d) {
+			if !ds.G.HasEdge(m.NodeIDs[d], m.NodeIDs[srcLocal]) {
+				t.Fatalf("GNS edge %d<-%d not in graph", m.NodeIDs[d], m.NodeIDs[srcLocal])
+			}
+		}
+	}
+}
+
+func TestGNSRefreshChangesCache(t *testing.T) {
+	ds := testDS(t)
+	s, _ := NewGNS(ds.G, []int{3})
+	seeds := ds.Train[:8]
+	if err := s.Refresh(rng.New(1), 200, seeds); err != nil {
+		t.Fatal(err)
+	}
+	first := append([]int32(nil), s.cacheNodes...)
+	if err := s.Refresh(rng.New(99), 200, seeds); err != nil {
+		t.Fatal(err)
+	}
+	same := 0
+	set := make(map[int32]bool, len(first))
+	for _, v := range first {
+		set[v] = true
+	}
+	for _, v := range s.cacheNodes {
+		if set[v] {
+			same++
+		}
+	}
+	if same == len(first) {
+		t.Fatal("refresh produced an identical cache")
+	}
+}
+
+func TestGNSPanicsWithoutRefresh(t *testing.T) {
+	ds := testDS(t)
+	s, _ := NewGNS(ds.G, []int{3})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	s.Sample(rng.New(1), ds.Train[:4])
+}
+
+func TestFullGraphMFG(t *testing.T) {
+	ds := testDS(t)
+	m, err := FullGraph(ds.G, ds.Train, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if m.TotalNodes() != int(ds.G.N) {
+		t.Fatalf("full batch covers %d of %d nodes", m.TotalNodes(), ds.G.N)
+	}
+	if m.Batch != int32(len(ds.Train)) {
+		t.Fatalf("batch %d, want %d labeled", m.Batch, len(ds.Train))
+	}
+	// Every graph edge appears in the inner block (dst spans all nodes).
+	if got := m.Blocks[0].NumEdges(); int64(got) != ds.G.NumEdges() {
+		t.Fatalf("inner block has %d edges, graph has %d", got, ds.G.NumEdges())
+	}
+	if _, err := FullGraph(ds.G, []int32{0, 0}, 2); err == nil {
+		t.Fatal("duplicate labeled node accepted")
+	}
+	if _, err := FullGraph(ds.G, ds.Train, 0); err == nil {
+		t.Fatal("0 layers accepted")
+	}
+}

@@ -1,0 +1,247 @@
+package bench
+
+import (
+	"fmt"
+
+	"salient/internal/cache"
+	"salient/internal/dataset"
+	"salient/internal/device"
+	"salient/internal/partition"
+	"salient/internal/pipeline"
+	"salient/internal/rng"
+	"salient/internal/sampler"
+)
+
+// The experiments in this file go beyond the paper's exhibits: they
+// implement the future-work directions §8 sketches (GPU feature caching to
+// cut transfer volume, graph partitioning for distributed data) and the §5
+// memory argument for sampled inference, each as a measurable study.
+
+// CacheAblation quantifies §8's caching direction: stream real sampled
+// MFGs from the products stand-in through device-side feature caches of
+// varying size and policy, then feed the measured miss rate back into the
+// papers100M-scale epoch simulation to estimate the end-to-end effect.
+func CacheAblation(o SamplerOpts) (Table, error) {
+	o.defaults()
+	t := Table{
+		ID:     "cache",
+		Title:  "GPU feature-cache ablation (§8 future work): hit rate and simulated epoch impact",
+		Header: []string{"Policy", "Capacity", "Hit rate", "Feature bytes", "papers epoch (sim)"},
+	}
+	ds, err := dataset.Load(dataset.Products, o.Scale)
+	if err != nil {
+		return t, err
+	}
+
+	type cfg struct {
+		policy cache.Policy
+		frac   float64
+	}
+	cfgs := []cfg{
+		{cache.StaticDegree, 0},
+		{cache.StaticDegree, 0.05},
+		{cache.StaticDegree, 0.10},
+		{cache.StaticDegree, 0.25},
+		{cache.LRU, 0.10},
+		{cache.LRU, 0.25},
+	}
+
+	pr := device.PaperProfile()
+	// §8: caching matters once transfers are the bottleneck ("as feature
+	// vector size increases, or with higher fanout, memory bandwidth may
+	// become insufficient"). The simulated column therefore uses a
+	// wide-feature papers100M variant (4x the baseline 128-dim transfer
+	// volume, i.e. f≈512) where the pipelined epoch is transfer-bound.
+	cal := device.Calibration("papers")
+	cal.TransferBytes *= 4
+	cal.SliceSec *= 4
+	// Feature rows dominate the transfer payload; index structures are the
+	// remainder and are unaffected by caching.
+	const featureShare = 0.92
+
+	// Probe with small batches and the Table 5 fanout so the stand-in
+	// graph's expansion does not saturate (a saturated expansion makes any
+	// policy's hit rate trivially equal the cached fraction).
+	const probeBatch = 16
+
+	for _, c := range cfgs {
+		cc, err := cache.New(ds.G, int(float64(ds.G.N)*c.frac), c.policy)
+		if err != nil {
+			return t, err
+		}
+		sm := sampler.New(ds.G, []int{15, 10, 5}, sampler.FastConfig())
+		r := rng.New(o.Seed)
+		var rows, misses int
+		for b := 0; b < o.Batches*6; b++ {
+			lo := (b * probeBatch) % max(1, len(ds.Train)-probeBatch)
+			m := sm.Sample(r, ds.Train[lo:lo+probeBatch])
+			misses += cc.TouchBatch(m.NodeIDs)
+			rows += m.TotalNodes()
+		}
+		missRate := float64(misses) / float64(rows)
+
+		scaled := cal
+		scaled.TransferBytes = cal.TransferBytes * (featureShare*missRate + (1 - featureShare))
+		b := pipeline.SimulateEpoch(pr, scaled, pipeline.Pipelined, o.Seed)
+
+		label := "none"
+		if c.frac > 0 {
+			label = fmt.Sprintf("%.0f%% of rows", 100*c.frac)
+		}
+		t.AddRow(c.policy.String(), label,
+			fmt.Sprintf("%.1f%%", 100*cc.Stats().HitRate()),
+			fmt.Sprintf("%.0f%%", 100*missRate),
+			secs(b.Total))
+	}
+	t.AddNote("static degree caching exploits node-wise sampling's degree-proportional revisit rate;")
+	t.AddNote("epoch column: papers100M with 4x-wide features (transfer-bound), feature share %.0f%%", 100*featureShare)
+	return t, nil
+}
+
+// PartitionStudy implements §8's distributed-data direction: compare random
+// hashing against streaming LDG (and LDG with refinement) on edge cut,
+// balance, and the sampling-aware SampleCut metric measured on real MFGs.
+func PartitionStudy(o SamplerOpts) (Table, error) {
+	o.defaults()
+	t := Table{
+		ID:     "partition",
+		Title:  "Graph partitioning for distributed sampling (§8 future work)",
+		Header: []string{"Parts", "Method", "Edge cut", "Balance", "Sample cut"},
+	}
+	ds, err := dataset.Load(dataset.Products, o.Scale)
+	if err != nil {
+		return t, err
+	}
+
+	sampleCut := func(a *partition.Assignment) float64 {
+		sm := sampler.New(ds.G, []int{15, 10, 5}, sampler.FastConfig())
+		r := rng.New(o.Seed)
+		var sum float64
+		for b := 0; b < o.Batches; b++ {
+			lo := (b * o.Batch) % max(1, len(ds.Train)-o.Batch)
+			m := sm.Sample(r, ds.Train[lo:lo+o.Batch])
+			sum += partition.SampleCut(m, a)
+		}
+		return sum / float64(o.Batches)
+	}
+
+	for _, parts := range []int{2, 4, 8, 16} {
+		methods := []struct {
+			name string
+			mk   func() (*partition.Assignment, error)
+		}{
+			{"random", func() (*partition.Assignment, error) { return partition.Random(ds.G, parts, o.Seed) }},
+			{"LDG", func() (*partition.Assignment, error) { return partition.LDG(ds.G, parts) }},
+			{"LDG+2 passes", func() (*partition.Assignment, error) { return partition.LDGMultiPass(ds.G, parts, 2) }},
+		}
+		for _, m := range methods {
+			a, err := m.mk()
+			if err != nil {
+				return t, err
+			}
+			q := partition.Evaluate(ds.G, a)
+			t.AddRow(fmt.Sprintf("%d", parts), m.name,
+				fmt.Sprintf("%.3f", q.EdgeCut),
+				fmt.Sprintf("%.2f", q.Balance),
+				fmt.Sprintf("%.3f", sampleCut(a)))
+		}
+	}
+	t.AddNote("sample cut = fraction of sampled multi-hop expansion edges crossing parts (remote fetches);")
+	t.AddNote("the paper notes the distributed objective must weigh this, not just static edge cut")
+	return t, nil
+}
+
+// paperNodes are the OGB originals' node counts (paper Table 4), used to
+// project memory footprints at the scale where the §5 argument bites.
+var paperNodes = map[string]int64{
+	"arxiv":    169_000,
+	"products": 2_400_000,
+	"papers":   111_000_000,
+}
+
+// MemoryStudy quantifies §5's memory argument: layer-wise full-neighborhood
+// inference materializes every node's representation per layer in host
+// memory, while sampled mini-batch inference peaks at one expanded
+// neighborhood. The per-seed expansion is measured on real MFGs (with small
+// probe batches, so the stand-in graph does not saturate) and projected to
+// the OGB originals' node counts.
+func MemoryStudy(o SamplerOpts) (Table, error) {
+	o.defaults()
+	t := Table{
+		ID:     "memory",
+		Title:  "Inference memory at OGB scale: layer-wise full neighborhood vs sampled mini-batch",
+		Header: []string{"Data Set", "Layer-wise", "Sampled (20)", "Sampled (10)", "Sampled (5)", "Reduction@20"},
+	}
+	const (
+		hidden    = 256
+		layers    = 3
+		bytesF    = 4 // float32 activations
+		batchSize = 1024
+		probe     = 8 // seeds per probe batch: keeps expansion unsaturated
+	)
+	for _, name := range datasetOrder {
+		ds, err := dataset.Load(name, o.Scale)
+		if err != nil {
+			return t, err
+		}
+		n := paperNodes[name]
+		width := int64(maxInt(hidden, ds.FeatDim))
+		// Layer-wise: two full activation layers live at once (input to
+		// layer ℓ and its output); dense architectures keep all of them.
+		layerwise := n * width * bytesF * 2
+
+		row := []string{name, bytesHuman(layerwise)}
+		var at20 int64
+		for _, d := range []int{20, 10, 5} {
+			fan := make([]int, layers)
+			for i := range fan {
+				fan[i] = d
+			}
+			sm := sampler.New(ds.G, fan, sampler.FastConfig())
+			r := rng.New(o.Seed)
+			var rows int64
+			var probes int64
+			for b := 0; b < o.Batches*4; b++ {
+				lo := (b * probe) % max(1, len(ds.Train)-probe)
+				m := sm.Sample(r, ds.Train[lo:lo+probe])
+				rows += int64(m.TotalNodes())
+				probes += probe
+			}
+			perSeed := float64(rows) / float64(probes)
+			batchRows := int64(perSeed * batchSize)
+			if batchRows > n {
+				batchRows = n
+			}
+			sz := batchRows * width * bytesF * 2
+			if d == 20 {
+				at20 = sz
+			}
+			row = append(row, bytesHuman(sz))
+		}
+		red := float64(layerwise) / float64(at20)
+		row = append(row, fmt.Sprintf("%.0fx", red))
+		t.Rows = append(t.Rows, row)
+	}
+	t.AddNote("per-seed expansion measured on the stand-ins with %d-seed probes, projected to OGB node", probe)
+	t.AddNote("counts (Table 4); paper §6: layer-wise full-neighborhood inference OOMs on papers100M")
+	return t, nil
+}
+
+func bytesHuman(b int64) string {
+	switch {
+	case b >= 1<<30:
+		return fmt.Sprintf("%.1fGB", float64(b)/(1<<30))
+	case b >= 1<<20:
+		return fmt.Sprintf("%.1fMB", float64(b)/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.1fKB", float64(b)/(1<<10))
+	}
+	return fmt.Sprintf("%dB", b)
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

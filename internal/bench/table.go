@@ -1,0 +1,100 @@
+// Package bench regenerates every table and figure of the paper's
+// evaluation (§3, §5, §6): each experiment has one driver returning a
+// renderable Table whose rows mirror the ones the paper reports.
+//
+// Timing experiments (Tables 1–3, Figures 4–6 timings, Table 7) run the
+// calibrated virtual-time simulations at the paper's full scale; accuracy
+// experiments (Table 6, Figures 3 and 6 accuracies) and the sampler design
+// sweep (Figure 2) execute real code on the scaled-down synthetic datasets.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a rendered experiment result.
+type Table struct {
+	ID     string // "table1", "fig5", ...
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// AddNote appends a footnote line.
+func (t *Table) AddNote(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// Render writes the table as aligned ASCII.
+func (t *Table) Render(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			if i < len(widths) {
+				parts[i] = pad(c, widths[i])
+			} else {
+				parts[i] = c
+			}
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "  %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// pad right-pads s to width w.
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// secs formats a duration in seconds the way the paper prints them.
+func secs(v float64) string {
+	switch {
+	case v >= 100:
+		return fmt.Sprintf("%.0fs", v)
+	case v >= 10:
+		return fmt.Sprintf("%.1fs", v)
+	default:
+		return fmt.Sprintf("%.2fs", v)
+	}
+}
+
+// pct formats a fraction as a percentage.
+func pct(v float64) string { return fmt.Sprintf("%.0f%%", 100*v) }
+
+// speedup formats a ratio.
+func speedup(v float64) string { return fmt.Sprintf("%.2fx", v) }

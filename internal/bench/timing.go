@@ -1,0 +1,186 @@
+package bench
+
+import (
+	"fmt"
+
+	"salient/internal/ddp"
+	"salient/internal/device"
+	"salient/internal/pipeline"
+)
+
+// datasetOrder fixes the paper's row ordering.
+var datasetOrder = []string{"arxiv", "products", "papers"}
+
+// Table1 reproduces the baseline per-operation breakdown (paper Table 1):
+// blocking time for batch preparation, transfer and GPU training on the
+// standard performance-engineered PyG workflow, one GPU.
+func Table1(seed uint64) Table {
+	t := Table{
+		ID:     "table1",
+		Title:  "Per-operation breakdown of the baseline PyG training code",
+		Header: []string{"Data Set", "Epoch", "Batch Prep.", "", "Transfer", "", "Train (GPU)", ""},
+	}
+	pr := device.PaperProfile()
+	paper := map[string][4]float64{ // epoch, prep, transfer, train
+		"arxiv":    {1.7, 1.0, 0.3, 0.5},
+		"products": {8.6, 4.0, 2.2, 2.4},
+		"papers":   {50.4, 18.6, 17.9, 13.9},
+	}
+	for _, name := range datasetOrder {
+		b := pipeline.SimulateEpoch(pr, device.Calibration(name), pipeline.Baseline, seed)
+		t.AddRow(name, secs(b.Total),
+			secs(b.PrepBlock()), pct(b.PrepBlock()/b.Total),
+			secs(b.TransferBlock), pct(b.TransferBlock/b.Total),
+			secs(b.TrainBlock), pct(b.TrainBlock/b.Total))
+		p := paper[name]
+		t.AddNote("paper %-8s epoch %.1fs  prep %.1fs (%.0f%%)  transfer %.1fs (%.0f%%)  train %.1fs (%.0f%%)",
+			name, p[0], p[1], 100*p[1]/p[0], p[2], 100*p[2]/p[0], p[3], 100*p[3]/p[0])
+	}
+	return t
+}
+
+// Table2 reproduces the batch-preparation throughput comparison (paper
+// Table 2): sampling/slicing/both wall time on ogbn-products for PyG and
+// SALIENT with P ∈ {1, 10, 20} workers.
+func Table2() Table {
+	t := Table{
+		ID:     "table2",
+		Title:  "ogbn-products epoch batch preparation time, PyG vs SALIENT",
+		Header: []string{"P", "PyG Sampling", "PyG Slicing", "PyG Both", "SAL Sampling", "SAL Slicing", "SAL Both"},
+	}
+	pr := device.PaperProfile()
+	cal := device.Calibration("products")
+	for _, p := range []int{1, 10, 20} {
+		ps, pl, pb := pipeline.PrepOnly(pr, cal, false, p)
+		ss, sl, sb := pipeline.PrepOnly(pr, cal, true, p)
+		t.AddRow(fmt.Sprintf("%d", p), secs(ps), secs(pl), secs(pb), secs(ss), secs(sl), secs(sb))
+	}
+	t.AddNote("paper P=1:  PyG 71.1s/7.6s/72.7s   SALIENT 28.3s/7.3s/35.6s")
+	t.AddNote("paper P=10: PyG 11.4s/1.6s/11.5s   SALIENT 3.3s/0.8s/4.1s")
+	t.AddNote("paper P=20: PyG 7.2s/1.2s/7.3s     SALIENT 1.9s/0.6s/2.5s")
+	return t
+}
+
+// Table3 reproduces the cumulative optimization-impact table (paper
+// Table 3): per-epoch runtime as each SALIENT optimization is stacked.
+func Table3(seed uint64) Table {
+	t := Table{
+		ID:     "table3",
+		Title:  "Impact of SALIENT optimizations on per-epoch runtime",
+		Header: []string{"Optimization", "arxiv", "products", "papers"},
+	}
+	pr := device.PaperProfile()
+	for _, mode := range []pipeline.Mode{
+		pipeline.Baseline, pipeline.FastSample, pipeline.SharedMem, pipeline.Pipelined,
+	} {
+		row := []string{mode.String()}
+		for _, name := range datasetOrder {
+			b := pipeline.SimulateEpoch(pr, device.Calibration(name), mode, seed)
+			row = append(row, secs(b.Total))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	t.AddNote("paper: None 1.7/8.6/50.4  +fast sampling 0.7/5.3/34.6  +shared-mem 0.6/4.2/27.8  +pipelined 0.5/2.8/16.5")
+	return t
+}
+
+// Fig4 reproduces the single-GPU end-to-end comparison (paper Figure 4):
+// stacked epoch-time breakdown for SALIENT and PyG per dataset, with the
+// overall speedup.
+func Fig4(seed uint64) Table {
+	t := Table{
+		ID:     "fig4",
+		Title:  "Single-GPU epoch time, SALIENT vs PyG (stacked breakdown)",
+		Header: []string{"Data Set", "System", "Train", "Sampling+Slicing", "Transfer", "Total", "Speedup"},
+	}
+	pr := device.PaperProfile()
+	for _, name := range datasetOrder {
+		cal := device.Calibration(name)
+		base := pipeline.SimulateEpoch(pr, cal, pipeline.Baseline, seed)
+		sal := pipeline.SimulateEpoch(pr, cal, pipeline.Pipelined, seed)
+		t.AddRow(name, "PyG", secs(base.TrainBlock), secs(base.PrepBlock()),
+			secs(base.TransferBlock), secs(base.Total), "1.00x")
+		t.AddRow("", "SALIENT", secs(sal.TrainBlock), secs(sal.PrepBlock()),
+			secs(sal.TransferBlock), secs(sal.Total), speedup(base.Total/sal.Total))
+	}
+	t.AddNote("paper reports 3.0x-3.4x single-GPU speedup across the three datasets")
+	return t
+}
+
+// Fig5 reproduces the multi-GPU scaling curves (paper Figure 5): per-epoch
+// runtime for 1–16 GPUs (2 per machine), per dataset, effective batch size
+// scaled with GPU count.
+func Fig5(seed uint64) Table {
+	t := Table{
+		ID:     "fig5",
+		Title:  "Multi-GPU scaling of SALIENT (per-epoch seconds / speedup)",
+		Header: []string{"Data Set", "1 GPU", "2 GPUs", "4 GPUs", "8 GPUs", "16 GPUs", "Speedup@16"},
+	}
+	pr := device.PaperProfile()
+	counts := []int{1, 2, 4, 8, 16}
+	for _, name := range datasetOrder {
+		cal := device.Calibration(name)
+		res := ddp.ScalingCurve(pr, cal, counts, 2, seed)
+		row := []string{name}
+		for _, r := range res {
+			row = append(row, secs(r.Epoch))
+		}
+		row = append(row, speedup(res[0].Epoch/res[len(res)-1].Epoch))
+		t.Rows = append(t.Rows, row)
+	}
+	t.AddNote("paper: 16-GPU speedups range 4.45x (arxiv) to 8.05x (papers); papers epoch ~2.0s")
+	return t
+}
+
+// Table7 reproduces the cross-system comparison (paper Table 7): the quoted
+// per-epoch numbers from the literature alongside our simulated SALIENT
+// result on papers100M with 16 GPUs.
+func Table7(seed uint64) Table {
+	t := Table{
+		ID:     "table7",
+		Title:  "Representative GNN training systems on ogbn-papers100M (or largest reported)",
+		Header: []string{"System", "Batching", "Hardware", "s/epoch", "Source"},
+	}
+	t.AddRow("NeuGraph", "full-batch", "1 machine, 8x P100", "0.655", "paper (amazon 8.6M)")
+	t.AddRow("Roc", "full-batch", "4 machines, 16x P100", "0.526", "paper (amazon 9.4M)")
+	t.AddRow("DistDGL", "mini-batch", "16 EC2 CPU instances", "13", "paper")
+	t.AddRow("DeepGalois", "full-batch", "32 machines (CPU)", "70", "paper")
+	t.AddRow("Zero-Copy", "mini-batch", "1 machine, 2x RTX3090", "648", "paper")
+	t.AddRow("GNS", "mini-batch", "1 EC2, 1x T4", "98.5", "paper")
+	t.AddRow("P3", "mini-batch", "4 machines, 16x P100", "3.107", "paper")
+
+	pr := device.PaperProfile()
+	cal := device.Calibration("papers")
+	res := ddp.SimulateEpoch(pr, cal, 16, 2, seed)
+	t.AddRow("SALIENT (this repo)", "mini-batch", "8 machines, 16x V100 (simulated)",
+		fmt.Sprintf("%.1f", res.Epoch), "measured (virtual time)")
+	t.AddNote("paper: SALIENT trains papers100M in 2.0 s/epoch and runs test inference in 2.4s at 64.58%% accuracy")
+	return t
+}
+
+// Fig6Timing reproduces the timing half of paper Figure 6: per-epoch
+// training time for SAGE/GIN/GAT/SAGE-RI on papers100M with 16 GPUs, for
+// SALIENT and the PyG baseline. (Fig6Accuracy adds the accuracy series.)
+func Fig6Timing(seed uint64) Table {
+	t := Table{
+		ID:     "fig6",
+		Title:  "Per-epoch time by architecture, papers100M, 16 GPUs",
+		Header: []string{"GNN", "SALIENT", "PyG", "Speedup"},
+	}
+	pr := device.PaperProfile()
+	base := device.Calibration("papers")
+	for _, ac := range device.ArchCalibrations() {
+		cal := base
+		cal.TrainSec *= ac.TrainSecScale
+		cal.TransferBytes *= ac.BytesScale
+		cal.SampleSec *= ac.SampleScale
+		cal.SliceSec *= ac.BytesScale
+		cal.GradBytes = ac.GradBytes
+
+		sal := ddp.SimulateEpoch(pr, cal, 16, 2, seed)
+		pyg := ddp.SimulateBaselineEpoch(pr, cal, 16, 2, seed)
+		t.AddRow(ac.Name, secs(sal.Epoch), secs(pyg.Epoch), speedup(pyg.Epoch/sal.Epoch))
+	}
+	t.AddNote("paper: SAGE gains most (~2.3x), GAT and SAGE-RI least (>1.4x); ordering by compute density")
+	return t
+}

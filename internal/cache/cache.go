@@ -1,0 +1,208 @@
+// Package cache implements GPU-resident feature caching, the transfer-
+// volume reduction the paper points to as future work (§8, citing GNS and
+// Zero-Copy): keep the feature rows of frequently sampled nodes in device
+// memory so batch transfers only carry the misses.
+//
+// Two policies are provided:
+//
+//   - Static degree cache: pin the top-K highest-degree nodes. Node-wise
+//     sampling revisits high-degree nodes with probability roughly
+//     proportional to degree, so a small static cache absorbs a large
+//     fraction of feature traffic on power-law graphs.
+//
+//   - LRU cache: classic recency eviction, as a dynamic baseline. It must
+//     pay transfer for every miss anyway (the row is then resident), so its
+//     advantage over static is workload drift — which node-wise sampling on
+//     a fixed graph exhibits little of.
+//
+// The package computes exact per-batch hit statistics against real sampled
+// MFGs; internal/bench uses those to quantify transfer savings and feed the
+// calibrated epoch simulation (the "cacheablate" experiment).
+package cache
+
+import (
+	"fmt"
+	"sort"
+
+	"salient/internal/graph"
+)
+
+// Policy identifies a cache replacement/placement policy.
+type Policy int
+
+const (
+	// StaticDegree pins the top-capacity nodes by degree; no eviction.
+	StaticDegree Policy = iota
+	// LRU evicts the least recently used row on miss.
+	LRU
+)
+
+func (p Policy) String() string {
+	if p == LRU {
+		return "lru"
+	}
+	return "static-degree"
+}
+
+// Stats accumulates cache performance over a stream of batches.
+type Stats struct {
+	Lookups int64
+	Hits    int64
+}
+
+// HitRate returns the fraction of looked-up rows served from cache.
+func (s Stats) HitRate() float64 {
+	if s.Lookups == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Lookups)
+}
+
+// Cache is a device-side feature-row cache. It tracks residency only (the
+// actual rows live in device memory in the modeled system); Touch reports
+// whether a node's features were resident and updates the policy state.
+type Cache struct {
+	policy   Policy
+	capacity int
+
+	resident map[int32]*lruNode // node -> LRU entry (nil value for static)
+	head     *lruNode           // most recent
+	tail     *lruNode           // least recent
+	stats    Stats
+}
+
+type lruNode struct {
+	id         int32
+	prev, next *lruNode
+}
+
+// New builds a cache of the given row capacity over graph g.
+func New(g *graph.CSR, capacity int, policy Policy) (*Cache, error) {
+	if capacity < 0 {
+		return nil, fmt.Errorf("cache: negative capacity %d", capacity)
+	}
+	if capacity > int(g.N) {
+		capacity = int(g.N)
+	}
+	c := &Cache{
+		policy:   policy,
+		capacity: capacity,
+		resident: make(map[int32]*lruNode, capacity),
+	}
+	if policy == StaticDegree && capacity > 0 {
+		ids := topKByDegree(g, capacity)
+		for _, v := range ids {
+			c.resident[v] = nil
+		}
+	}
+	return c, nil
+}
+
+// topKByDegree returns the capacity highest-degree node IDs.
+func topKByDegree(g *graph.CSR, k int) []int32 {
+	ids := make([]int32, g.N)
+	for i := range ids {
+		ids[i] = int32(i)
+	}
+	sort.Slice(ids, func(a, b int) bool {
+		da, db := g.Degree(ids[a]), g.Degree(ids[b])
+		if da != db {
+			return da > db
+		}
+		return ids[a] < ids[b] // deterministic ties
+	})
+	return ids[:k]
+}
+
+// Capacity returns the cache's row capacity.
+func (c *Cache) Capacity() int { return c.capacity }
+
+// Len returns the number of currently resident rows.
+func (c *Cache) Len() int { return len(c.resident) }
+
+// Stats returns accumulated lookup statistics.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// ResetStats clears the accumulated statistics (not residency).
+func (c *Cache) ResetStats() { c.stats = Stats{} }
+
+// Touch records a feature-row access for node v and reports whether it hit.
+// Under LRU, a miss inserts v (evicting the least recent row if full).
+func (c *Cache) Touch(v int32) bool {
+	c.stats.Lookups++
+	n, ok := c.resident[v]
+	if ok {
+		c.stats.Hits++
+		if c.policy == LRU {
+			c.moveToFront(n)
+		}
+		return true
+	}
+	if c.policy == LRU && c.capacity > 0 {
+		c.insert(v)
+	}
+	return false
+}
+
+// TouchBatch records accesses for all nodes of a sampled neighborhood and
+// returns the number of misses (rows that must be transferred).
+func (c *Cache) TouchBatch(nodeIDs []int32) (misses int) {
+	for _, v := range nodeIDs {
+		if !c.Touch(v) {
+			misses++
+		}
+	}
+	return misses
+}
+
+func (c *Cache) insert(v int32) {
+	if len(c.resident) >= c.capacity {
+		lru := c.tail
+		c.unlink(lru)
+		delete(c.resident, lru.id)
+	}
+	n := &lruNode{id: v}
+	c.resident[v] = n
+	c.pushFront(n)
+}
+
+func (c *Cache) moveToFront(n *lruNode) {
+	if n == nil || c.head == n {
+		return
+	}
+	c.unlink(n)
+	c.pushFront(n)
+}
+
+func (c *Cache) pushFront(n *lruNode) {
+	n.prev = nil
+	n.next = c.head
+	if c.head != nil {
+		c.head.prev = n
+	}
+	c.head = n
+	if c.tail == nil {
+		c.tail = n
+	}
+}
+
+func (c *Cache) unlink(n *lruNode) {
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else {
+		c.head = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else {
+		c.tail = n.prev
+	}
+	n.prev, n.next = nil, nil
+}
+
+// Resident reports whether node v's features are currently cached, without
+// touching policy state or statistics.
+func (c *Cache) Resident(v int32) bool {
+	_, ok := c.resident[v]
+	return ok
+}

@@ -1,0 +1,248 @@
+package dataset
+
+import (
+	"testing"
+
+	"salient/internal/half"
+)
+
+func smallConfig() Config {
+	return Config{
+		Name:        "test",
+		Nodes:       2000,
+		EdgesPerNew: 5,
+		FeatDim:     16,
+		NumClasses:  6,
+		Homophily:   0.7,
+		NoiseScale:  0.5,
+		TrainFrac:   0.5,
+		ValFrac:     0.2,
+		TestFrac:    0.3,
+		Seed:        7,
+	}
+}
+
+func TestGenerateBasics(t *testing.T) {
+	ds, err := Generate(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.G.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if ds.G.N != 2000 {
+		t.Fatalf("N = %d", ds.G.N)
+	}
+	if ds.Feat.Rows != 2000 || ds.Feat.Cols != 16 {
+		t.Fatalf("feat shape %dx%d", ds.Feat.Rows, ds.Feat.Cols)
+	}
+	if len(ds.FeatHalf) != len(ds.Feat.Data) {
+		t.Fatal("half features length mismatch")
+	}
+	if len(ds.Labels) != 2000 {
+		t.Fatal("labels length")
+	}
+	for _, l := range ds.Labels {
+		if l < 0 || int(l) >= ds.NumClasses {
+			t.Fatalf("label %d out of range", l)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, _ := Generate(smallConfig())
+	b, _ := Generate(smallConfig())
+	if a.G.NumEdges() != b.G.NumEdges() {
+		t.Fatal("edge counts differ across identical seeds")
+	}
+	for i := range a.G.Adj {
+		if a.G.Adj[i] != b.G.Adj[i] {
+			t.Fatalf("adjacency differs at %d", i)
+		}
+	}
+	for i := range a.Feat.Data {
+		if a.Feat.Data[i] != b.Feat.Data[i] {
+			t.Fatalf("features differ at %d", i)
+		}
+	}
+}
+
+func TestSeedChangesOutput(t *testing.T) {
+	cfg := smallConfig()
+	a, _ := Generate(cfg)
+	cfg.Seed = 8
+	b, _ := Generate(cfg)
+	if a.G.NumEdges() == b.G.NumEdges() && a.Feat.Data[0] == b.Feat.Data[0] {
+		t.Fatal("different seeds produced identical dataset")
+	}
+}
+
+func TestSplitsDisjointAndSized(t *testing.T) {
+	ds, _ := Generate(smallConfig())
+	seen := make(map[int32]string)
+	check := func(name string, ids []int32) {
+		for _, v := range ids {
+			if v < 0 || v >= ds.G.N {
+				t.Fatalf("%s id %d out of range", name, v)
+			}
+			if prev, dup := seen[v]; dup {
+				t.Fatalf("node %d in both %s and %s", v, prev, name)
+			}
+			seen[v] = name
+		}
+	}
+	check("train", ds.Train)
+	check("val", ds.Val)
+	check("test", ds.Test)
+	if len(ds.Train) != 1000 || len(ds.Val) != 400 || len(ds.Test) != 600 {
+		t.Fatalf("split sizes %d/%d/%d", len(ds.Train), len(ds.Val), len(ds.Test))
+	}
+}
+
+func TestPowerLawishDegrees(t *testing.T) {
+	ds, _ := Generate(smallConfig())
+	maxDeg := ds.G.MaxDegree()
+	avg := ds.G.AvgDegree()
+	// Preferential attachment must create hubs: max degree far above average.
+	if float64(maxDeg) < 5*avg {
+		t.Fatalf("no hubs: max degree %d vs avg %.1f", maxDeg, avg)
+	}
+}
+
+func TestHomophily(t *testing.T) {
+	ds, _ := Generate(smallConfig())
+	same, total := 0, 0
+	for v := int32(0); v < ds.G.N; v++ {
+		for _, w := range ds.G.Neighbors(v) {
+			total++
+			if ds.Labels[v] == ds.Labels[w] {
+				same++
+			}
+		}
+	}
+	frac := float64(same) / float64(total)
+	// With homophily 0.7 and 6 classes, same-label edge fraction must be far
+	// above the 1/6 chance level.
+	if frac < 0.4 {
+		t.Fatalf("homophily too weak: same-label fraction %.3f", frac)
+	}
+}
+
+func TestHalfFeaturesMatchFloat(t *testing.T) {
+	ds, _ := Generate(smallConfig())
+	for i := 0; i < 100; i++ {
+		f := ds.Feat.Data[i]
+		h := ds.FeatHalf[i].Float32()
+		diff := f - h
+		if diff < 0 {
+			diff = -diff
+		}
+		// Half precision keeps ~3 decimal digits in this range.
+		if diff > 0.01+0.001*abs32(f) {
+			t.Fatalf("half feature %d deviates: %v vs %v", i, f, h)
+		}
+	}
+}
+
+func abs32(v float32) float32 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func TestFeaturesSeparateClasses(t *testing.T) {
+	// Mean feature distance within class should be smaller than across
+	// classes — otherwise nothing is learnable.
+	ds, _ := Generate(smallConfig())
+	dim := ds.FeatDim
+	centroid := make([][]float64, ds.NumClasses)
+	counts := make([]int, ds.NumClasses)
+	for c := range centroid {
+		centroid[c] = make([]float64, dim)
+	}
+	for v := 0; v < int(ds.G.N); v++ {
+		c := ds.Labels[v]
+		counts[c]++
+		row := ds.Feat.Row(v)
+		for j, f := range row {
+			centroid[c][j] += float64(f)
+		}
+	}
+	for c := range centroid {
+		for j := range centroid[c] {
+			centroid[c][j] /= float64(counts[c])
+		}
+	}
+	// Distance between first two class centroids must exceed the noise floor.
+	var dist float64
+	for j := 0; j < dim; j++ {
+		d := centroid[0][j] - centroid[1][j]
+		dist += d * d
+	}
+	if dist < 1 {
+		t.Fatalf("class centroids too close: %v", dist)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{Nodes: 1, EdgesPerNew: 1, FeatDim: 1, NumClasses: 2, TrainFrac: 0.5},
+		{Nodes: 10, EdgesPerNew: 0, FeatDim: 1, NumClasses: 2, TrainFrac: 0.5},
+		{Nodes: 10, EdgesPerNew: 1, FeatDim: 0, NumClasses: 2, TrainFrac: 0.5},
+		{Nodes: 10, EdgesPerNew: 1, FeatDim: 1, NumClasses: 1, TrainFrac: 0.5},
+		{Nodes: 10, EdgesPerNew: 1, FeatDim: 1, NumClasses: 2, TrainFrac: 0},
+		{Nodes: 10, EdgesPerNew: 1, FeatDim: 1, NumClasses: 2, TrainFrac: 0.9, ValFrac: 0.9},
+		{Nodes: 10, EdgesPerNew: 1, FeatDim: 1, NumClasses: 2, TrainFrac: 0.5, Homophily: 2},
+	}
+	for i, cfg := range bad {
+		if _, err := Generate(cfg); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+}
+
+func TestPresets(t *testing.T) {
+	for _, name := range []string{Arxiv, Products, Papers} {
+		cfg := PresetConfig(name, 0.02)
+		ds, err := Generate(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := ds.G.Validate(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if ds.Name != name {
+			t.Fatalf("preset name %q", ds.Name)
+		}
+		if len(ds.Train) == 0 {
+			t.Fatalf("%s: empty train split", name)
+		}
+	}
+}
+
+func TestPresetUnknownPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown preset did not panic")
+		}
+	}()
+	PresetConfig("nope", 1)
+}
+
+func TestPresetSplitRatios(t *testing.T) {
+	// products-like must have a tiny training split and huge test split.
+	ds, err := Load(Products, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := float64(ds.G.N)
+	if tf := float64(len(ds.Train)) / n; tf > 0.12 {
+		t.Fatalf("products train fraction %.3f too large", tf)
+	}
+	if tf := float64(len(ds.Test)) / n; tf < 0.8 {
+		t.Fatalf("products test fraction %.3f too small", tf)
+	}
+}
+
+var _ = half.FromFloat32 // keep import when FeatHalf checks change

@@ -1,0 +1,157 @@
+package dataset
+
+import (
+	"bytes"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	ds, err := Load(Arxiv, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ds.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadFrom(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != ds.Name || got.NumClasses != ds.NumClasses || got.FeatDim != ds.FeatDim {
+		t.Fatalf("metadata mismatch: %+v vs %+v", got.Name, ds.Name)
+	}
+	if got.G.N != ds.G.N || got.G.NumEdges() != ds.G.NumEdges() {
+		t.Fatal("graph shape mismatch")
+	}
+	for v := int32(0); v < ds.G.N; v++ {
+		a, b := ds.G.Neighbors(v), got.G.Neighbors(v)
+		if len(a) != len(b) {
+			t.Fatalf("node %d degree mismatch", v)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("node %d adjacency differs", v)
+			}
+		}
+	}
+	for i := range ds.FeatHalf {
+		if ds.FeatHalf[i] != got.FeatHalf[i] {
+			t.Fatalf("feature %d differs", i)
+		}
+	}
+	for i := range ds.Labels {
+		if ds.Labels[i] != got.Labels[i] {
+			t.Fatalf("label %d differs", i)
+		}
+	}
+	if len(got.Train) != len(ds.Train) || len(got.Val) != len(ds.Val) || len(got.Test) != len(ds.Test) {
+		t.Fatal("split sizes differ")
+	}
+	// Recovered float32 features match the half widening exactly.
+	if got.Feat.MaxAbsDiff(ds.Feat) != 0 {
+		t.Fatal("recovered float features differ from original widening")
+	}
+}
+
+func TestLoadRejectsCorruption(t *testing.T) {
+	ds, err := Load(Arxiv, 0.03)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ds.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	pristine := buf.Bytes()
+
+	// Flip one payload byte: checksum must catch it.
+	corrupted := append([]byte(nil), pristine...)
+	corrupted[len(corrupted)/2] ^= 0xFF
+	if _, err := LoadFrom(bytes.NewReader(corrupted)); err == nil {
+		t.Fatal("corrupted payload accepted")
+	}
+
+	// Truncate: must be rejected.
+	if _, err := LoadFrom(bytes.NewReader(pristine[:len(pristine)/2])); err == nil {
+		t.Fatal("truncated container accepted")
+	}
+
+	// Wrong magic with a fixed-up checksum: still rejected at the magic.
+	bad := append([]byte(nil), pristine...)
+	copy(bad, "WRONGMAG")
+	fixCRC(bad)
+	if _, err := LoadFrom(bytes.NewReader(bad)); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+
+	// Empty input.
+	if _, err := LoadFrom(bytes.NewReader(nil)); err == nil {
+		t.Fatal("empty input accepted")
+	}
+}
+
+// fixCRC recomputes the trailing checksum after test mutations.
+func fixCRC(b []byte) {
+	payload := b[:len(b)-4]
+	sum := crc32ChecksumIEEE(payload)
+	b[len(b)-4] = byte(sum)
+	b[len(b)-3] = byte(sum >> 8)
+	b[len(b)-2] = byte(sum >> 16)
+	b[len(b)-1] = byte(sum >> 24)
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	ds, err := Load(Products, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "products.salient")
+	if err := ds.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Fatal("temp file left behind")
+	}
+	got, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.G.N != ds.G.N {
+		t.Fatal("file round trip lost nodes")
+	}
+	if _, err := LoadFile(filepath.Join(t.TempDir(), "missing.salient")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestLoadedDatasetIsTrainable(t *testing.T) {
+	// The acid test: a round-tripped dataset behaves identically for
+	// sampling (same graph, features, splits).
+	ds, err := Load(Arxiv, 0.03)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ds.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadFrom(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range ds.Train {
+		if got.Train[i] != v {
+			t.Fatal("train split differs")
+		}
+	}
+	if err := got.G.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// crc32ChecksumIEEE proxies the stdlib for test fixups.
+func crc32ChecksumIEEE(b []byte) uint32 { return crc32.ChecksumIEEE(b) }

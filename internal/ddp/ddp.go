@@ -1,0 +1,258 @@
+// Package ddp models distributed data-parallel GNN training (paper §6,
+// Figure 5): R GPU replicas, each running the full SALIENT pipeline on its
+// shard of mini-batches, synchronized per step by a ring all-reduce of
+// gradients over the 10 GigE interconnect.
+//
+// It also provides the real gradient-averaging primitive used to verify the
+// data-parallel equivalence property on actual models (see ddp tests): with
+// equal per-replica batch sizes, averaging replica gradients equals the
+// gradient of the union batch.
+package ddp
+
+import (
+	"salient/internal/device"
+	"salient/internal/event"
+	"salient/internal/nn"
+	"salient/internal/rng"
+)
+
+const (
+	// computeVarDamp scales how much of the neighborhood-size variation
+	// reaches GPU compute time (dense work depends mostly on fixed batch
+	// and hidden dimensions).
+	computeVarDamp = 0.5
+	// allReduceOverlap is the fraction of the fastest replica's backward
+	// pass available to hide bucketed all-reduce communication behind.
+	allReduceOverlap = 0.25
+)
+
+// Result summarizes a simulated multi-GPU epoch.
+type Result struct {
+	Replicas  int
+	Epoch     float64 // seconds
+	Compute   float64 // per-replica GPU busy time (max over replicas)
+	AllReduce float64 // total all-reduce time on the critical path
+}
+
+// SimulateEpoch models one SALIENT training epoch on `replicas` GPUs spread
+// over machines with gpusPerMachine GPUs each. The global batch count is
+// split evenly; per-GPU batch size stays fixed (the paper scales effective
+// batch size with GPU count). Replicas run the pipelined schedule and
+// synchronize on a per-step gradient all-reduce.
+func SimulateEpoch(pr device.Profile, cal device.DatasetCal, replicas, gpusPerMachine int, seed uint64) Result {
+	if replicas < 1 {
+		panic("ddp: need at least one replica")
+	}
+	steps := (cal.Batches + replicas - 1) / replicas
+	r := rng.New(seed)
+
+	type replica struct {
+		pool     *event.Pool
+		copyS    *event.Serial
+		compS    *event.Serial
+		slotFree []float64
+	}
+	reps := make([]*replica, replicas)
+	for i := range reps {
+		reps[i] = &replica{
+			pool:     event.NewPool("prep", pr.Workers),
+			copyS:    event.NewSerial("copy"),
+			compS:    event.NewSerial("compute"),
+			slotFree: make([]float64, steps),
+		}
+	}
+
+	contend := 1 + pr.SampleContentionSalient*float64(pr.Workers-1)
+	slots := 2 * pr.Workers
+	nb := float64(cal.Batches)
+	allReduceDur := pr.RingAllReduce(cal.GradBytes, replicas, gpusPerMachine)
+
+	var res Result
+	res.Replicas = replicas
+	barrier := pr.EpochStartup
+
+	for s := 0; s < steps; s++ {
+		stepEnd := 0.0
+		var minTrain float64
+		for i, rep := range reps {
+			f := device.LogNormalFactor(r.Float64(), cal.SizeCV)
+			prepDur := (cal.SampleSec/cal.SampleSpeedup + cal.SliceSec) / nb * f * contend
+			// Steady-state epochs (the paper averages over 25): the first
+			// slots-worth of batches were prefetched during the previous
+			// epoch's tail, so they are ready immediately; later batches
+			// wait for a recycled pinned slot.
+			var prepEnd float64
+			if s >= slots {
+				_, prepEnd, _ = rep.pool.RunDynamic(rep.slotFree[s-slots], prepDur)
+			}
+
+			td := pr.TransferTime(int64(cal.TransferBytes/nb*f), pr.PipelinedTransferEff)
+			_, tEnd := rep.copyS.Run(prepEnd, td)
+			rep.slotFree[s] = tEnd
+
+			// GPU compute varies less than neighborhood size: dense-layer
+			// work is dominated by the fixed batch and hidden dimensions,
+			// only the aggregation scales with sampled edges.
+			fc := 1 + (f-1)*computeVarDamp
+			tr := cal.TrainSec/nb*fc + pr.KernelLaunchOverhead
+			// Compute cannot start before the previous step's barrier
+			// (gradients must be applied before the next forward).
+			readyC := event.MaxAll(tEnd, barrier)
+			_, cEnd := rep.compS.Run(readyC, tr)
+			if cEnd > stepEnd {
+				stepEnd = cEnd
+			}
+			if i == 0 || tr < minTrain {
+				minTrain = tr
+			}
+		}
+		// Ring all-reduce across all replicas. DDP buckets gradients and
+		// overlaps their reduction with the tail of backward, so only the
+		// non-overlapped remainder extends the critical path.
+		exposed := allReduceDur - allReduceOverlap*minTrain
+		if exposed < 0 {
+			exposed = 0
+		}
+		barrier = stepEnd + exposed
+		res.AllReduce += exposed
+		for _, rep := range reps {
+			rep.compS.Run(stepEnd, exposed)
+		}
+	}
+	res.Epoch = barrier
+	for _, rep := range reps {
+		if b := rep.compS.Busy(); b > res.Compute {
+			res.Compute = b
+		}
+	}
+	return res
+}
+
+// SimulateBaselineEpoch models one PyG-baseline training epoch on
+// `replicas` GPUs: each replica runs the blocking workflow of Figure 1(a)
+// on its shard (sampling workers prefetch, but slicing, transfer at 75%
+// DMA efficiency, and training all block the main thread), and replicas
+// synchronize on a per-step gradient all-reduce with no backward overlap.
+func SimulateBaselineEpoch(pr device.Profile, cal device.DatasetCal, replicas, gpusPerMachine int, seed uint64) Result {
+	if replicas < 1 {
+		panic("ddp: need at least one replica")
+	}
+	steps := (cal.Batches + replicas - 1) / replicas
+	r := rng.New(seed)
+
+	p := pr.Workers
+	type replica struct {
+		pool      *event.Pool
+		sampleEnd []float64
+		main      float64
+	}
+	reps := make([]*replica, replicas)
+	for i := range reps {
+		reps[i] = &replica{
+			pool:      event.NewPool("sample", p),
+			sampleEnd: make([]float64, steps),
+			main:      pr.EpochStartup,
+		}
+	}
+
+	sampleContend := 1 + pr.SampleContentionPyG*float64(p-1)
+	sliceSpeedup := device.ParallelSpeedup(pr.SliceContentionPyG, p)
+	nb := float64(cal.Batches)
+	allReduceDur := pr.RingAllReduce(cal.GradBytes, replicas, gpusPerMachine)
+
+	// Sampling workers prefetch the whole shard with static assignment;
+	// the DataLoader respawns them each epoch, so no warm start.
+	type draw struct{ sample, slice, bytes, train float64 }
+	draws := make([][]draw, replicas)
+	for i, rep := range reps {
+		draws[i] = make([]draw, steps)
+		for s := 0; s < steps; s++ {
+			f := device.LogNormalFactor(r.Float64(), cal.SizeCV)
+			fc := 1 + (f-1)*computeVarDamp
+			d := draw{
+				sample: cal.SampleSec / nb * f * sampleContend,
+				slice:  cal.SliceSec / nb * f / sliceSpeedup,
+				bytes:  cal.TransferBytes / nb * f,
+				train:  cal.TrainSec/nb*fc + pr.KernelLaunchOverhead,
+			}
+			draws[i][s] = d
+			_, rep.sampleEnd[s] = rep.pool.RunOn(s%p, pr.EpochStartup, d.sample)
+		}
+	}
+
+	var res Result
+	res.Replicas = replicas
+	barrier := pr.EpochStartup
+	for s := 0; s < steps; s++ {
+		stepEnd := 0.0
+		for i, rep := range reps {
+			d := draws[i][s]
+			if rep.sampleEnd[s] > rep.main {
+				rep.main = rep.sampleEnd[s]
+			}
+			rep.main += d.slice
+			rep.main += pr.TransferTime(int64(d.bytes), pr.BaselineTransferEff)
+			if barrier > rep.main {
+				rep.main = barrier
+			}
+			rep.main += d.train
+			res.Compute += d.train
+			if rep.main > stepEnd {
+				stepEnd = rep.main
+			}
+		}
+		barrier = stepEnd + allReduceDur
+		res.AllReduce += allReduceDur
+		for _, rep := range reps {
+			rep.main = barrier
+		}
+	}
+	res.Epoch = barrier
+	res.Compute /= float64(replicas)
+	return res
+}
+
+// ScalingCurve simulates epochs for each replica count and returns epoch
+// times in order (the Figure 5 series).
+func ScalingCurve(pr device.Profile, cal device.DatasetCal, replicaCounts []int, gpusPerMachine int, seed uint64) []Result {
+	out := make([]Result, len(replicaCounts))
+	for i, n := range replicaCounts {
+		out[i] = SimulateEpoch(pr, cal, n, gpusPerMachine, seed)
+	}
+	return out
+}
+
+// AverageGradients averages parameter gradients across replicas in place:
+// after the call every replica holds the same averaged gradients. This is
+// the semantic core of DDP's all-reduce, used to validate data-parallel
+// equivalence with real models.
+func AverageGradients(replicas [][]*nn.Param) {
+	if len(replicas) == 0 {
+		return
+	}
+	n := len(replicas[0])
+	inv := float32(1) / float32(len(replicas))
+	for p := 0; p < n; p++ {
+		acc := replicas[0][p].G
+		for r := 1; r < len(replicas); r++ {
+			acc.Add(replicas[r][p].G)
+		}
+		acc.Scale(inv)
+		for r := 1; r < len(replicas); r++ {
+			replicas[r][p].G.Copy(acc)
+		}
+	}
+}
+
+// SyncParams copies replica 0's parameter values into all other replicas
+// (the DDP broadcast at initialization).
+func SyncParams(replicas [][]*nn.Param) {
+	if len(replicas) < 2 {
+		return
+	}
+	for p := range replicas[0] {
+		for r := 1; r < len(replicas); r++ {
+			replicas[r][p].W.Copy(replicas[0][p].W)
+		}
+	}
+}

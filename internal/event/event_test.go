@@ -1,0 +1,172 @@
+package event
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSerialFIFOQueueing(t *testing.T) {
+	s := NewSerial("stream")
+	st, en := s.Run(0, 2)
+	if st != 0 || en != 2 {
+		t.Fatalf("first task: (%v,%v), want (0,2)", st, en)
+	}
+	// Ready before the stream is free: queues behind.
+	st, en = s.Run(1, 3)
+	if st != 2 || en != 5 {
+		t.Fatalf("queued task: (%v,%v), want (2,5)", st, en)
+	}
+	// Ready after the stream is free: starts at ready.
+	st, en = s.Run(10, 1)
+	if st != 10 || en != 11 {
+		t.Fatalf("late task: (%v,%v), want (10,11)", st, en)
+	}
+	if s.Busy() != 6 {
+		t.Fatalf("busy = %v, want 6", s.Busy())
+	}
+	if u := s.Utilization(12); u != 0.5 {
+		t.Fatalf("utilization = %v, want 0.5", u)
+	}
+	if s.Utilization(0) != 0 {
+		t.Fatal("zero-horizon utilization should be 0")
+	}
+}
+
+func TestSerialStartNeverBeforeReadyOrPrevEnd(t *testing.T) {
+	f := func(durs []float64) bool {
+		s := NewSerial("q")
+		prevEnd := 0.0
+		ready := 0.0
+		for _, d := range durs {
+			if d < 0 {
+				d = -d
+			}
+			if d > 1e6 {
+				continue
+			}
+			ready += d / 3
+			st, en := s.Run(ready, d)
+			if st < ready || st < prevEnd || en != st+d {
+				return false
+			}
+			prevEnd = en
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPoolDynamicPicksEarliestWorker(t *testing.T) {
+	p := NewPool("w", 2)
+	_, _, w0 := p.RunDynamic(0, 5) // worker 0 busy until 5
+	_, _, w1 := p.RunDynamic(0, 1) // worker 1 busy until 1
+	if w0 == w1 {
+		t.Fatalf("both tasks placed on worker %d", w0)
+	}
+	st, en, w := p.RunDynamic(0, 1)
+	if w != w1 || st != 1 || en != 2 {
+		t.Fatalf("third task: worker %d (%v,%v), want worker %d (1,2)", w, st, en, w1)
+	}
+}
+
+func TestPoolStaticAssignmentIgnoresLoad(t *testing.T) {
+	p := NewPool("w", 2)
+	p.RunOn(0, 0, 10)
+	st, _ := p.RunOn(0, 0, 1) // stacks on the busy worker
+	if st != 10 {
+		t.Fatalf("static task started at %v, want 10", st)
+	}
+	if f := p.FreeAt(1); f != 0 {
+		t.Fatalf("idle worker free at %v, want 0", f)
+	}
+}
+
+func TestPoolDynamicBeatsStaticOnSkewedWork(t *testing.T) {
+	// The §4.2 argument: with variable batch sizes, dynamic balancing
+	// finishes no later than static round-robin.
+	durs := []float64{9, 1, 1, 1, 9, 1, 1, 1}
+	dyn := NewPool("dyn", 2)
+	stat := NewPool("stat", 2)
+	var dynEnd, statEnd float64
+	for i, d := range durs {
+		_, e, _ := dyn.RunDynamic(0, d)
+		if e > dynEnd {
+			dynEnd = e
+		}
+		_, e2 := stat.RunOn(i%2, 0, d)
+		if e2 > statEnd {
+			statEnd = e2
+		}
+	}
+	if dynEnd > statEnd {
+		t.Fatalf("dynamic (%v) slower than static (%v)", dynEnd, statEnd)
+	}
+	if statEnd != 20 || dynEnd != 12 {
+		t.Fatalf("expected static 20 / dynamic 12, got %v / %v", statEnd, dynEnd)
+	}
+}
+
+func TestPoolConservation(t *testing.T) {
+	// Property: total busy time equals the sum of durations, no matter the
+	// placement policy.
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		p := NewPool("w", 3)
+		var sum float64
+		for i, r := range raw {
+			d := float64(r) / 16
+			sum += d
+			if i%2 == 0 {
+				p.RunDynamic(0, d)
+			} else {
+				p.RunOn(i%3, 0, d)
+			}
+		}
+		return abs(p.Busy()-sum) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func TestEarliestFree(t *testing.T) {
+	p := NewPool("w", 3)
+	p.RunOn(0, 0, 5)
+	p.RunOn(1, 0, 2)
+	if got := p.EarliestFree(); got != 0 {
+		t.Fatalf("earliest free = %v, want 0 (worker 2 idle)", got)
+	}
+	p.RunOn(2, 0, 7)
+	if got := p.EarliestFree(); got != 2 {
+		t.Fatalf("earliest free = %v, want 2", got)
+	}
+}
+
+func TestMaxHelpers(t *testing.T) {
+	if Max(1, 2) != 2 || Max(3, 2) != 3 {
+		t.Fatal("Max broken")
+	}
+	if MaxAll(1, 5, 3) != 5 || MaxAll(-2) != -2 {
+		t.Fatal("MaxAll broken")
+	}
+}
+
+func TestPoolPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for 0-worker pool")
+		}
+	}()
+	NewPool("bad", 0)
+}

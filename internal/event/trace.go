@@ -1,0 +1,150 @@
+package event
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Span is one recorded interval of work on a named resource.
+type Span struct {
+	Resource string  // e.g. "CPU worker 1", "GPU A compute"
+	Label    string  // e.g. "B3 sample"
+	Kind     string  // operation class: "sample", "slice", "transfer", "train"
+	Start    float64 // seconds
+	End      float64
+}
+
+// Trace accumulates spans from a simulated timeline, for rendering the
+// paper's Figure 1 style Gantt charts and Chrome trace files.
+type Trace struct {
+	Spans []Span
+}
+
+// Add records a span. Zero-duration spans are kept (they still mark order).
+func (t *Trace) Add(resource, label, kind string, start, end float64) {
+	t.Spans = append(t.Spans, Span{Resource: resource, Label: label, Kind: kind, Start: start, End: end})
+}
+
+// Horizon returns the latest span end.
+func (t *Trace) Horizon() float64 {
+	h := 0.0
+	for _, s := range t.Spans {
+		if s.End > h {
+			h = s.End
+		}
+	}
+	return h
+}
+
+// resources returns resource names ordered by first appearance.
+func (t *Trace) resources() []string {
+	seen := map[string]int{}
+	var names []string
+	for i, s := range t.Spans {
+		if _, ok := seen[s.Resource]; !ok {
+			seen[s.Resource] = i
+			names = append(names, s.Resource)
+		}
+	}
+	sort.SliceStable(names, func(a, b int) bool { return seen[names[a]] < seen[names[b]] })
+	return names
+}
+
+// kindGlyphs maps operation kinds to the glyph used in the Gantt rendering,
+// mirroring Figure 1's color coding.
+var kindGlyphs = map[string]byte{
+	"sample":   's', // green boxes: sampling (Listing 1 lines 1-2)
+	"slice":    'l', // yellow: slicing & pinning (lines 3-4)
+	"prep":     'p', // SALIENT fused sample+slice
+	"transfer": 't', // orange: host-to-device transfer (line 5)
+	"train":    'T', // blue: training & communication (lines 6-8)
+	"comm":     'c',
+}
+
+// Gantt renders the trace as an ASCII timeline: one row per resource,
+// `width` character-columns spanning [0, horizon]. Overlapping spans on one
+// resource overwrite left to right (resources are serial, so real overlaps
+// do not occur). Each span is labeled with its batch digit where it fits.
+func (t *Trace) Gantt(w io.Writer, width int) {
+	if len(t.Spans) == 0 {
+		fmt.Fprintln(w, "(empty trace)")
+		return
+	}
+	horizon := t.Horizon()
+	if horizon <= 0 {
+		horizon = 1
+	}
+	col := func(x float64) int {
+		c := int(x / horizon * float64(width))
+		if c >= width {
+			c = width - 1
+		}
+		if c < 0 {
+			c = 0
+		}
+		return c
+	}
+	nameW := 0
+	for _, r := range t.resources() {
+		if len(r) > nameW {
+			nameW = len(r)
+		}
+	}
+	for _, r := range t.resources() {
+		row := make([]byte, width)
+		for i := range row {
+			row[i] = '.'
+		}
+		for _, s := range t.Spans {
+			if s.Resource != r {
+				continue
+			}
+			glyph := kindGlyphs[s.Kind]
+			if glyph == 0 {
+				glyph = '#'
+			}
+			lo, hi := col(s.Start), col(s.End)
+			if hi <= lo {
+				hi = lo + 1
+			}
+			for i := lo; i < hi && i < width; i++ {
+				row[i] = glyph
+			}
+			// Stamp the label's trailing digits if the span is wide enough.
+			if hi-lo >= len(s.Label)+1 && s.Label != "" {
+				copy(row[lo:], s.Label)
+			}
+		}
+		fmt.Fprintf(w, "%-*s |%s|\n", nameW, r, string(row))
+	}
+	fmt.Fprintf(w, "%-*s  0%ss%.4g\n", nameW, "", strings.Repeat(" ", width-len(fmt.Sprintf("%.4g", horizon))-2), horizon)
+	fmt.Fprintln(w, "legend: s=sample l=slice p=prep(fused) t=transfer T=train c=comm")
+}
+
+// ChromeJSON writes the trace in the Chrome trace-event format (load in
+// chrome://tracing or Perfetto). Times are emitted in microseconds.
+func (t *Trace) ChromeJSON(w io.Writer) error {
+	if _, err := io.WriteString(w, "[\n"); err != nil {
+		return err
+	}
+	pids := map[string]int{}
+	for _, r := range t.resources() {
+		pids[r] = len(pids) + 1
+	}
+	for i, s := range t.Spans {
+		sep := ","
+		if i == len(t.Spans)-1 {
+			sep = ""
+		}
+		_, err := fmt.Fprintf(w,
+			"  {\"name\": %q, \"cat\": %q, \"ph\": \"X\", \"ts\": %.3f, \"dur\": %.3f, \"pid\": 1, \"tid\": %d, \"args\": {\"resource\": %q}}%s\n",
+			s.Label, s.Kind, s.Start*1e6, (s.End-s.Start)*1e6, pids[s.Resource], s.Resource, sep)
+		if err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "]\n")
+	return err
+}

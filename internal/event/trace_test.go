@@ -1,0 +1,88 @@
+package event
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func sampleTrace() *Trace {
+	tr := &Trace{}
+	tr.Add("CPU worker 1", "B1", "sample", 0, 2)
+	tr.Add("GPU data bus", "B1", "transfer", 2, 3)
+	tr.Add("GPU compute", "B1", "train", 3, 5)
+	tr.Add("CPU worker 1", "B2", "sample", 2, 4)
+	return tr
+}
+
+func TestTraceHorizon(t *testing.T) {
+	tr := sampleTrace()
+	if tr.Horizon() != 5 {
+		t.Fatalf("horizon %v, want 5", tr.Horizon())
+	}
+	empty := &Trace{}
+	if empty.Horizon() != 0 {
+		t.Fatal("empty horizon not 0")
+	}
+}
+
+func TestGanttRendersAllResources(t *testing.T) {
+	var buf bytes.Buffer
+	sampleTrace().Gantt(&buf, 60)
+	out := buf.String()
+	for _, want := range []string{"CPU worker 1", "GPU data bus", "GPU compute", "legend:"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("gantt missing %q:\n%s", want, out)
+		}
+	}
+	// Resource order follows first appearance.
+	if strings.Index(out, "CPU worker 1") > strings.Index(out, "GPU compute") {
+		t.Fatal("resource rows out of first-appearance order")
+	}
+	// Glyphs present.
+	for _, glyph := range []string{"s", "t", "T"} {
+		if !strings.Contains(out, glyph) {
+			t.Fatalf("gantt missing glyph %q", glyph)
+		}
+	}
+}
+
+func TestGanttEmptyTrace(t *testing.T) {
+	var buf bytes.Buffer
+	(&Trace{}).Gantt(&buf, 40)
+	if !strings.Contains(buf.String(), "empty trace") {
+		t.Fatal("empty trace not reported")
+	}
+}
+
+func TestChromeJSONIsValid(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleTrace().ChromeJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	if len(events) != 4 {
+		t.Fatalf("got %d events, want 4", len(events))
+	}
+	ev := events[0]
+	if ev["ph"] != "X" || ev["name"] != "B1" || ev["cat"] != "sample" {
+		t.Fatalf("first event wrong: %v", ev)
+	}
+	if ev["dur"].(float64) != 2e6 {
+		t.Fatalf("duration %v, want 2e6 us", ev["dur"])
+	}
+}
+
+func TestGanttZeroDurationSpan(t *testing.T) {
+	tr := &Trace{}
+	tr.Add("r", "B1", "train", 1, 1)
+	var buf bytes.Buffer
+	tr.Gantt(&buf, 20) // must not panic and still paint one cell
+	if !strings.Contains(buf.String(), "T") {
+		t.Fatal("zero-duration span invisible")
+	}
+}

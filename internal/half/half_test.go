@@ -1,0 +1,174 @@
+package half
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestExactValues(t *testing.T) {
+	cases := []struct {
+		f float32
+		h Float16
+	}{
+		{0, 0x0000},
+		{1, 0x3c00},
+		{-1, 0xbc00},
+		{2, 0x4000},
+		{0.5, 0x3800},
+		{65504, 0x7bff},        // max finite half
+		{-65504, 0xfbff},       // min finite half
+		{6.1035156e-5, 0x0400}, // smallest normal
+	}
+	for _, c := range cases {
+		if got := FromFloat32(c.f); got != c.h {
+			t.Errorf("FromFloat32(%v) = %#04x, want %#04x", c.f, got, c.h)
+		}
+		if got := c.h.Float32(); got != c.f {
+			t.Errorf("(%#04x).Float32() = %v, want %v", c.h, got, c.f)
+		}
+	}
+}
+
+func TestNegativeZero(t *testing.T) {
+	nz := FromFloat32(float32(math.Copysign(0, -1)))
+	if nz != 0x8000 {
+		t.Fatalf("negative zero encoded as %#04x", nz)
+	}
+	back := nz.Float32()
+	if back != 0 || math.Signbit(float64(back)) != true {
+		t.Fatalf("negative zero round-trip broken: %v", back)
+	}
+}
+
+func TestInfinities(t *testing.T) {
+	pInf := FromFloat32(float32(math.Inf(1)))
+	nInf := FromFloat32(float32(math.Inf(-1)))
+	if pInf != 0x7c00 || nInf != 0xfc00 {
+		t.Fatalf("inf encodings wrong: %#04x %#04x", pInf, nInf)
+	}
+	if !pInf.IsInf() || !nInf.IsInf() {
+		t.Fatal("IsInf false for infinities")
+	}
+	if !math.IsInf(float64(pInf.Float32()), 1) {
+		t.Fatal("+inf round trip failed")
+	}
+}
+
+func TestOverflowToInf(t *testing.T) {
+	if got := FromFloat32(1e6); got != 0x7c00 {
+		t.Fatalf("1e6 should overflow to +inf, got %#04x", got)
+	}
+	if got := FromFloat32(-1e6); got != 0xfc00 {
+		t.Fatalf("-1e6 should overflow to -inf, got %#04x", got)
+	}
+}
+
+func TestNaN(t *testing.T) {
+	h := FromFloat32(float32(math.NaN()))
+	if !h.IsNaN() {
+		t.Fatalf("NaN encoded as %#04x, IsNaN false", h)
+	}
+	if !math.IsNaN(float64(h.Float32())) {
+		t.Fatal("NaN round trip lost NaN-ness")
+	}
+}
+
+func TestSubnormals(t *testing.T) {
+	// Smallest positive subnormal half = 2^-24.
+	tiny := float32(math.Ldexp(1, -24))
+	h := FromFloat32(tiny)
+	if h != 0x0001 {
+		t.Fatalf("2^-24 encoded as %#04x, want 0x0001", h)
+	}
+	if got := h.Float32(); got != tiny {
+		t.Fatalf("subnormal round-trip: got %v want %v", got, tiny)
+	}
+	// Below half of the smallest subnormal underflows to zero.
+	if got := FromFloat32(float32(math.Ldexp(1, -26))); got != 0 {
+		t.Fatalf("2^-26 should underflow to 0, got %#04x", got)
+	}
+}
+
+func TestRoundTripAllHalfValues(t *testing.T) {
+	// Every finite half value must survive half->float32->half exactly.
+	for bits := 0; bits < 1<<16; bits++ {
+		h := Float16(bits)
+		if h.IsNaN() {
+			continue
+		}
+		f := h.Float32()
+		back := FromFloat32(f)
+		if back != h {
+			t.Fatalf("round trip failed for %#04x: f=%v back=%#04x", h, f, back)
+		}
+	}
+}
+
+func TestConversionErrorBound(t *testing.T) {
+	// Relative error for normal range must be <= 2^-11.
+	f := func(raw uint32) bool {
+		v := math.Float32frombits(raw&0x7fffff | 0x3f800000) // [1,2)
+		h := FromFloat32(v)
+		back := h.Float32()
+		rel := math.Abs(float64(back-v)) / float64(v)
+		return rel <= 1.0/2048
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRoundToNearestEven(t *testing.T) {
+	// 1 + 2^-11 is exactly halfway between 1 and 1+2^-10; must round to even (1).
+	v := float32(1 + math.Ldexp(1, -11))
+	if got := FromFloat32(v); got != 0x3c00 {
+		t.Fatalf("halfway case rounded to %#04x, want 0x3c00 (even)", got)
+	}
+	// 1 + 3*2^-11 is halfway between 1+2^-10 and 1+2^-9; rounds up to even mantissa 2.
+	v = float32(1 + 3*math.Ldexp(1, -11))
+	if got := FromFloat32(v); got != 0x3c02 {
+		t.Fatalf("halfway case rounded to %#04x, want 0x3c02", got)
+	}
+}
+
+func TestSliceCodecs(t *testing.T) {
+	src := []float32{0, 1, -2.5, 100, 0.1, -0.0003}
+	enc := EncodeSlice(make([]Float16, len(src)), src)
+	dec := DecodeSlice(make([]float32, len(enc)), enc)
+	for i := range src {
+		rel := math.Abs(float64(dec[i] - src[i]))
+		if src[i] != 0 {
+			rel /= math.Abs(float64(src[i]))
+		}
+		if rel > 1.0/1024 {
+			t.Errorf("slice codec error at %d: %v -> %v", i, src[i], dec[i])
+		}
+	}
+}
+
+func BenchmarkEncodeSlice(b *testing.B) {
+	src := make([]float32, 1024)
+	for i := range src {
+		src[i] = float32(i) * 0.001
+	}
+	dst := make([]Float16, len(src))
+	b.SetBytes(int64(len(src) * 4))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		EncodeSlice(dst, src)
+	}
+}
+
+func BenchmarkDecodeSlice(b *testing.B) {
+	src := make([]Float16, 1024)
+	for i := range src {
+		src[i] = FromFloat32(float32(i) * 0.001)
+	}
+	dst := make([]float32, len(src))
+	b.SetBytes(int64(len(src) * 2))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		DecodeSlice(dst, src)
+	}
+}

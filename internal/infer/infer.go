@@ -1,0 +1,182 @@
+// Package infer implements the paper's two inference regimes (§5):
+//
+//   - Sampled: mini-batch inference with neighborhood sampling, reusing the
+//     exact training data path (prep executor → model forward). This is the
+//     regime SALIENT argues for: bounded memory, reusable code, trivially
+//     restrictable to a node subset, distributable.
+//
+//   - Full: layer-wise full-neighborhood inference, evaluating each layer
+//     over the whole graph and materializing every layer's representations
+//     in host memory — accurate but memory-hungry (it runs out of memory on
+//     ogbn-papers100M in the paper).
+//
+// It also computes the accuracy-versus-degree profile of Figure 3.
+package infer
+
+import (
+	"salient/internal/dataset"
+	"salient/internal/graph"
+	"salient/internal/nn"
+	"salient/internal/prep"
+	"salient/internal/sampler"
+	"salient/internal/slicing"
+	"salient/internal/tensor"
+)
+
+// Options configures sampled inference.
+type Options struct {
+	Fanouts   []int // per-layer inference fanouts (Table 6)
+	BatchSize int
+	Workers   int
+	Seed      uint64
+}
+
+func (o *Options) defaults() {
+	if o.BatchSize == 0 {
+		o.BatchSize = 1024
+	}
+	if o.Workers == 0 {
+		o.Workers = 4
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+}
+
+// Sampled predicts labels for the given nodes with one-shot neighborhood
+// sampling, returning predictions aligned with nodes. The model is evaluated
+// in inference mode (no dropout); the data path is the SALIENT executor.
+func Sampled(m nn.Model, ds *dataset.Dataset, nodes []int32, opts Options) ([]int32, error) {
+	opts.defaults()
+	ex, err := prep.NewSalient(ds, prep.Options{
+		Workers:   opts.Workers,
+		BatchSize: opts.BatchSize,
+		Fanouts:   opts.Fanouts,
+		Sampler:   sampler.FastConfig(),
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	pred := make([]int32, len(nodes))
+	pos := make(map[int32]int, len(nodes))
+	for i, v := range nodes {
+		pos[v] = i
+	}
+
+	stream := ex.Run(nodes, opts.Seed)
+	var x *tensor.Dense
+	rowPred := make([]int32, opts.BatchSize)
+	for b := range stream.C {
+		x = decodeInto(x, b.Buf)
+		logp := m.Forward(x, b.MFG, false)
+		logp.ArgmaxRows(rowPred[:logp.Rows])
+		for i := 0; i < logp.Rows; i++ {
+			pred[pos[b.Seeds[i]]] = rowPred[i]
+		}
+		b.Release()
+	}
+	stream.Wait()
+	return pred, nil
+}
+
+func decodeInto(x *tensor.Dense, buf *slicing.Pinned) *tensor.Dense {
+	if x == nil || x.Rows != buf.Rows || x.Cols != buf.Dim {
+		x = tensor.New(buf.Rows, buf.Dim)
+	}
+	slicing.DecodeFeatures(x, buf)
+	return x
+}
+
+// Full runs layer-wise full-neighborhood inference over the whole graph and
+// returns predictions for the given nodes.
+func Full(m nn.Model, ds *dataset.Dataset, nodes []int32) []int32 {
+	logp := m.InferFull(ds.G, ds.Feat)
+	all := make([]int32, logp.Rows)
+	logp.ArgmaxRows(all)
+	pred := make([]int32, len(nodes))
+	for i, v := range nodes {
+		pred[i] = all[v]
+	}
+	return pred
+}
+
+// Accuracy returns the fraction of nodes whose prediction matches labels.
+func Accuracy(pred []int32, labels []int32, nodes []int32) float64 {
+	if len(nodes) == 0 {
+		return 0
+	}
+	correct := 0
+	for i, v := range nodes {
+		if pred[i] == labels[v] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(nodes))
+}
+
+// DegreeBin is one point of the Figure 3 profile: prediction accuracy and
+// node mass for test nodes whose degree falls in [Lo, Hi).
+type DegreeBin struct {
+	Lo, Hi   int32
+	Count    int
+	Accuracy float64
+	MassFrac float64 // Count / total nodes profiled (the "degree pdf")
+}
+
+// AccuracyByDegree bins the given nodes by degree (geometric bins, factor 2)
+// and returns per-bin accuracy and node mass. Empty bins are omitted.
+func AccuracyByDegree(g *graph.CSR, pred []int32, labels []int32, nodes []int32) []DegreeBin {
+	if len(nodes) == 0 {
+		return nil
+	}
+	maxDeg := int32(1)
+	for _, v := range nodes {
+		if d := g.Degree(v); d > maxDeg {
+			maxDeg = d
+		}
+	}
+	nbins := 1
+	for hi := int32(1); hi < maxDeg; hi *= 2 {
+		nbins++
+	}
+	counts := make([]int, nbins)
+	correct := make([]int, nbins)
+	for i, v := range nodes {
+		b := binOf(g.Degree(v))
+		counts[b]++
+		if pred[i] == labels[v] {
+			correct[b]++
+		}
+	}
+	var out []DegreeBin
+	lo := int32(0)
+	hi := int32(1)
+	for b := 0; b < nbins; b++ {
+		if counts[b] > 0 {
+			out = append(out, DegreeBin{
+				Lo:       lo,
+				Hi:       hi,
+				Count:    counts[b],
+				Accuracy: float64(correct[b]) / float64(counts[b]),
+				MassFrac: float64(counts[b]) / float64(len(nodes)),
+			})
+		}
+		lo = hi
+		hi *= 2
+	}
+	return out
+}
+
+// binOf maps degree d to its geometric bin index: 0 for d<1, then
+// bin k holds degrees in [2^(k-1), 2^k).
+func binOf(d int32) int {
+	if d < 1 {
+		return 0
+	}
+	b := 1
+	for hi := int32(2); hi <= d; hi *= 2 {
+		b++
+	}
+	return b
+}

@@ -1,0 +1,150 @@
+package infer
+
+import (
+	"testing"
+
+	"salient/internal/dataset"
+	"salient/internal/train"
+)
+
+// fitted trains a small model so inference tests exercise a real predictor.
+func fitted(t testing.TB) (*dataset.Dataset, *train.Trainer) {
+	t.Helper()
+	ds, err := dataset.Load(dataset.Arxiv, 0.05)
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	tr, err := train.New(ds, train.Config{
+		Arch: "SAGE", Hidden: 32, Layers: 2, Fanouts: []int{10, 5},
+		BatchSize: 128, LR: 5e-3, Workers: 2, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Fit(4)
+	return ds, tr
+}
+
+func TestSampledInferenceBeatsChance(t *testing.T) {
+	ds, tr := fitted(t)
+	pred, err := Sampled(tr.Model, ds, ds.Test, Options{Fanouts: []int{20, 20}, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc := Accuracy(pred, ds.Labels, ds.Test)
+	chance := 1.0 / float64(ds.NumClasses)
+	if acc < 4*chance {
+		t.Fatalf("sampled test accuracy %.4f barely above chance %.4f", acc, chance)
+	}
+}
+
+func TestSampledTracksFullNeighborhood(t *testing.T) {
+	ds, tr := fitted(t)
+	full := Full(tr.Model, ds, ds.Test)
+	fullAcc := Accuracy(full, ds.Labels, ds.Test)
+
+	// The paper's Table 6 finding: fanout 20 matches full-neighborhood
+	// accuracy closely; tiny fanouts degrade it.
+	s20, err := Sampled(tr.Model, ds, ds.Test, Options{Fanouts: []int{20, 20}, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc20 := Accuracy(s20, ds.Labels, ds.Test)
+	if diff := fullAcc - acc20; diff > 0.03 {
+		t.Fatalf("fanout-20 accuracy %.4f trails full %.4f by %.4f (>3%%)", acc20, fullAcc, diff)
+	}
+
+	s2, err := Sampled(tr.Model, ds, ds.Test, Options{Fanouts: []int{2, 2}, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc2 := Accuracy(s2, ds.Labels, ds.Test)
+	if acc2 > acc20+0.01 {
+		t.Fatalf("fanout-2 accuracy %.4f unexpectedly above fanout-20 %.4f", acc2, acc20)
+	}
+}
+
+func TestPredictionsAlignedWithNodes(t *testing.T) {
+	ds, tr := fitted(t)
+	nodes := ds.Test[:200]
+	pred, err := Sampled(tr.Model, ds, nodes, Options{Fanouts: []int{20, 20}, BatchSize: 64, Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pred) != len(nodes) {
+		t.Fatalf("got %d predictions for %d nodes", len(pred), len(nodes))
+	}
+	for i, p := range pred {
+		if p < 0 || int(p) >= ds.NumClasses {
+			t.Fatalf("prediction %d for node %d out of class range", p, nodes[i])
+		}
+	}
+	// Restricting inference to a subset must give the same predictions as
+	// the full run restricted to that subset (determinism + alignment).
+	again, err := Sampled(tr.Model, ds, nodes, Options{Fanouts: []int{20, 20}, BatchSize: 64, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := 0
+	for i := range pred {
+		if pred[i] == again[i] {
+			same++
+		}
+	}
+	if frac := float64(same) / float64(len(pred)); frac < 0.95 {
+		t.Fatalf("only %.2f%% of repeated sampled predictions agree", 100*frac)
+	}
+}
+
+func TestAccuracyHelper(t *testing.T) {
+	labels := []int32{0, 1, 2, 3}
+	nodes := []int32{0, 1, 2, 3}
+	pred := []int32{0, 1, 0, 3}
+	if got := Accuracy(pred, labels, nodes); got != 0.75 {
+		t.Fatalf("accuracy = %v, want 0.75", got)
+	}
+	if got := Accuracy(nil, labels, nil); got != 0 {
+		t.Fatalf("empty accuracy = %v, want 0", got)
+	}
+}
+
+func TestAccuracyByDegreeBinsPartitionNodes(t *testing.T) {
+	ds, tr := fitted(t)
+	pred, err := Sampled(tr.Model, ds, ds.Test, Options{Fanouts: []int{10, 10}, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bins := AccuracyByDegree(ds.G, pred, ds.Labels, ds.Test)
+	if len(bins) == 0 {
+		t.Fatal("no degree bins")
+	}
+	total := 0
+	mass := 0.0
+	prevHi := int32(0)
+	for _, b := range bins {
+		if b.Lo < prevHi {
+			t.Fatalf("bins overlap: %+v after hi=%d", b, prevHi)
+		}
+		prevHi = b.Hi
+		if b.Accuracy < 0 || b.Accuracy > 1 {
+			t.Fatalf("accuracy out of range: %+v", b)
+		}
+		total += b.Count
+		mass += b.MassFrac
+	}
+	if total != len(ds.Test) {
+		t.Fatalf("bins cover %d nodes, want %d", total, len(ds.Test))
+	}
+	if mass < 0.999 || mass > 1.001 {
+		t.Fatalf("bin mass sums to %v, want 1", mass)
+	}
+}
+
+func TestBinOfBoundaries(t *testing.T) {
+	cases := map[int32]int{0: 0, 1: 1, 2: 2, 3: 2, 4: 3, 7: 3, 8: 4, 1023: 10, 1024: 11}
+	for d, want := range cases {
+		if got := binOf(d); got != want {
+			t.Fatalf("binOf(%d) = %d, want %d", d, got, want)
+		}
+	}
+}

@@ -1,0 +1,116 @@
+package nn
+
+import (
+	"salient/internal/graph"
+	"salient/internal/mfg"
+	"salient/internal/rng"
+	"salient/internal/tensor"
+)
+
+// GINConv is the Graph Isomorphism Network convolution (paper appendix
+// Listing 3): sum aggregation followed by an MLP,
+//
+//	y_v = MLP( (1+ε)·x_v + Σ_{u∈N̂(v)} x_u ),   ε = 0 fixed
+//	MLP = Linear → BatchNorm → ReLU → Linear → ReLU
+type GINConv struct {
+	Lin1 *Linear
+	BN   *BatchNorm
+	Lin2 *Linear
+
+	// Backward caches.
+	blk   *mfg.Block
+	xRows int
+	xCols int
+	mask1 []bool // ReLU mask after BN
+	mask2 []bool // final ReLU mask
+}
+
+// NewGINConv creates a GIN convolution with hidden width equal to out.
+func NewGINConv(name string, in, out int, r *rng.Rand) *GINConv {
+	return &GINConv{
+		Lin1: NewLinear(name+".mlp.0", in, out, true, r),
+		BN:   NewBatchNorm(name+".mlp.1", out),
+		Lin2: NewLinear(name+".mlp.3", out, out, true, r),
+	}
+}
+
+// Forward computes destination representations over the sampled block.
+func (c *GINConv) Forward(x *tensor.Dense, blk *mfg.Block, train bool) *tensor.Dense {
+	c.blk = blk
+	c.xRows, c.xCols = x.Rows, x.Cols
+	h := aggregateSumBlock(x, blk) // Σ neighbors
+	// + (1+ε)·x_target with ε = 0.
+	nDst := int(blk.NumDst)
+	for v := 0; v < nDst; v++ {
+		hr := h.Row(v)
+		xr := x.Row(v)
+		for j, f := range xr {
+			hr[j] += f
+		}
+	}
+	h = c.Lin1.Forward(h)
+	h = c.BN.Forward(h, train)
+	if cap(c.mask1) < len(h.Data) {
+		c.mask1 = make([]bool, len(h.Data))
+	}
+	c.mask1 = c.mask1[:len(h.Data)]
+	h.ReLU(c.mask1)
+	h = c.Lin2.Forward(h)
+	if cap(c.mask2) < len(h.Data) {
+		c.mask2 = make([]bool, len(h.Data))
+	}
+	c.mask2 = c.mask2[:len(h.Data)]
+	h.ReLU(c.mask2)
+	return h
+}
+
+// Backward returns the source-feature gradient.
+func (c *GINConv) Backward(dy *tensor.Dense) *tensor.Dense {
+	d := dy.Clone()
+	for i := range d.Data {
+		if !c.mask2[i] {
+			d.Data[i] = 0
+		}
+	}
+	d = c.Lin2.Backward(d)
+	for i := range d.Data {
+		if !c.mask1[i] {
+			d.Data[i] = 0
+		}
+	}
+	d = c.BN.Backward(d)
+	d = c.Lin1.Backward(d) // gradient w.r.t. the aggregated h
+
+	dx := tensor.New(c.xRows, c.xCols)
+	aggregateSumBlockBackward(dx, d, c.blk)
+	nDst := int(c.blk.NumDst)
+	for v := 0; v < nDst; v++ {
+		dr := dx.Row(v)
+		sr := d.Row(v)
+		for j, g := range sr {
+			dr[j] += g
+		}
+	}
+	return dx
+}
+
+// FullForward applies the convolution with full neighborhoods (eval mode
+// batch norm).
+func (c *GINConv) FullForward(g *graph.CSR, x *tensor.Dense) *tensor.Dense {
+	h := aggregateSumFull(x, g)
+	h.Add(x)
+	h = c.Lin1.Apply(h)
+	h = c.BN.Forward(h, false)
+	h.ReLU(nil)
+	h = c.Lin2.Apply(h)
+	h.ReLU(nil)
+	return h
+}
+
+// Params returns the trainable parameters of the inner MLP.
+func (c *GINConv) Params() []*Param {
+	ps := c.Lin1.Params()
+	ps = append(ps, c.BN.Params()...)
+	ps = append(ps, c.Lin2.Params()...)
+	return ps
+}

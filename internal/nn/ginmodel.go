@@ -1,0 +1,94 @@
+package nn
+
+import (
+	"salient/internal/graph"
+	"salient/internal/mfg"
+	"salient/internal/rng"
+	"salient/internal/tensor"
+)
+
+// GINModel stacks GINConv layers (each ending in its internal MLP+ReLU) and
+// finishes with the prediction head of appendix Listing 3:
+// Linear → ReLU → dropout(0.5) → Linear → log-softmax.
+type GINModel struct {
+	convs []conv
+	lin1  *Linear
+	lin2  *Linear
+	drop  *Dropout
+	r     *rng.Rand
+
+	headMask []bool
+	logp     *tensor.Dense
+}
+
+// NewGIN builds the model. All conv layers output cfg.Hidden; the head maps
+// to cfg.Out.
+func NewGIN(cfg ModelConfig) *GINModel {
+	cfg.check()
+	r := rng.New(cfg.Seed)
+	m := &GINModel{r: r}
+	in := cfg.In
+	for l := 0; l < cfg.Layers; l++ {
+		m.convs = append(m.convs, NewGINConv(layerName("gin", l), in, cfg.Hidden, r))
+		in = cfg.Hidden
+	}
+	m.lin1 = NewLinear("gin.head.0", cfg.Hidden, cfg.Hidden, true, r)
+	m.lin2 = NewLinear("gin.head.1", cfg.Hidden, cfg.Out, true, r)
+	m.drop = NewDropout(0.5)
+	return m
+}
+
+// Name implements Model.
+func (m *GINModel) Name() string { return "GIN" }
+
+// Forward implements Model.
+func (m *GINModel) Forward(x *tensor.Dense, g *mfg.MFG, train bool) *tensor.Dense {
+	for i := range m.convs {
+		x = m.convs[i].Forward(x, &g.Blocks[i], train)
+	}
+	x = m.lin1.Forward(x)
+	if cap(m.headMask) < len(x.Data) {
+		m.headMask = make([]bool, len(x.Data))
+	}
+	m.headMask = m.headMask[:len(x.Data)]
+	x.ReLU(m.headMask)
+	x = m.drop.Forward(x, train, m.r)
+	x = m.lin2.Forward(x)
+	x.LogSoftmaxRows()
+	m.logp = x
+	return x
+}
+
+// Backward implements Model.
+func (m *GINModel) Backward(dLogp *tensor.Dense) {
+	d := tensor.New(m.logp.Rows, m.logp.Cols)
+	tensor.LogSoftmaxBackward(d, m.logp, dLogp)
+	d = m.lin2.Backward(d)
+	d = m.drop.Backward(d)
+	for k := range d.Data {
+		if !m.headMask[k] {
+			d.Data[k] = 0
+		}
+	}
+	d = m.lin1.Backward(d)
+	for i := len(m.convs) - 1; i >= 0; i-- {
+		d = m.convs[i].Backward(d)
+	}
+}
+
+// Params implements Model.
+func (m *GINModel) Params() []*Param {
+	return collectParams(m.convs, append(m.lin1.Params(), m.lin2.Params()...)...)
+}
+
+// InferFull implements Model.
+func (m *GINModel) InferFull(g *graph.CSR, x *tensor.Dense) *tensor.Dense {
+	for i := range m.convs {
+		x = m.convs[i].FullForward(g, x)
+	}
+	x = m.lin1.Apply(x)
+	x.ReLU(nil)
+	x = m.lin2.Apply(x)
+	x.LogSoftmaxRows()
+	return x
+}

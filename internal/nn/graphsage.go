@@ -1,0 +1,101 @@
+package nn
+
+import (
+	"fmt"
+
+	"salient/internal/graph"
+	"salient/internal/mfg"
+	"salient/internal/rng"
+	"salient/internal/tensor"
+)
+
+// GraphSAGE is the paper's principal architecture (appendix Listing 1):
+// a stack of SAGEConv layers with ReLU + dropout(0.5) between layers and a
+// log-softmax head.
+type GraphSAGE struct {
+	convs []conv
+	drops []*Dropout
+	r     *rng.Rand
+
+	// Backward caches.
+	reluMasks [][]bool
+	logp      *tensor.Dense
+}
+
+// NewGraphSAGE builds the model; the final layer maps to cfg.Out classes.
+func NewGraphSAGE(cfg ModelConfig) *GraphSAGE {
+	cfg.check()
+	r := rng.New(cfg.Seed)
+	m := &GraphSAGE{r: r}
+	in := cfg.In
+	for l := 0; l < cfg.Layers; l++ {
+		out := cfg.Hidden
+		if l == cfg.Layers-1 {
+			out = cfg.Out
+		}
+		m.convs = append(m.convs, NewSAGEConv(layerName("sage", l), in, out, r))
+		m.drops = append(m.drops, NewDropout(0.5))
+		in = out
+	}
+	m.reluMasks = make([][]bool, cfg.Layers)
+	return m
+}
+
+func layerName(prefix string, l int) string {
+	return fmt.Sprintf("%s.%d", prefix, l)
+}
+
+// Name implements Model.
+func (m *GraphSAGE) Name() string { return "SAGE" }
+
+// Forward implements Model.
+func (m *GraphSAGE) Forward(x *tensor.Dense, g *mfg.MFG, train bool) *tensor.Dense {
+	L := len(m.convs)
+	for i := 0; i < L; i++ {
+		x = m.convs[i].Forward(x, &g.Blocks[i], train)
+		if i != L-1 {
+			mask := make([]bool, len(x.Data))
+			x.ReLU(mask)
+			m.reluMasks[i] = mask
+			x = m.drops[i].Forward(x, train, m.r)
+		}
+	}
+	x.LogSoftmaxRows()
+	m.logp = x
+	return x
+}
+
+// Backward implements Model.
+func (m *GraphSAGE) Backward(dLogp *tensor.Dense) {
+	d := tensor.New(m.logp.Rows, m.logp.Cols)
+	tensor.LogSoftmaxBackward(d, m.logp, dLogp)
+	L := len(m.convs)
+	for i := L - 1; i >= 0; i-- {
+		if i != L-1 {
+			d = m.drops[i].Backward(d)
+			for k := range d.Data {
+				if !m.reluMasks[i][k] {
+					d.Data[k] = 0
+				}
+			}
+		}
+		d = m.convs[i].Backward(d)
+	}
+}
+
+// Params implements Model.
+func (m *GraphSAGE) Params() []*Param { return collectParams(m.convs) }
+
+// InferFull implements Model: layer-wise full-neighborhood evaluation.
+func (m *GraphSAGE) InferFull(g *graph.CSR, x *tensor.Dense) *tensor.Dense {
+	L := len(m.convs)
+	for i := 0; i < L; i++ {
+		x = m.convs[i].FullForward(g, x)
+		if i != L-1 {
+			x.ReLU(nil)
+		}
+	}
+	out := x.Clone()
+	out.LogSoftmaxRows()
+	return out
+}

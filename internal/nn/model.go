@@ -1,0 +1,57 @@
+package nn
+
+import (
+	"fmt"
+
+	"salient/internal/graph"
+	"salient/internal/mfg"
+	"salient/internal/tensor"
+)
+
+// Model is a GNN architecture usable for both mini-batch training (over
+// sampled MFGs) and layer-wise full-neighborhood inference. Forward returns
+// row-wise log-probabilities for the seed (batch) nodes; Backward consumes
+// the gradient w.r.t. those log-probabilities (as produced by
+// tensor.NLLLoss) and accumulates parameter gradients.
+type Model interface {
+	Name() string
+	Forward(x *tensor.Dense, m *mfg.MFG, train bool) *tensor.Dense
+	Backward(dLogp *tensor.Dense)
+	Params() []*Param
+	// InferFull evaluates the model layer-wise over the whole graph with
+	// full neighborhoods (paper §5's non-sampling inference baseline) and
+	// returns log-probabilities for every node.
+	InferFull(g *graph.CSR, x *tensor.Dense) *tensor.Dense
+}
+
+// conv abstracts the per-layer convolution shared by the architectures.
+type conv interface {
+	Forward(x *tensor.Dense, blk *mfg.Block, train bool) *tensor.Dense
+	Backward(dy *tensor.Dense) *tensor.Dense
+	FullForward(g *graph.CSR, x *tensor.Dense) *tensor.Dense
+	Params() []*Param
+}
+
+// ModelConfig carries the hyperparameters of paper Table 5.
+type ModelConfig struct {
+	In     int
+	Hidden int
+	Out    int
+	Layers int
+	Seed   uint64
+}
+
+func (c ModelConfig) check() {
+	if c.Layers < 1 || c.In < 1 || c.Hidden < 1 || c.Out < 1 {
+		panic(fmt.Sprintf("nn: invalid model config %+v", c))
+	}
+}
+
+// collectParams flattens parameters of a conv stack.
+func collectParams(convs []conv, extra ...*Param) []*Param {
+	var ps []*Param
+	for _, c := range convs {
+		ps = append(ps, c.Params()...)
+	}
+	return append(ps, extra...)
+}

@@ -1,0 +1,252 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"salient/internal/dataset"
+	"salient/internal/mfg"
+	"salient/internal/rng"
+	"salient/internal/sampler"
+	"salient/internal/tensor"
+)
+
+// smallWorld builds a tiny dataset + a 2-layer sampled MFG for model tests.
+func smallWorld(t testing.TB) (*dataset.Dataset, *mfg.MFG) {
+	t.Helper()
+	ds, err := dataset.Generate(dataset.Config{
+		Name: "t", Nodes: 400, EdgesPerNew: 4, FeatDim: 6, NumClasses: 5,
+		Homophily: 0.7, NoiseScale: 0.4, TrainFrac: 0.5, ValFrac: 0.2, TestFrac: 0.3, Seed: 21,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := sampler.New(ds.G, []int{4, 3}, sampler.FastConfig())
+	m := s.Sample(rng.New(77), ds.Train[:8])
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return ds, m
+}
+
+func gatherFeatures(ds *dataset.Dataset, m *mfg.MFG) *tensor.Dense {
+	x := tensor.New(m.TotalNodes(), ds.FeatDim)
+	tensor.Gather(x, ds.Feat, m.NodeIDs)
+	return x
+}
+
+func batchLabels(ds *dataset.Dataset, m *mfg.MFG) []int32 {
+	lbl := make([]int32, m.Batch)
+	for i := int32(0); i < m.Batch; i++ {
+		lbl[i] = ds.Labels[m.NodeIDs[i]]
+	}
+	return lbl
+}
+
+func buildModel(name string, cfg ModelConfig) Model {
+	switch name {
+	case "SAGE":
+		return NewGraphSAGE(cfg)
+	case "GAT":
+		return NewGAT(cfg)
+	case "GIN":
+		return NewGIN(cfg)
+	case "SAGE-RI":
+		return NewSAGERI(cfg)
+	}
+	panic("unknown model " + name)
+}
+
+var allModelNames = []string{"SAGE", "GAT", "GIN", "SAGE-RI"}
+
+func TestModelsForwardShapes(t *testing.T) {
+	ds, m := smallWorld(t)
+	for _, name := range allModelNames {
+		model := buildModel(name, ModelConfig{In: ds.FeatDim, Hidden: 8, Out: ds.NumClasses, Layers: 2, Seed: 3})
+		x := gatherFeatures(ds, m)
+		logp := model.Forward(x, m, true)
+		if logp.Rows != int(m.Batch) || logp.Cols != ds.NumClasses {
+			t.Fatalf("%s: output %dx%d, want %dx%d", name, logp.Rows, logp.Cols, m.Batch, ds.NumClasses)
+		}
+		// Rows are log-probabilities.
+		for i := 0; i < logp.Rows; i++ {
+			var sum float64
+			for _, v := range logp.Row(i) {
+				sum += math.Exp(float64(v))
+			}
+			if math.Abs(sum-1) > 1e-3 {
+				t.Fatalf("%s: row %d prob sum %v", name, i, sum)
+			}
+		}
+	}
+}
+
+// TestModelsGradCheck verifies parameter gradients of each full model in
+// eval-dropout mode (dropout disabled so finite differences are valid;
+// batch norm runs in training mode, which is deterministic).
+func TestModelsGradCheck(t *testing.T) {
+	ds, m := smallWorld(t)
+	for _, name := range allModelNames {
+		model := buildModel(name, ModelConfig{In: ds.FeatDim, Hidden: 4, Out: 3, Layers: 2, Seed: 5})
+		disableDropout(model)
+		x := gatherFeatures(ds, m)
+		labels := batchLabels(ds, m)
+		for i := range labels {
+			labels[i] %= 3
+		}
+
+		loss := func() float64 {
+			lp := model.Forward(x.Clone(), m, true)
+			return tensor.NLLLoss(lp, labels, nil)
+		}
+		runBackward := func() {
+			lp := model.Forward(x.Clone(), m, true)
+			dLogp := tensor.New(lp.Rows, lp.Cols)
+			tensor.NLLLoss(lp, labels, dLogp)
+			model.Backward(dLogp)
+		}
+		params := model.Params()
+		ZeroGrad(params)
+		runBackward()
+		// Check a deterministic subset of each parameter tensor (full sweeps
+		// of every element across 4 models would be slow).
+		const eps = 1e-3
+		for _, p := range params {
+			stride := len(p.W.Data)/4 + 1
+			for i := 0; i < len(p.W.Data); i += stride {
+				orig := p.W.Data[i]
+				p.W.Data[i] = orig + eps
+				up := loss()
+				p.W.Data[i] = orig - eps
+				down := loss()
+				p.W.Data[i] = orig
+				numeric := (up - down) / (2 * eps)
+				analytic := float64(p.G.Data[i])
+				if math.Abs(numeric-analytic) > 5e-2*(1+math.Abs(numeric)) {
+					t.Fatalf("%s %s[%d]: numeric %.6f analytic %.6f",
+						name, p.Name, i, numeric, analytic)
+				}
+			}
+		}
+	}
+}
+
+// disableDropout zeroes all dropout probabilities via the concrete types.
+func disableDropout(m Model) {
+	switch mm := m.(type) {
+	case *GraphSAGE:
+		for _, d := range mm.drops {
+			d.P = 0
+		}
+	case *GATModel:
+		for _, d := range mm.drops {
+			d.P = 0
+		}
+	case *GINModel:
+		mm.drop.P = 0
+	case *SAGERI:
+		mm.drop0.P = 0
+		for _, d := range mm.dropIn {
+			d.P = 0
+		}
+		for _, d := range mm.dropOut {
+			d.P = 0
+		}
+	}
+}
+
+// TestTrainingReducesLoss runs a few Adam steps per model on one batch and
+// requires the loss to drop: an end-to-end sanity check that forward,
+// backward and the optimizer cooperate.
+func TestTrainingReducesLoss(t *testing.T) {
+	ds, m := smallWorld(t)
+	for _, name := range allModelNames {
+		model := buildModel(name, ModelConfig{In: ds.FeatDim, Hidden: 16, Out: ds.NumClasses, Layers: 2, Seed: 9})
+		disableDropout(model) // deterministic single-batch overfit
+		labels := batchLabels(ds, m)
+		params := model.Params()
+		opt := NewAdam(params, 0.01)
+
+		var first, last float64
+		for it := 0; it < 30; it++ {
+			x := gatherFeatures(ds, m)
+			lp := model.Forward(x, m, true)
+			dLogp := tensor.New(lp.Rows, lp.Cols)
+			loss := tensor.NLLLoss(lp, labels, dLogp)
+			if it == 0 {
+				first = loss
+			}
+			last = loss
+			ZeroGrad(params)
+			model.Backward(dLogp)
+			opt.Step(params)
+		}
+		if !(last < first*0.8) {
+			t.Fatalf("%s: loss did not drop (%.4f -> %.4f)", name, first, last)
+		}
+	}
+}
+
+func TestInferFullShapes(t *testing.T) {
+	ds, _ := smallWorld(t)
+	for _, name := range allModelNames {
+		model := buildModel(name, ModelConfig{In: ds.FeatDim, Hidden: 8, Out: ds.NumClasses, Layers: 2, Seed: 4})
+		logp := model.InferFull(ds.G, ds.Feat.Clone())
+		if logp.Rows != int(ds.G.N) || logp.Cols != ds.NumClasses {
+			t.Fatalf("%s: InferFull %dx%d", name, logp.Rows, logp.Cols)
+		}
+		for i := 0; i < 5; i++ {
+			var sum float64
+			for _, v := range logp.Row(i) {
+				sum += math.Exp(float64(v))
+			}
+			if math.Abs(sum-1) > 1e-3 {
+				t.Fatalf("%s: InferFull row %d prob sum %v", name, i, sum)
+			}
+		}
+	}
+}
+
+// TestSampledInferenceApproachesFull checks the §5 phenomenon end to end at
+// tiny scale: with fanout >= max degree, sampled mini-batch inference equals
+// full-neighborhood inference exactly (for deterministic models).
+func TestSampledInferenceMatchesFullAtMaxFanout(t *testing.T) {
+	ds, _ := smallWorld(t)
+	model := NewGraphSAGE(ModelConfig{In: ds.FeatDim, Hidden: 8, Out: ds.NumClasses, Layers: 2, Seed: 4})
+	full := model.InferFull(ds.G, ds.Feat.Clone())
+
+	huge := int(ds.G.MaxDegree()) + 1
+	s := sampler.New(ds.G, []int{huge, huge}, sampler.FastConfig())
+	probe := ds.Test[:16]
+	m := s.Sample(rng.New(1), probe)
+	x := gatherFeatures(ds, m)
+	lp := model.Forward(x, m, false)
+	for i, node := range probe {
+		for c := 0; c < ds.NumClasses; c++ {
+			diff := math.Abs(float64(lp.At(i, c) - full.At(int(node), c)))
+			if diff > 1e-3 {
+				t.Fatalf("node %d class %d: sampled %.5f full %.5f",
+					node, c, lp.At(i, c), full.At(int(node), c))
+			}
+		}
+	}
+}
+
+func TestModelNames(t *testing.T) {
+	ds, _ := smallWorld(t)
+	cfg := ModelConfig{In: ds.FeatDim, Hidden: 4, Out: 3, Layers: 2, Seed: 1}
+	for _, name := range allModelNames {
+		if got := buildModel(name, cfg).Name(); got != name {
+			t.Fatalf("Name() = %q, want %q", got, name)
+		}
+	}
+}
+
+func TestModelConfigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid config did not panic")
+		}
+	}()
+	NewGraphSAGE(ModelConfig{In: 0, Hidden: 1, Out: 1, Layers: 1})
+}

@@ -1,0 +1,70 @@
+package nn
+
+import "math"
+
+// WeightDecay is Adam's optional decoupled weight decay (AdamW, as used by
+// torch.optim.AdamW): applied directly to weights, not through the moment
+// estimates.
+func (a *Adam) WithWeightDecay(wd float64) *Adam {
+	a.weightDecay = wd
+	return a
+}
+
+// ClipGradNorm rescales all gradients so their global L2 norm is at most
+// maxNorm (torch.nn.utils.clip_grad_norm_ semantics). It returns the norm
+// before clipping.
+func ClipGradNorm(params []*Param, maxNorm float64) float64 {
+	var sq float64
+	for _, p := range params {
+		n := p.G.Norm2()
+		sq += n * n
+	}
+	norm := math.Sqrt(sq)
+	if norm > maxNorm && norm > 0 {
+		scale := float32(maxNorm / norm)
+		for _, p := range params {
+			p.G.Scale(scale)
+		}
+	}
+	return norm
+}
+
+// LRSchedule maps a 0-based epoch to a learning-rate multiplier.
+type LRSchedule func(epoch int) float64
+
+// ConstantLR keeps the base learning rate.
+func ConstantLR() LRSchedule { return func(int) float64 { return 1 } }
+
+// StepLR decays the rate by `gamma` every `every` epochs.
+func StepLR(every int, gamma float64) LRSchedule {
+	if every < 1 {
+		every = 1
+	}
+	return func(epoch int) float64 {
+		return math.Pow(gamma, float64(epoch/every))
+	}
+}
+
+// CosineLR anneals from 1 to minFactor over `horizon` epochs and stays at
+// minFactor afterwards.
+func CosineLR(horizon int, minFactor float64) LRSchedule {
+	if horizon < 1 {
+		horizon = 1
+	}
+	return func(epoch int) float64 {
+		if epoch >= horizon {
+			return minFactor
+		}
+		c := 0.5 * (1 + math.Cos(math.Pi*float64(epoch)/float64(horizon)))
+		return minFactor + (1-minFactor)*c
+	}
+}
+
+// SetLRFactor scales the optimizer's effective learning rate relative to
+// its base rate (used with LRSchedule between epochs).
+func (a *Adam) SetLRFactor(factor float64) {
+	if a.baseLR == 0 {
+		a.baseLR = a.LR
+	}
+	a.LR = a.baseLR * factor
+}

@@ -1,0 +1,97 @@
+package nn
+
+import (
+	"salient/internal/graph"
+	"salient/internal/mfg"
+	"salient/internal/rng"
+	"salient/internal/tensor"
+)
+
+// SAGEConv is the GraphSAGE mean-aggregator convolution used throughout the
+// paper (PyG semantics, bias disabled as in appendix Listing 1):
+//
+//	y_v = mean_{u∈N̂(v)} x_u · W_neigh + x_v · W_root
+type SAGEConv struct {
+	WNeigh *Param
+	WRoot  *Param
+
+	// Backward caches.
+	x   *tensor.Dense
+	agg *tensor.Dense
+	blk *mfg.Block
+}
+
+// NewSAGEConv creates a Glorot-initialized SAGE convolution.
+func NewSAGEConv(name string, in, out int, r *rng.Rand) *SAGEConv {
+	c := &SAGEConv{
+		WNeigh: NewParam(name+".w_neigh", in, out),
+		WRoot:  NewParam(name+".w_root", in, out),
+	}
+	c.WNeigh.GlorotInit(r)
+	c.WRoot.GlorotInit(r)
+	return c
+}
+
+// Forward computes destination representations from source features x over
+// the sampled block.
+func (c *SAGEConv) Forward(x *tensor.Dense, blk *mfg.Block, train bool) *tensor.Dense {
+	c.x, c.blk = x, blk
+	c.agg = aggregateMeanBlock(x, blk)
+
+	y := tensor.New(int(blk.NumDst), c.WNeigh.W.Cols)
+	tensor.MatMul(y, c.agg, c.WNeigh.W)
+	// x_target is the NumDst prefix of x.
+	xt := tensor.FromSlice(int(blk.NumDst), x.Cols, x.Data[:int(blk.NumDst)*x.Cols])
+	root := tensor.New(int(blk.NumDst), c.WRoot.W.Cols)
+	tensor.MatMul(root, xt, c.WRoot.W)
+	y.Add(root)
+	return y
+}
+
+// Backward returns the gradient w.r.t. the source features and accumulates
+// parameter gradients.
+func (c *SAGEConv) Backward(dy *tensor.Dense) *tensor.Dense {
+	blk := c.blk
+	nDst := int(blk.NumDst)
+	xt := tensor.FromSlice(nDst, c.x.Cols, c.x.Data[:nDst*c.x.Cols])
+
+	// Parameter grads.
+	dWn := tensor.New(c.WNeigh.W.Rows, c.WNeigh.W.Cols)
+	tensor.MatMulAT(dWn, c.agg, dy)
+	c.WNeigh.G.Add(dWn)
+	dWr := tensor.New(c.WRoot.W.Rows, c.WRoot.W.Cols)
+	tensor.MatMulAT(dWr, xt, dy)
+	c.WRoot.G.Add(dWr)
+
+	// Input grads.
+	dx := tensor.New(c.x.Rows, c.x.Cols)
+	dAgg := tensor.New(nDst, c.x.Cols)
+	tensor.MatMulBT(dAgg, dy, c.WNeigh.W)
+	aggregateMeanBlockBackward(dx, dAgg, blk)
+
+	dxt := tensor.New(nDst, c.x.Cols)
+	tensor.MatMulBT(dxt, dy, c.WRoot.W)
+	for i := 0; i < nDst; i++ {
+		drow := dx.Row(i)
+		srow := dxt.Row(i)
+		for j, v := range srow {
+			drow[j] += v
+		}
+	}
+	return dx
+}
+
+// FullForward applies the convolution over the whole graph with full
+// neighborhoods (layer-wise inference).
+func (c *SAGEConv) FullForward(g *graph.CSR, x *tensor.Dense) *tensor.Dense {
+	agg := aggregateMeanFull(x, g)
+	y := tensor.New(int(g.N), c.WNeigh.W.Cols)
+	tensor.MatMul(y, agg, c.WNeigh.W)
+	root := tensor.New(int(g.N), c.WRoot.W.Cols)
+	tensor.MatMul(root, x, c.WRoot.W)
+	y.Add(root)
+	return y
+}
+
+// Params returns the trainable parameters.
+func (c *SAGEConv) Params() []*Param { return []*Param{c.WNeigh, c.WRoot} }

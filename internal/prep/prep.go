@@ -1,0 +1,461 @@
+// Package prep implements the batch-preparation executors that feed
+// mini-batches to training (paper §4.2): the real, concurrent data paths
+// whose cost structure the pipeline simulations in internal/pipeline model
+// at full scale.
+//
+// Two executors are provided:
+//
+//   - Salient: SALIENT's shared-memory design. Worker goroutines prepare
+//     whole batches end-to-end — sampling with the fast sampler, then
+//     serially slicing features straight into pinned staging buffers — and
+//     balance load dynamically through a lock-free MPMC queue. Nothing is
+//     copied between workers and the consumer; the pinned buffer itself is
+//     handed over.
+//
+//   - PyG: the PyTorch DataLoader model. Workers are statically assigned
+//     batches round-robin (batch i goes to worker i mod P) and perform only
+//     sampling; the sampled MFG is deep-copied once more to model the
+//     worker→main process IPC (pickling through POSIX shared memory), and
+//     slicing runs afterwards on the consumer side with a statically striped
+//     parallel kernel, as PyTorch's internally parallel indexing does.
+//
+// Batches are deterministic in content: batch index i of an epoch keyed by
+// epochSeed always contains the same seeds and the same sampled MFG, no
+// matter which worker prepares it or in which order batches finish.
+package prep
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"salient/internal/dataset"
+	"salient/internal/mfg"
+	"salient/internal/queue"
+	"salient/internal/rng"
+	"salient/internal/sampler"
+	"salient/internal/slicing"
+)
+
+// Batch is one prepared mini-batch: the sampled message-flow graph plus the
+// staged (pinned) feature and label slices. The consumer must call Release
+// when the batch's buffers are no longer needed so the pinned slot returns
+// to the pool.
+type Batch struct {
+	Index int      // position within the epoch
+	Seeds []int32  // global seed node IDs (label rows are in Buf.Labels)
+	MFG   *mfg.MFG // owned by the batch (not aliased to sampler scratch)
+	Buf   *slicing.Pinned
+
+	pool   *slicing.Pool
+	credit chan<- struct{}
+}
+
+// Release returns the pinned staging buffer to the executor's pool. It is
+// idempotent.
+func (b *Batch) Release() {
+	if b.pool != nil && b.Buf != nil {
+		b.pool.Put(b.Buf)
+		b.Buf = nil
+		b.pool = nil
+		if b.credit != nil {
+			b.credit <- struct{}{}
+			b.credit = nil
+		}
+	}
+}
+
+// TransferBytes returns the host-to-device payload this batch represents:
+// staged features and labels plus the MFG index structures.
+func (b *Batch) TransferBytes() int64 {
+	var n int64
+	if b.Buf != nil {
+		n += b.Buf.Bytes()
+	}
+	for i := range b.MFG.Blocks {
+		blk := &b.MFG.Blocks[i]
+		n += int64(len(blk.Src))*4 + int64(len(blk.DstPtr))*4
+	}
+	return n
+}
+
+// Options configures an executor.
+type Options struct {
+	// Workers is the number of preparation workers (goroutines standing in
+	// for SALIENT's C++ threads or PyG's DataLoader processes). Default 1.
+	Workers int
+	// InFlight bounds the number of simultaneously staged batches (pinned
+	// buffer slots). Default 2×Workers.
+	InFlight int
+	// BatchSize is the number of seed nodes per mini-batch. Required.
+	BatchSize int
+	// Fanouts are the per-layer sampling fanouts. Required.
+	Fanouts []int
+	// Sampler selects the sampler design point. Zero value is the PyG
+	// baseline configuration; use sampler.FastConfig() for SALIENT.
+	Sampler sampler.Config
+	// Ordered makes the output stream deliver batches in index order.
+	// SALIENT's dynamic load balancing naturally completes batches out of
+	// order; ordering adds a small reorder stage on the consumer side and
+	// makes end-to-end training bit-reproducible.
+	Ordered bool
+}
+
+func (o *Options) normalize(n int) error {
+	if o.BatchSize < 1 {
+		return fmt.Errorf("prep: batch size %d < 1", o.BatchSize)
+	}
+	if len(o.Fanouts) == 0 {
+		return fmt.Errorf("prep: no fanouts")
+	}
+	if o.Workers < 1 {
+		o.Workers = 1
+	}
+	if o.InFlight < 1 {
+		o.InFlight = 2 * o.Workers
+	}
+	if o.InFlight < o.Workers {
+		o.InFlight = o.Workers
+	}
+	_ = n
+	return nil
+}
+
+// Stream is an in-progress epoch of prepared batches. Batches arrive on C;
+// the channel closes when every batch has been delivered. Each received
+// batch must be Released by the consumer.
+type Stream struct {
+	C <-chan *Batch
+
+	wg sync.WaitGroup
+
+	// Per-worker accounting, written by each worker in its own slot and
+	// safe to read after Wait returns.
+	workerBusy    []time.Duration
+	workerBatches []int
+}
+
+// WorkerStats reports how preparation work distributed across workers for
+// this epoch: per-worker busy time and batch counts. Valid after the stream
+// has been fully drained (Wait). SALIENT's dynamic load balancing keeps the
+// busy times close; the DataLoader's static assignment lets neighborhood
+// size variation skew them (paper §4.2).
+func (s *Stream) WorkerStats() (busy []time.Duration, batches []int) {
+	return s.workerBusy, s.workerBatches
+}
+
+// Wait blocks until all executor goroutines have exited. The stream's
+// channel is closed before Wait returns. Consumers that drain C to
+// completion do not need to call Wait, but it is harmless.
+func (s *Stream) Wait() { s.wg.Wait() }
+
+// batchSeeds returns the seed IDs of epoch batch i (a contiguous chunk of
+// the shuffled permutation).
+func batchSeeds(perm []int32, batchSize, i int) []int32 {
+	lo := i * batchSize
+	hi := lo + batchSize
+	if hi > len(perm) {
+		hi = len(perm)
+	}
+	return perm[lo:hi]
+}
+
+// shuffled returns a deterministic epoch permutation of the seed set.
+func shuffled(seeds []int32, epochSeed uint64) []int32 {
+	perm := append([]int32(nil), seeds...)
+	r := rng.New(epochSeed)
+	r.Shuffle(perm)
+	return perm
+}
+
+// batchRNG returns the deterministic RNG for a given (epoch, batch) pair.
+func batchRNG(epochSeed uint64, index int) *rng.Rand {
+	return rng.New(epochSeed*0x9e3779b97f4a7c15 + uint64(index)*0xbf58476d1ce4e5b9 + 1)
+}
+
+// NumBatches returns the number of mini-batches an epoch over n seeds makes.
+func NumBatches(n, batchSize int) int {
+	return (n + batchSize - 1) / batchSize
+}
+
+// cloneMFG copies an MFG out of sampler scratch space into one contiguous
+// allocation owned by the batch. SALIENT pins this block alongside the
+// features; PyG additionally pays this copy a second time for IPC.
+func cloneMFG(m *mfg.MFG) *mfg.MFG { return m.Clone() }
+
+// maxRowsEstimate sizes pinned buffers: batch × Π(fanout+1), capped at N.
+func maxRowsEstimate(batch int, fanouts []int, n int) int {
+	est := batch
+	for _, f := range fanouts {
+		if est >= n {
+			break
+		}
+		est *= f + 1
+	}
+	if est > n {
+		est = n
+	}
+	return est
+}
+
+// Salient is the shared-memory batch-preparation executor.
+//
+// Pinned staging buffers are a bounded resource: the consumer must Release
+// batches as it finishes with them and must not hold InFlight or more
+// unreleased batches while waiting for another, or the epoch stalls (the
+// same contract SALIENT's recycled batch slots impose on the training loop).
+type Salient struct {
+	ds   *dataset.Dataset
+	opts Options
+	pool *slicing.Pool
+	// credits gates buffer acquisition: a worker takes one credit before
+	// claiming a batch index (and hence before taking a pinned buffer), and
+	// the credit is returned when the consumer Releases the batch. A held
+	// credit guarantees a free buffer (outstanding credits never exceed the
+	// pool size), and because the credit is taken before the FIFO index
+	// pop, the credited worker always claims the lowest remaining index —
+	// so ordered delivery cannot starve the emission cursor's batch, as
+	// long as the consumer holds fewer than InFlight unreleased batches.
+	credits chan struct{}
+}
+
+// NewSalient builds a SALIENT executor over ds. The pinned buffer pool is
+// allocated once and reused across epochs.
+func NewSalient(ds *dataset.Dataset, opts Options) (*Salient, error) {
+	if err := opts.normalize(int(ds.G.N)); err != nil {
+		return nil, err
+	}
+	rows := maxRowsEstimate(opts.BatchSize, opts.Fanouts, int(ds.G.N))
+	e := &Salient{
+		ds:      ds,
+		opts:    opts,
+		pool:    slicing.NewPool(opts.InFlight, rows, ds.FeatDim, opts.BatchSize),
+		credits: make(chan struct{}, opts.InFlight),
+	}
+	for i := 0; i < opts.InFlight; i++ {
+		e.credits <- struct{}{}
+	}
+	return e, nil
+}
+
+// Run starts one epoch over the given seed set and returns the stream of
+// prepared batches. Each worker owns a private fast sampler; batch indices
+// are balanced dynamically through a lock-free queue.
+func (e *Salient) Run(seeds []int32, epochSeed uint64) *Stream {
+	perm := shuffled(seeds, epochSeed)
+	nb := NumBatches(len(perm), e.opts.BatchSize)
+
+	work := queue.New[int](nb + 1)
+	for i := 0; i < nb; i++ {
+		work.Push(i)
+	}
+	work.Close()
+
+	raw := make(chan *Batch, e.opts.InFlight)
+	s := &Stream{
+		workerBusy:    make([]time.Duration, e.opts.Workers),
+		workerBatches: make([]int, e.opts.Workers),
+	}
+	out := raw
+	if e.opts.Ordered {
+		out = reorder(s, raw, nb, e.opts.InFlight)
+	}
+	s.C = out
+
+	var workers sync.WaitGroup
+	for w := 0; w < e.opts.Workers; w++ {
+		workers.Add(1)
+		s.wg.Add(1)
+		go func(w int) {
+			defer workers.Done()
+			defer s.wg.Done()
+			sm := sampler.New(e.ds.G, e.opts.Fanouts, e.opts.Sampler)
+			for {
+				// Acquire a buffer credit BEFORE claiming a batch index:
+				// the credited worker then pops the lowest remaining index,
+				// so the emission cursor's batch is never starved of a
+				// buffer by higher-index batches (see the credits field).
+				<-e.credits
+				idx, ok := work.Pop()
+				if !ok {
+					e.credits <- struct{}{}
+					return
+				}
+				start := time.Now()
+				b := e.prepare(sm, perm, epochSeed, idx)
+				s.workerBusy[w] += time.Since(start)
+				s.workerBatches[w]++
+				raw <- b
+			}
+		}(w)
+	}
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		workers.Wait()
+		close(raw)
+	}()
+	return s
+}
+
+// prepare builds batch idx end-to-end: sample, clone the MFG out of sampler
+// scratch, and slice features and labels into a pinned buffer.
+func (e *Salient) prepare(sm *sampler.Sampler, perm []int32, epochSeed uint64, idx int) *Batch {
+	seeds := batchSeeds(perm, e.opts.BatchSize, idx)
+	m := cloneMFG(sm.Sample(batchRNG(epochSeed, idx), seeds))
+	buf := e.pool.Get()
+	if err := slicing.SliceHalf(buf, e.ds.FeatHalf, e.ds.FeatDim, e.ds.Labels, m.NodeIDs, len(seeds)); err != nil {
+		// Impossible by construction (batch ≤ nodes); fail loudly.
+		panic(err)
+	}
+	return &Batch{Index: idx, Seeds: seeds, MFG: m, Buf: buf, pool: e.pool, credit: e.credits}
+}
+
+// reorder re-sequences an unordered batch stream into index order using a
+// bounded buffer. Capacity inflight is enough because the executor never has
+// more than inflight batches outstanding.
+func reorder(s *Stream, in <-chan *Batch, nb, inflight int) chan *Batch {
+	out := make(chan *Batch, inflight)
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		defer close(out)
+		pending := make(map[int]*Batch, inflight)
+		next := 0
+		for b := range in {
+			pending[b.Index] = b
+			for {
+				nb, ok := pending[next]
+				if !ok {
+					break
+				}
+				delete(pending, next)
+				out <- nb
+				next++
+			}
+		}
+		for ; next < nb; next++ {
+			if b, ok := pending[next]; ok {
+				out <- b
+			}
+		}
+	}()
+	return out
+}
+
+// PyG is the DataLoader-model executor: static batch assignment, sampling
+// only in workers, an IPC copy of every sampled MFG, and consumer-side
+// striped-parallel slicing.
+type PyG struct {
+	ds   *dataset.Dataset
+	opts Options
+	pool *slicing.Pool
+}
+
+// NewPyG builds a PyG-style executor over ds.
+func NewPyG(ds *dataset.Dataset, opts Options) (*PyG, error) {
+	if err := opts.normalize(int(ds.G.N)); err != nil {
+		return nil, err
+	}
+	rows := maxRowsEstimate(opts.BatchSize, opts.Fanouts, int(ds.G.N))
+	return &PyG{
+		ds:   ds,
+		opts: opts,
+		pool: slicing.NewPool(opts.InFlight, rows, ds.FeatDim, opts.BatchSize),
+	}, nil
+}
+
+// Run starts one epoch. Worker w samples batches w, w+P, w+2P, … (the
+// DataLoader's static round-robin assignment, which cannot rebalance when
+// neighborhood sizes vary); each sampled MFG is deep-copied once to model
+// worker→main IPC. The consumer goroutine then slices each batch in index
+// order with the striped-parallel kernel before emitting it, as the main
+// process does in the reference workflow (Listing 1, line 3).
+func (e *PyG) Run(seeds []int32, epochSeed uint64) *Stream {
+	perm := shuffled(seeds, epochSeed)
+	nb := NumBatches(len(perm), e.opts.BatchSize)
+	p := e.opts.Workers
+
+	type sampled struct {
+		idx   int
+		seeds []int32
+		m     *mfg.MFG
+	}
+	raw := make(chan sampled, e.opts.InFlight)
+	s := &Stream{
+		workerBusy:    make([]time.Duration, p),
+		workerBatches: make([]int, p),
+	}
+	out := make(chan *Batch, e.opts.InFlight)
+	s.C = out
+
+	var workers sync.WaitGroup
+	for w := 0; w < p; w++ {
+		workers.Add(1)
+		s.wg.Add(1)
+		go func(w int) {
+			defer workers.Done()
+			defer s.wg.Done()
+			sm := sampler.New(e.ds.G, e.opts.Fanouts, e.opts.Sampler)
+			for idx := w; idx < nb; idx += p {
+				start := time.Now()
+				sd := batchSeeds(perm, e.opts.BatchSize, idx)
+				m := cloneMFG(sm.Sample(batchRNG(epochSeed, idx), sd))
+				// Second copy: pickling across the process boundary.
+				sb := sampled{idx: idx, seeds: sd, m: cloneMFG(m)}
+				s.workerBusy[w] += time.Since(start)
+				s.workerBatches[w]++
+				raw <- sb
+			}
+		}(w)
+	}
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		workers.Wait()
+		close(raw)
+	}()
+
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		defer close(out)
+		pending := make(map[int]sampled, e.opts.InFlight)
+		next := 0
+		for sb := range raw {
+			pending[sb.idx] = sb
+			for {
+				b, ok := pending[next]
+				if !ok {
+					break
+				}
+				delete(pending, next)
+				out <- e.slice(b.idx, b.seeds, b.m)
+				next++
+			}
+		}
+	}()
+	return s
+}
+
+// slice stages one batch with the striped-parallel kernel running the
+// stripes concurrently (PyTorch's OpenMP-parallel indexing).
+func (e *PyG) slice(idx int, seeds []int32, m *mfg.MFG) *Batch {
+	buf := e.pool.Get()
+	err := slicing.SliceHalfStriped(buf, e.ds.FeatHalf, e.ds.FeatDim, e.ds.Labels,
+		m.NodeIDs, len(seeds), e.opts.Workers, func(stripes []func()) {
+			var wg sync.WaitGroup
+			for _, st := range stripes {
+				wg.Add(1)
+				go func(st func()) {
+					defer wg.Done()
+					st()
+				}(st)
+			}
+			wg.Wait()
+		})
+	if err != nil {
+		panic(err)
+	}
+	return &Batch{Index: idx, Seeds: seeds, MFG: m, Buf: buf, pool: e.pool}
+}

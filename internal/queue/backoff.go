@@ -1,0 +1,27 @@
+package queue
+
+import (
+	"runtime"
+	"time"
+)
+
+// spinBackoff implements a progressive backoff for spin loops: first busy
+// spins, then scheduler yields, then short sleeps. This keeps latency low
+// under contention without burning a core when the queue stays empty.
+type spinBackoff struct {
+	n int
+}
+
+func (b *spinBackoff) wait() {
+	switch {
+	case b.n < 8:
+		// Busy spin: cheapest when the wait is a few instructions long.
+	case b.n < 32:
+		runtime.Gosched()
+	default:
+		time.Sleep(10 * time.Microsecond)
+	}
+	if b.n < 1<<20 {
+		b.n++
+	}
+}

@@ -1,0 +1,230 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same-seed streams diverged at step %d", i)
+		}
+	}
+}
+
+func TestDistinctSeeds(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("distinct seeds produced %d identical outputs out of 1000", same)
+	}
+}
+
+func TestReseed(t *testing.T) {
+	r := New(7)
+	first := r.Uint64()
+	r.Uint64()
+	r.Reseed(7)
+	if got := r.Uint64(); got != first {
+		t.Fatalf("Reseed did not restore stream: got %d want %d", got, first)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(3)
+	c1 := parent.Split()
+	c2 := parent.Split()
+	if c1.Uint64() == c2.Uint64() {
+		t.Fatal("sibling splits produced identical first outputs")
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := New(11)
+	for _, n := range []int{1, 2, 3, 7, 100, 1 << 20} {
+		for i := 0; i < 200; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestIntnUniformity(t *testing.T) {
+	r := New(5)
+	const n, draws = 10, 100000
+	var counts [n]int
+	for i := 0; i < draws; i++ {
+		counts[r.Intn(n)]++
+	}
+	want := float64(draws) / n
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Errorf("bucket %d count %d deviates too far from %f", i, c, want)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(9)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", f)
+		}
+	}
+}
+
+func TestFloat32Range(t *testing.T) {
+	r := New(10)
+	for i := 0; i < 10000; i++ {
+		f := r.Float32()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float32 out of [0,1): %v", f)
+		}
+	}
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	r := New(13)
+	const n = 200000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := r.NormFloat64()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Errorf("normal mean = %v, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.03 {
+		t.Errorf("normal variance = %v, want ~1", variance)
+	}
+}
+
+func TestShuffleIsPermutation(t *testing.T) {
+	r := New(17)
+	s := make([]int32, 100)
+	for i := range s {
+		s[i] = int32(i)
+	}
+	r.Shuffle(s)
+	seen := make(map[int32]bool, len(s))
+	for _, v := range s {
+		if v < 0 || int(v) >= len(s) || seen[v] {
+			t.Fatalf("shuffle broke permutation property at %d", v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestPerm(t *testing.T) {
+	r := New(19)
+	out := make([]int32, 50)
+	r.Perm(out)
+	seen := make(map[int32]bool)
+	for _, v := range out {
+		if seen[v] {
+			t.Fatalf("Perm repeated %d", v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestSampleKProperties(t *testing.T) {
+	f := func(seed uint64, nRaw, kRaw uint8) bool {
+		n := int(nRaw%50) + 1
+		k := int(kRaw % 60)
+		src := make([]int32, n)
+		for i := range src {
+			src[i] = int32(i * 3) // distinct values
+		}
+		r := New(seed)
+		got := r.SampleK(nil, src, k)
+		wantLen := k
+		if k >= n {
+			wantLen = n
+		}
+		if len(got) != wantLen {
+			return false
+		}
+		seen := make(map[int32]bool)
+		valid := make(map[int32]bool)
+		for _, v := range src {
+			valid[v] = true
+		}
+		for _, v := range got {
+			if seen[v] || !valid[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSampleKCoverage(t *testing.T) {
+	// Every element should be sampled eventually: coarse uniformity check.
+	r := New(23)
+	src := []int32{0, 1, 2, 3, 4, 5, 6, 7}
+	counts := make(map[int32]int)
+	var buf []int32
+	for i := 0; i < 4000; i++ {
+		buf = r.SampleK(buf, src, 3)
+		for _, v := range buf {
+			counts[v]++
+		}
+	}
+	for _, v := range src {
+		c := counts[v]
+		// Expectation 4000*3/8 = 1500.
+		if c < 1300 || c > 1700 {
+			t.Errorf("element %d sampled %d times, want ~1500", v, c)
+		}
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += r.Uint64()
+	}
+	_ = sink
+}
+
+func BenchmarkSampleK15of64(b *testing.B) {
+	r := New(1)
+	src := make([]int32, 64)
+	for i := range src {
+		src[i] = int32(i)
+	}
+	buf := make([]int32, 0, 15)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = r.SampleK(buf, src, 15)
+	}
+}

@@ -1,0 +1,136 @@
+package sampler
+
+import (
+	"salient/internal/flathash"
+	"salient/internal/rng"
+)
+
+// neighborPicker draws up to k distinct neighbors of one node, calling emit
+// for each chosen global ID. Implementations differ in the structure used to
+// enforce "without replacement" — the second design axis of the paper's
+// sampler study. If k >= len(neighbors), every neighbor is emitted.
+type neighborPicker interface {
+	Pick(r *rng.Rand, neighbors []int32, k int, emit func(int32))
+}
+
+// emitAll is the shared fast path when the fanout covers the whole list.
+func emitAll(neighbors []int32, emit func(int32)) {
+	for _, v := range neighbors {
+		emit(v)
+	}
+}
+
+// stdSetPicker rejects duplicates with a built-in map, modeling the STL
+// unordered_set of the PyG baseline. fresh controls whether the set is
+// reallocated per node (baseline behaviour) or cleared and reused.
+type stdSetPicker struct {
+	fresh bool
+	set   map[int32]struct{}
+}
+
+func (p *stdSetPicker) Pick(r *rng.Rand, neighbors []int32, k int, emit func(int32)) {
+	if k >= len(neighbors) {
+		emitAll(neighbors, emit)
+		return
+	}
+	if p.fresh || p.set == nil {
+		p.set = make(map[int32]struct{}, k)
+	} else {
+		clear(p.set)
+	}
+	n := len(neighbors)
+	for len(p.set) < k {
+		c := neighbors[r.Intn(n)]
+		if _, dup := p.set[c]; dup {
+			continue
+		}
+		p.set[c] = struct{}{}
+		emit(c)
+	}
+}
+
+// flatSetPicker is the swiss-table variant of the rejection picker.
+type flatSetPicker struct {
+	set *flathash.Set
+}
+
+func (p *flatSetPicker) Pick(r *rng.Rand, neighbors []int32, k int, emit func(int32)) {
+	if k >= len(neighbors) {
+		emitAll(neighbors, emit)
+		return
+	}
+	if p.set == nil {
+		p.set = flathash.NewSet(64)
+	} else {
+		p.set.Reset()
+	}
+	n := len(neighbors)
+	for p.set.Len() < k {
+		c := neighbors[r.Intn(n)]
+		if p.set.Add(c) {
+			emit(c)
+		}
+	}
+}
+
+// arrayPicker rejects duplicates with a linear scan over the chosen values.
+// Despite O(k) search it wins for GNN fanouts (k ≤ ~20) on cache locality —
+// the paper's "+17% over the hash set" observation.
+type arrayPicker struct {
+	chosen []int32
+}
+
+func (p *arrayPicker) Pick(r *rng.Rand, neighbors []int32, k int, emit func(int32)) {
+	if k >= len(neighbors) {
+		emitAll(neighbors, emit)
+		return
+	}
+	p.chosen = p.chosen[:0]
+	n := len(neighbors)
+draw:
+	for len(p.chosen) < k {
+		c := neighbors[r.Intn(n)]
+		for _, d := range p.chosen {
+			if d == c {
+				continue draw
+			}
+		}
+		p.chosen = append(p.chosen, c)
+		emit(c)
+	}
+}
+
+// fyPicker copies the neighbor list and runs a partial Fisher–Yates shuffle,
+// emitting the first k entries. No duplicate test at all, but it pays an
+// O(degree) copy, which loses on high-degree nodes.
+type fyPicker struct {
+	scratch []int32
+}
+
+func (p *fyPicker) Pick(r *rng.Rand, neighbors []int32, k int, emit func(int32)) {
+	if k >= len(neighbors) {
+		emitAll(neighbors, emit)
+		return
+	}
+	p.scratch = append(p.scratch[:0], neighbors...)
+	n := len(p.scratch)
+	for i := 0; i < k; i++ {
+		j := i + r.Intn(n-i)
+		p.scratch[i], p.scratch[j] = p.scratch[j], p.scratch[i]
+		emit(p.scratch[i])
+	}
+}
+
+func newPicker(kind DedupKind, reuse ReuseKind) neighborPicker {
+	switch kind {
+	case DedupStdSet:
+		return &stdSetPicker{fresh: reuse == ReuseFresh}
+	case DedupFlatSet:
+		return &flatSetPicker{}
+	case DedupArray:
+		return &arrayPicker{}
+	case DedupFisherYates:
+		return &fyPicker{}
+	}
+	panic("sampler: unknown dedup kind")
+}

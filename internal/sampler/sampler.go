@@ -1,0 +1,226 @@
+package sampler
+
+import (
+	"fmt"
+
+	"salient/internal/graph"
+	"salient/internal/mfg"
+	"salient/internal/rng"
+)
+
+// Sampler draws multi-hop sampled neighborhoods (MFGs) from a graph.
+//
+// A Sampler is not safe for concurrent use; SALIENT's shared-memory batch
+// preparation gives each worker goroutine its own Sampler (paper §4.2),
+// which is also what makes the pooled-reuse configurations safe.
+//
+// With Reuse == ReusePooledAll the returned MFG aliases internal buffers and
+// is invalidated by the next Sample call on the same Sampler. This mirrors
+// SALIENT's recycled batch slots; callers that need longer-lived batches use
+// one Sampler per in-flight slot (as the prep executor does) or a different
+// reuse policy.
+type Sampler struct {
+	G       *graph.CSR
+	Fanouts []int // Fanouts[0] feeds GNN layer 1 (the outermost hop)
+
+	cfg    Config
+	mapper localMapper
+	picker neighborPicker
+
+	// Pooled buffers (ReusePooledAll).
+	nodeIDs  []int32
+	dstPtrs  [][]int32
+	srcBufs  [][]int32
+	phaseBuf []int32 // two-phase sampled-globals buffer
+	phaseCnt []int32 // two-phase per-destination counts
+}
+
+// New returns a sampler over g with the given per-layer fanouts and design
+// configuration.
+func New(g *graph.CSR, fanouts []int, cfg Config) *Sampler {
+	if len(fanouts) == 0 {
+		panic("sampler: empty fanouts")
+	}
+	for _, f := range fanouts {
+		if f < 1 {
+			panic(fmt.Sprintf("sampler: fanout %d < 1", f))
+		}
+	}
+	s := &Sampler{
+		G:       g,
+		Fanouts: append([]int(nil), fanouts...),
+		cfg:     cfg,
+		dstPtrs: make([][]int32, len(fanouts)),
+		srcBufs: make([][]int32, len(fanouts)),
+	}
+	s.picker = newPicker(cfg.Dedup, cfg.Reuse)
+	if cfg.Reuse != ReuseFresh {
+		s.mapper = s.newMapper()
+	}
+	return s
+}
+
+// Config returns the design-space configuration of this sampler.
+func (s *Sampler) Config() Config { return s.cfg }
+
+func (s *Sampler) newMapper() localMapper {
+	switch s.cfg.IDMap {
+	case IDMapStd:
+		return &stdMapper{}
+	case IDMapFlat:
+		return &flatMapper{}
+	case IDMapFlatPre:
+		return &flatMapper{presize: true}
+	case IDMapDirect:
+		return newDirectMapper(s.G.N)
+	}
+	panic("sampler: unknown idmap kind")
+}
+
+// expectedNodes estimates the expanded-neighborhood size for pre-sizing:
+// batch × Π(fanout+1), capped at the graph size.
+func (s *Sampler) expectedNodes(batch int) int {
+	est := batch
+	for _, f := range s.Fanouts {
+		if est > int(s.G.N) {
+			break
+		}
+		est *= f + 1
+	}
+	if est > int(s.G.N) {
+		est = int(s.G.N)
+	}
+	return est
+}
+
+// Sample draws the MFG for the given seed nodes. Seeds must be distinct and
+// in range. Randomness comes from r, so identical (seed set, RNG state)
+// pairs reproduce identical MFGs.
+func (s *Sampler) Sample(r *rng.Rand, seeds []int32) *mfg.MFG {
+	L := len(s.Fanouts)
+	expected := s.expectedNodes(len(seeds))
+
+	mapper := s.mapper
+	if s.cfg.Reuse == ReuseFresh || mapper == nil {
+		mapper = s.newMapper()
+	}
+	mapper.Reset(expected)
+
+	var nodeIDs []int32
+	if s.cfg.Reuse == ReusePooledAll && s.nodeIDs != nil {
+		nodeIDs = s.nodeIDs[:0]
+	} else {
+		nodeIDs = make([]int32, 0, expected)
+	}
+
+	for _, v := range seeds {
+		if v < 0 || v >= s.G.N {
+			panic(fmt.Sprintf("sampler: seed %d out of range", v))
+		}
+		l := mapper.GetOrAssign(v)
+		if int(l) != len(nodeIDs) {
+			panic(fmt.Sprintf("sampler: duplicate seed %d", v))
+		}
+		nodeIDs = append(nodeIDs, v)
+	}
+
+	blocks := make([]mfg.Block, L)
+	frontier := int32(len(seeds))
+
+	for hop := 0; hop < L; hop++ {
+		blockIdx := L - 1 - hop       // innermost hop fills the last block
+		fanout := s.Fanouts[blockIdx] // so hop 0 uses Fanouts[L-1]
+		numDst := frontier
+
+		dstPtr := s.grabDstPtr(hop, int(numDst)+1)
+		src := s.grabSrc(hop)
+
+		if s.cfg.Build == BuildFused {
+			for v := int32(0); v < numDst; v++ {
+				dstPtr[v] = int32(len(src))
+				ns := s.G.Neighbors(nodeIDs[v])
+				s.picker.Pick(r, ns, fanout, func(g int32) {
+					l := mapper.GetOrAssign(g)
+					if int(l) == len(nodeIDs) {
+						nodeIDs = append(nodeIDs, g)
+					}
+					src = append(src, l)
+				})
+			}
+			dstPtr[numDst] = int32(len(src))
+		} else {
+			// Phase 1: sample global IDs into a flat buffer.
+			buf := s.phaseBuf[:0]
+			cnt := s.grabPhaseCnt(int(numDst))
+			for v := int32(0); v < numDst; v++ {
+				before := len(buf)
+				ns := s.G.Neighbors(nodeIDs[v])
+				s.picker.Pick(r, ns, fanout, func(g int32) {
+					buf = append(buf, g)
+				})
+				cnt[v] = int32(len(buf) - before)
+			}
+			// Phase 2: map globals to locals and build the block.
+			pos := 0
+			for v := int32(0); v < numDst; v++ {
+				dstPtr[v] = int32(len(src))
+				for e := int32(0); e < cnt[v]; e++ {
+					g := buf[pos]
+					pos++
+					l := mapper.GetOrAssign(g)
+					if int(l) == len(nodeIDs) {
+						nodeIDs = append(nodeIDs, g)
+					}
+					src = append(src, l)
+				}
+			}
+			dstPtr[numDst] = int32(len(src))
+			if s.cfg.Reuse == ReusePooledAll {
+				s.phaseBuf = buf
+			}
+		}
+
+		frontier = mapper.Len()
+		blocks[blockIdx] = mfg.Block{
+			DstPtr: dstPtr,
+			Src:    src,
+			NumDst: numDst,
+			NumSrc: frontier,
+		}
+		if s.cfg.Reuse == ReusePooledAll {
+			s.dstPtrs[hop] = dstPtr
+			s.srcBufs[hop] = src
+		}
+	}
+
+	if s.cfg.Reuse == ReusePooledAll {
+		s.nodeIDs = nodeIDs
+	}
+	if s.cfg.Reuse != ReuseFresh {
+		s.mapper = mapper
+	}
+	return &mfg.MFG{Blocks: blocks, NodeIDs: nodeIDs, Batch: int32(len(seeds))}
+}
+
+func (s *Sampler) grabDstPtr(hop, n int) []int32 {
+	if s.cfg.Reuse == ReusePooledAll && cap(s.dstPtrs[hop]) >= n {
+		return s.dstPtrs[hop][:n]
+	}
+	return make([]int32, n)
+}
+
+func (s *Sampler) grabSrc(hop int) []int32 {
+	if s.cfg.Reuse == ReusePooledAll && s.srcBufs[hop] != nil {
+		return s.srcBufs[hop][:0]
+	}
+	return make([]int32, 0, 256)
+}
+
+func (s *Sampler) grabPhaseCnt(n int) []int32 {
+	if s.cfg.Reuse == ReusePooledAll && cap(s.phaseCnt) >= n {
+		s.phaseCnt = s.phaseCnt[:n]
+		return s.phaseCnt
+	}
+	s.phaseCnt = make([]int32, n)
+	return s.phaseCnt
+}

@@ -1,0 +1,168 @@
+// Package slicing extracts the feature and label sub-tensors for a sampled
+// mini-batch and stages them in pinned host buffers ready for transfer.
+//
+// This is the second half of batch preparation (paper §3.2, §4.2). The
+// kernels here embody the baseline's conventional optimizations — row-major
+// feature storage for cache-efficient row copies, half-precision host
+// features to halve bandwidth — plus SALIENT's changes: a deliberately
+// serial slice kernel per worker (better cache locality and no inter-thread
+// contention than PyTorch's internally parallel slicing), writing directly
+// into reusable pinned staging buffers so the main process never copies.
+package slicing
+
+import (
+	"fmt"
+
+	"salient/internal/half"
+	"salient/internal/tensor"
+)
+
+// Pinned is a pinned host staging buffer for one prepared mini-batch: the
+// sliced feature rows (half precision, as stored on the host), the seed
+// labels, and bookkeeping for reuse.
+//
+// In CUDA terms this is page-locked memory that the DMA engine can read
+// directly; here it is the unit of reuse in the buffer pool, and the device
+// simulation charges DMA-rate transfer for it (versus the slower pageable
+// path for non-pinned sources).
+type Pinned struct {
+	Feat   []half.Float16 // rows × featDim
+	Labels []int32        // seed labels
+	Rows   int
+	Dim    int
+}
+
+// NewPinned allocates a staging buffer for up to maxRows rows of featDim
+// features and maxBatch labels.
+func NewPinned(maxRows, featDim, maxBatch int) *Pinned {
+	return &Pinned{
+		Feat:   make([]half.Float16, maxRows*featDim),
+		Labels: make([]int32, maxBatch),
+		Dim:    featDim,
+	}
+}
+
+// ensure grows the buffer if the batch needs more rows than ever seen.
+func (p *Pinned) ensure(rows, dim, batch int) {
+	if need := rows * dim; cap(p.Feat) < need {
+		p.Feat = make([]half.Float16, need)
+	}
+	p.Feat = p.Feat[:rows*dim]
+	if cap(p.Labels) < batch {
+		p.Labels = make([]int32, batch)
+	}
+	p.Labels = p.Labels[:batch]
+	p.Rows = rows
+	p.Dim = dim
+}
+
+// Bytes returns the payload size of the staged batch in bytes.
+func (p *Pinned) Bytes() int64 {
+	return int64(len(p.Feat))*2 + int64(len(p.Labels))*4
+}
+
+// SliceHalf gathers the feature rows for nodeIDs out of the half-precision
+// host feature matrix into dst, and the labels for the first batch entries
+// of nodeIDs (the seed prefix). This is the SALIENT serial kernel: one
+// worker slices one whole batch, contiguously, with no synchronization.
+func SliceHalf(dst *Pinned, feat []half.Float16, featDim int, labels []int32, nodeIDs []int32, batch int) error {
+	if batch > len(nodeIDs) {
+		return fmt.Errorf("slicing: batch %d > nodes %d", batch, len(nodeIDs))
+	}
+	dst.ensure(len(nodeIDs), featDim, batch)
+	for i, id := range nodeIDs {
+		srcRow := feat[int(id)*featDim : (int(id)+1)*featDim]
+		copy(dst.Feat[i*featDim:(i+1)*featDim], srcRow)
+	}
+	for i := 0; i < batch; i++ {
+		dst.Labels[i] = labels[nodeIDs[i]]
+	}
+	return nil
+}
+
+// SliceHalfStriped is the PyTorch-style parallel slice kernel: the row range
+// is split into nWorkers static stripes processed by the provided runner
+// (in production PyTorch, OpenMP threads). It exists for the Table 2
+// comparison; SALIENT itself uses SliceHalf per batch-preparation worker.
+//
+// run is called once per stripe with the stripe bounds and must execute the
+// stripes (possibly concurrently) before returning.
+func SliceHalfStriped(dst *Pinned, feat []half.Float16, featDim int, labels []int32, nodeIDs []int32, batch, nWorkers int, run func(stripes []func())) error {
+	if batch > len(nodeIDs) {
+		return fmt.Errorf("slicing: batch %d > nodes %d", batch, len(nodeIDs))
+	}
+	if nWorkers < 1 {
+		nWorkers = 1
+	}
+	dst.ensure(len(nodeIDs), featDim, batch)
+	n := len(nodeIDs)
+	stripes := make([]func(), 0, nWorkers)
+	for w := 0; w < nWorkers; w++ {
+		lo := n * w / nWorkers
+		hi := n * (w + 1) / nWorkers
+		if lo == hi {
+			continue
+		}
+		stripes = append(stripes, func() {
+			for i := lo; i < hi; i++ {
+				id := nodeIDs[i]
+				copy(dst.Feat[i*featDim:(i+1)*featDim], feat[int(id)*featDim:(int(id)+1)*featDim])
+			}
+		})
+	}
+	run(stripes)
+	for i := 0; i < batch; i++ {
+		dst.Labels[i] = labels[nodeIDs[i]]
+	}
+	return nil
+}
+
+// DecodeFeatures converts a staged half-precision feature block into the
+// float32 tensor used by compute (the GPU-side widening in the paper:
+// transfers stay half-width, kernels run single precision).
+func DecodeFeatures(dst *tensor.Dense, p *Pinned) {
+	if dst.Rows != p.Rows || dst.Cols != p.Dim {
+		panic(fmt.Sprintf("slicing: decode shape %dx%d vs staged %dx%d", dst.Rows, dst.Cols, p.Rows, p.Dim))
+	}
+	half.DecodeSlice(dst.Data, p.Feat)
+}
+
+// Pool is a fixed-size recycling pool of pinned staging buffers. SALIENT
+// bounds in-flight batches by the number of slots; a worker takes a free
+// slot, fills it, hands it to the training loop, and the loop returns it
+// after the (simulated) transfer completes.
+type Pool struct {
+	free chan *Pinned
+}
+
+// NewPool creates a pool with n pre-allocated buffers.
+func NewPool(n, maxRows, featDim, maxBatch int) *Pool {
+	p := &Pool{free: make(chan *Pinned, n)}
+	for i := 0; i < n; i++ {
+		p.free <- NewPinned(maxRows, featDim, maxBatch)
+	}
+	return p
+}
+
+// Get blocks until a free buffer is available.
+func (p *Pool) Get() *Pinned { return <-p.free }
+
+// TryGet returns a buffer if one is free.
+func (p *Pool) TryGet() (*Pinned, bool) {
+	select {
+	case b := <-p.free:
+		return b, true
+	default:
+		return nil, false
+	}
+}
+
+// Put returns a buffer to the pool. Putting more buffers than the pool size
+// panics, which catches double-free bugs early.
+func (p *Pool) Put(b *Pinned) {
+	select {
+	case p.free <- b:
+	default:
+		panic("slicing: pool overflow (double Put?)")
+	}
+}

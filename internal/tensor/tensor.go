@@ -1,0 +1,381 @@
+// Package tensor implements the dense float32 linear algebra needed by the
+// GNN layers: row-major 2-D matrices with matmul, gathers/scatters over node
+// index lists, elementwise maps, and the reductions used by losses.
+//
+// It plays the role of the BLAS + torch.Tensor substrate in the paper's
+// stack. Everything is row-major because the paper's baseline explicitly
+// stores features row-major for cache-efficient slicing (§3, optimization i).
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Dense is a row-major matrix of float32. Rows×Cols may be 0.
+type Dense struct {
+	Rows, Cols int
+	Data       []float32 // len == Rows*Cols
+}
+
+// New returns a zeroed Rows×Cols matrix.
+func New(rows, cols int) *Dense {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("tensor: negative dims %dx%d", rows, cols))
+	}
+	return &Dense{Rows: rows, Cols: cols, Data: make([]float32, rows*cols)}
+}
+
+// FromSlice wraps data (not copied) as a rows×cols matrix.
+func FromSlice(rows, cols int, data []float32) *Dense {
+	if len(data) != rows*cols {
+		panic(fmt.Sprintf("tensor: data length %d != %d*%d", len(data), rows, cols))
+	}
+	return &Dense{Rows: rows, Cols: cols, Data: data}
+}
+
+// Clone returns a deep copy.
+func (t *Dense) Clone() *Dense {
+	c := New(t.Rows, t.Cols)
+	copy(c.Data, t.Data)
+	return c
+}
+
+// Row returns the i-th row as a slice aliasing the matrix storage.
+func (t *Dense) Row(i int) []float32 {
+	return t.Data[i*t.Cols : (i+1)*t.Cols]
+}
+
+// At returns element (i, j).
+func (t *Dense) At(i, j int) float32 { return t.Data[i*t.Cols+j] }
+
+// Set assigns element (i, j).
+func (t *Dense) Set(i, j int, v float32) { t.Data[i*t.Cols+j] = v }
+
+// Zero clears all elements in place.
+func (t *Dense) Zero() {
+	for i := range t.Data {
+		t.Data[i] = 0
+	}
+}
+
+// Fill sets all elements to v.
+func (t *Dense) Fill(v float32) {
+	for i := range t.Data {
+		t.Data[i] = v
+	}
+}
+
+// Copy copies src into t; shapes must match.
+func (t *Dense) Copy(src *Dense) {
+	t.assertSameShape(src)
+	copy(t.Data, src.Data)
+}
+
+func (t *Dense) assertSameShape(o *Dense) {
+	if t.Rows != o.Rows || t.Cols != o.Cols {
+		panic(fmt.Sprintf("tensor: shape mismatch %dx%d vs %dx%d", t.Rows, t.Cols, o.Rows, o.Cols))
+	}
+}
+
+// MatMul computes dst = a @ b. dst must be a.Rows×b.Cols and must not alias
+// a or b. The kernel is the classic ikj loop order with a reused row pointer,
+// which keeps the inner loop contiguous in both b and dst.
+func MatMul(dst, a, b *Dense) {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: matmul inner dims %d vs %d", a.Cols, b.Rows))
+	}
+	if dst.Rows != a.Rows || dst.Cols != b.Cols {
+		panic("tensor: matmul dst shape")
+	}
+	dst.Zero()
+	n := b.Cols
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		drow := dst.Row(i)
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.Data[k*n : k*n+n]
+			for j, bv := range brow {
+				drow[j] += av * bv
+			}
+		}
+	}
+}
+
+// MatMulAT computes dst = aᵀ @ b where a is m×r, b is m×c, dst is r×c.
+// Used in backward passes for weight gradients (dW = xᵀ @ dy).
+func MatMulAT(dst, a, b *Dense) {
+	if a.Rows != b.Rows {
+		panic(fmt.Sprintf("tensor: matmulAT outer dims %d vs %d", a.Rows, b.Rows))
+	}
+	if dst.Rows != a.Cols || dst.Cols != b.Cols {
+		panic("tensor: matmulAT dst shape")
+	}
+	dst.Zero()
+	c := b.Cols
+	for m := 0; m < a.Rows; m++ {
+		arow := a.Row(m)
+		brow := b.Row(m)
+		for i, av := range arow {
+			if av == 0 {
+				continue
+			}
+			drow := dst.Data[i*c : i*c+c]
+			for j, bv := range brow {
+				drow[j] += av * bv
+			}
+		}
+	}
+}
+
+// MatMulBT computes dst = a @ bᵀ where a is m×c, b is r×c, dst is m×r.
+// Used in backward passes for input gradients (dx = dy @ Wᵀ).
+func MatMulBT(dst, a, b *Dense) {
+	if a.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: matmulBT inner dims %d vs %d", a.Cols, b.Cols))
+	}
+	if dst.Rows != a.Rows || dst.Cols != b.Rows {
+		panic("tensor: matmulBT dst shape")
+	}
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		drow := dst.Row(i)
+		for j := 0; j < b.Rows; j++ {
+			brow := b.Row(j)
+			var sum float32
+			for k, av := range arow {
+				sum += av * brow[k]
+			}
+			drow[j] = sum
+		}
+	}
+}
+
+// Add computes t += o elementwise.
+func (t *Dense) Add(o *Dense) {
+	t.assertSameShape(o)
+	for i, v := range o.Data {
+		t.Data[i] += v
+	}
+}
+
+// Sub computes t -= o elementwise.
+func (t *Dense) Sub(o *Dense) {
+	t.assertSameShape(o)
+	for i, v := range o.Data {
+		t.Data[i] -= v
+	}
+}
+
+// Mul computes t *= o elementwise (Hadamard).
+func (t *Dense) Mul(o *Dense) {
+	t.assertSameShape(o)
+	for i, v := range o.Data {
+		t.Data[i] *= v
+	}
+}
+
+// Scale multiplies all elements by s.
+func (t *Dense) Scale(s float32) {
+	for i := range t.Data {
+		t.Data[i] *= s
+	}
+}
+
+// AddScaled computes t += s*o.
+func (t *Dense) AddScaled(o *Dense, s float32) {
+	t.assertSameShape(o)
+	for i, v := range o.Data {
+		t.Data[i] += s * v
+	}
+}
+
+// AddRowVec adds vector v (length Cols) to every row.
+func (t *Dense) AddRowVec(v []float32) {
+	if len(v) != t.Cols {
+		panic("tensor: AddRowVec length")
+	}
+	for i := 0; i < t.Rows; i++ {
+		row := t.Row(i)
+		for j, b := range v {
+			row[j] += b
+		}
+	}
+}
+
+// Gather copies the rows of src indexed by idx into dst (dst.Rows ==
+// len(idx)). This is the feature-slicing primitive.
+func Gather(dst, src *Dense, idx []int32) {
+	if dst.Cols != src.Cols || dst.Rows != len(idx) {
+		panic("tensor: gather shape")
+	}
+	for i, id := range idx {
+		copy(dst.Row(i), src.Row(int(id)))
+	}
+}
+
+// ScatterAdd adds the rows of src into dst at positions idx
+// (dst.Row(idx[i]) += src.Row(i)). Backward of Gather.
+func ScatterAdd(dst, src *Dense, idx []int32) {
+	if dst.Cols != src.Cols || src.Rows != len(idx) {
+		panic("tensor: scatterAdd shape")
+	}
+	for i, id := range idx {
+		drow := dst.Row(int(id))
+		srow := src.Row(i)
+		for j, v := range srow {
+			drow[j] += v
+		}
+	}
+}
+
+// ReLU applies max(0, x) in place and returns a mask usable for backward
+// (1 where x>0) if mask is non-nil.
+func (t *Dense) ReLU(mask []bool) {
+	if mask != nil && len(mask) != len(t.Data) {
+		panic("tensor: relu mask length")
+	}
+	for i, v := range t.Data {
+		pos := v > 0
+		if !pos {
+			t.Data[i] = 0
+		}
+		if mask != nil {
+			mask[i] = pos
+		}
+	}
+}
+
+// LeakyReLU applies x>0 ? x : slope*x in place, recording the mask.
+func (t *Dense) LeakyReLU(slope float32, mask []bool) {
+	if mask != nil && len(mask) != len(t.Data) {
+		panic("tensor: leakyrelu mask length")
+	}
+	for i, v := range t.Data {
+		pos := v > 0
+		if !pos {
+			t.Data[i] = slope * v
+		}
+		if mask != nil {
+			mask[i] = pos
+		}
+	}
+}
+
+// LogSoftmaxRows applies log-softmax to each row in place, numerically
+// stabilized by subtracting the row max.
+func (t *Dense) LogSoftmaxRows() {
+	for i := 0; i < t.Rows; i++ {
+		row := t.Row(i)
+		maxV := float32(math.Inf(-1))
+		for _, v := range row {
+			if v > maxV {
+				maxV = v
+			}
+		}
+		var sum float64
+		for _, v := range row {
+			sum += math.Exp(float64(v - maxV))
+		}
+		logSum := float32(math.Log(sum)) + maxV
+		for j := range row {
+			row[j] -= logSum
+		}
+	}
+}
+
+// NLLLoss computes the mean negative log-likelihood of log-probability rows
+// logp against integer labels, and (if grad non-nil) writes d(loss)/d(logp)
+// into grad. Rows with label < 0 are ignored (masked nodes).
+func NLLLoss(logp *Dense, labels []int32, grad *Dense) float64 {
+	if len(labels) != logp.Rows {
+		panic("tensor: nll labels length")
+	}
+	if grad != nil {
+		grad.assertSameShape(logp)
+		grad.Zero()
+	}
+	var loss float64
+	n := 0
+	for i, lbl := range labels {
+		if lbl < 0 {
+			continue
+		}
+		loss -= float64(logp.At(i, int(lbl)))
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	if grad != nil {
+		inv := float32(-1.0 / float64(n))
+		for i, lbl := range labels {
+			if lbl < 0 {
+				continue
+			}
+			grad.Set(i, int(lbl), inv)
+		}
+	}
+	return loss / float64(n)
+}
+
+// LogSoftmaxBackward computes the input gradient of log-softmax given the
+// output logp and upstream gradient dOut: dIn = dOut - softmax * rowsum(dOut).
+func LogSoftmaxBackward(dIn, logp, dOut *Dense) {
+	dIn.assertSameShape(logp)
+	dOut.assertSameShape(logp)
+	for i := 0; i < logp.Rows; i++ {
+		lrow := logp.Row(i)
+		grow := dOut.Row(i)
+		drow := dIn.Row(i)
+		var sum float32
+		for _, g := range grow {
+			sum += g
+		}
+		for j := range drow {
+			drow[j] = grow[j] - float32(math.Exp(float64(lrow[j])))*sum
+		}
+	}
+}
+
+// ArgmaxRows writes the index of the max element of each row into out.
+func (t *Dense) ArgmaxRows(out []int32) {
+	if len(out) != t.Rows {
+		panic("tensor: argmax out length")
+	}
+	for i := 0; i < t.Rows; i++ {
+		row := t.Row(i)
+		best, bestJ := float32(math.Inf(-1)), 0
+		for j, v := range row {
+			if v > best {
+				best, bestJ = v, j
+			}
+		}
+		out[i] = int32(bestJ)
+	}
+}
+
+// Norm2 returns the Frobenius norm.
+func (t *Dense) Norm2() float64 {
+	var s float64
+	for _, v := range t.Data {
+		s += float64(v) * float64(v)
+	}
+	return math.Sqrt(s)
+}
+
+// MaxAbsDiff returns the max elementwise absolute difference between t and o.
+func (t *Dense) MaxAbsDiff(o *Dense) float64 {
+	t.assertSameShape(o)
+	var m float64
+	for i := range t.Data {
+		d := math.Abs(float64(t.Data[i] - o.Data[i]))
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}

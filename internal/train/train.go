@@ -1,0 +1,317 @@
+// Package train runs real mini-batch GNN training over the prep executors:
+// models genuinely fit (loss decreases, accuracy rises), so the paper's
+// accuracy experiments (Table 6, Figures 3 and 6) are live experiments here
+// rather than replayed numbers.
+//
+// Wall-clock timing in this package is real but machine-local; the paper's
+// full-scale timing claims are reproduced separately by the calibrated
+// virtual-time simulations in internal/pipeline and internal/ddp.
+package train
+
+import (
+	"fmt"
+	"time"
+
+	"salient/internal/dataset"
+	"salient/internal/nn"
+	"salient/internal/prep"
+	"salient/internal/sampler"
+	"salient/internal/slicing"
+	"salient/internal/tensor"
+)
+
+// ExecutorKind selects the batch-preparation data path.
+type ExecutorKind int
+
+const (
+	ExecSalient ExecutorKind = iota // shared-memory workers, dynamic balancing
+	ExecPyG                         // DataLoader model: static split + IPC copy
+)
+
+func (k ExecutorKind) String() string {
+	if k == ExecPyG {
+		return "pyg"
+	}
+	return "salient"
+}
+
+// Config are the training hyperparameters (paper Table 5 defaults).
+type Config struct {
+	Arch      string // "SAGE", "GAT", "GIN" or "SAGE-RI"
+	Hidden    int
+	Layers    int
+	Fanouts   []int // training fanouts, Fanouts[0] for GNN layer 1
+	BatchSize int
+	LR        float64
+	Workers   int
+	Executor  ExecutorKind
+	Seed      uint64
+
+	// WeightDecay enables decoupled (AdamW-style) weight decay.
+	WeightDecay float64
+	// ClipNorm, when positive, rescales gradients to this global L2 norm
+	// before each optimizer step.
+	ClipNorm float64
+	// Schedule maps epoch to a learning-rate multiplier (nil = constant).
+	Schedule nn.LRSchedule
+}
+
+// Defaults fills unset fields with the paper's GraphSAGE settings.
+func (c *Config) Defaults() {
+	if c.Arch == "" {
+		c.Arch = "SAGE"
+	}
+	if c.Hidden == 0 {
+		c.Hidden = 256
+	}
+	if c.Layers == 0 {
+		c.Layers = 3
+	}
+	if len(c.Fanouts) == 0 {
+		c.Fanouts = []int{15, 10, 5}
+	}
+	if c.BatchSize == 0 {
+		c.BatchSize = 1024
+	}
+	if c.LR == 0 {
+		c.LR = 3e-3
+	}
+	if c.Workers == 0 {
+		c.Workers = 4
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+}
+
+// NewModel constructs the named architecture from the paper's appendix.
+func NewModel(arch string, cfg nn.ModelConfig) (nn.Model, error) {
+	switch arch {
+	case "SAGE":
+		return nn.NewGraphSAGE(cfg), nil
+	case "GAT":
+		return nn.NewGAT(cfg), nil
+	case "GIN":
+		return nn.NewGIN(cfg), nil
+	case "SAGE-RI":
+		return nn.NewSAGERI(cfg), nil
+	}
+	return nil, fmt.Errorf("train: unknown architecture %q", arch)
+}
+
+// EpochStats summarizes one training epoch.
+type EpochStats struct {
+	Epoch     int
+	Loss      float64 // mean NLL over batches
+	Acc       float64 // training accuracy over seed nodes
+	Batches   int
+	Wall      time.Duration // end-to-end epoch wall time
+	PrepWait  time.Duration // time the training loop blocked waiting on prep
+	Compute   time.Duration // forward+backward+step time
+	NodesSeen int           // total expanded-neighborhood rows processed
+	EdgesSeen int
+}
+
+// Trainer owns a model, its optimizer, and a batch-preparation executor.
+type Trainer struct {
+	DS    *dataset.Dataset
+	Model nn.Model
+	Cfg   Config
+
+	opt      *nn.Adam
+	salient  *prep.Salient
+	pyg      *prep.PyG
+	features *tensor.Dense // reusable decode target
+}
+
+// New builds a trainer over ds. Fanout length must equal the layer count.
+func New(ds *dataset.Dataset, cfg Config) (*Trainer, error) {
+	cfg.Defaults()
+	if len(cfg.Fanouts) != cfg.Layers {
+		return nil, fmt.Errorf("train: %d fanouts for %d layers", len(cfg.Fanouts), cfg.Layers)
+	}
+	model, err := NewModel(cfg.Arch, nn.ModelConfig{
+		In:     ds.FeatDim,
+		Hidden: cfg.Hidden,
+		Out:    ds.NumClasses,
+		Layers: cfg.Layers,
+		Seed:   cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	tr := &Trainer{DS: ds, Model: model, Cfg: cfg, opt: nn.NewAdam(model.Params(), cfg.LR)}
+	if cfg.WeightDecay > 0 {
+		tr.opt.WithWeightDecay(cfg.WeightDecay)
+	}
+	opts := prep.Options{
+		Workers:   cfg.Workers,
+		BatchSize: cfg.BatchSize,
+		Fanouts:   cfg.Fanouts,
+		Ordered:   true, // bit-reproducible training
+	}
+	switch cfg.Executor {
+	case ExecSalient:
+		opts.Sampler = sampler.FastConfig()
+		tr.salient, err = prep.NewSalient(ds, opts)
+	case ExecPyG:
+		opts.Sampler = sampler.BaselineConfig()
+		tr.pyg, err = prep.NewPyG(ds, opts)
+	default:
+		err = fmt.Errorf("train: unknown executor %v", cfg.Executor)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return tr, nil
+}
+
+// run starts the configured executor for one epoch.
+func (t *Trainer) run(seeds []int32, epochSeed uint64) *prep.Stream {
+	if t.salient != nil {
+		return t.salient.Run(seeds, epochSeed)
+	}
+	return t.pyg.Run(seeds, epochSeed)
+}
+
+// epochSeed derives the per-epoch shuffling/sampling seed.
+func (t *Trainer) epochSeed(epoch int) uint64 {
+	return t.Cfg.Seed*0x9e3779b97f4a7c15 + uint64(epoch) + 1
+}
+
+// TrainEpoch runs one epoch of mini-batch SGD over the training split.
+func (t *Trainer) TrainEpoch(epoch int) EpochStats {
+	st := EpochStats{Epoch: epoch}
+	if t.Cfg.Schedule != nil {
+		t.opt.SetLRFactor(t.Cfg.Schedule(epoch))
+	}
+	start := time.Now()
+	stream := t.run(t.DS.Train, t.epochSeed(epoch))
+
+	var correct, total int
+	pred := make([]int32, t.Cfg.BatchSize)
+	for {
+		waitStart := time.Now()
+		b, ok := <-stream.C
+		if !ok {
+			break
+		}
+		st.PrepWait += time.Since(waitStart)
+
+		cStart := time.Now()
+		x := t.decode(b.Buf)
+		logp := t.Model.Forward(x, b.MFG, true)
+		grad := tensor.New(logp.Rows, logp.Cols)
+		st.Loss += tensor.NLLLoss(logp, b.Buf.Labels, grad)
+		logp.ArgmaxRows(pred[:logp.Rows])
+		for i := 0; i < logp.Rows; i++ {
+			if pred[i] == b.Buf.Labels[i] {
+				correct++
+			}
+		}
+		total += logp.Rows
+		nn.ZeroGrad(t.Model.Params())
+		t.Model.Backward(grad)
+		if t.Cfg.ClipNorm > 0 {
+			nn.ClipGradNorm(t.Model.Params(), t.Cfg.ClipNorm)
+		}
+		t.opt.Step(t.Model.Params())
+
+		st.Batches++
+		st.NodesSeen += b.MFG.TotalNodes()
+		st.EdgesSeen += b.MFG.TotalEdges()
+		st.Compute += time.Since(cStart)
+		b.Release()
+	}
+	stream.Wait()
+	st.Wall = time.Since(start)
+	if st.Batches > 0 {
+		st.Loss /= float64(st.Batches)
+	}
+	if total > 0 {
+		st.Acc = float64(correct) / float64(total)
+	}
+	return st
+}
+
+// decode widens a staged half-precision batch into the reusable float32
+// tensor (the GPU-side conversion in the paper).
+func (t *Trainer) decode(buf *slicing.Pinned) *tensor.Dense {
+	if t.features == nil || t.features.Rows != buf.Rows || t.features.Cols != buf.Dim {
+		t.features = tensor.New(buf.Rows, buf.Dim)
+	}
+	slicing.DecodeFeatures(t.features, buf)
+	return t.features
+}
+
+// Fit trains for n epochs and returns per-epoch stats.
+func (t *Trainer) Fit(epochs int) []EpochStats {
+	out := make([]EpochStats, 0, epochs)
+	for e := 0; e < epochs; e++ {
+		out = append(out, t.TrainEpoch(e))
+	}
+	return out
+}
+
+// Evaluate runs sampled inference over the given nodes with the given
+// fanouts (paper §5's unified inference path) and returns accuracy.
+func (t *Trainer) Evaluate(nodes []int32, fanouts []int, seed uint64) (float64, error) {
+	ex, err := prep.NewSalient(t.DS, prep.Options{
+		Workers:   t.Cfg.Workers,
+		BatchSize: t.Cfg.BatchSize,
+		Fanouts:   fanouts,
+		Sampler:   sampler.FastConfig(),
+	})
+	if err != nil {
+		return 0, err
+	}
+	stream := ex.Run(nodes, seed)
+	correct, total := 0, 0
+	pred := make([]int32, t.Cfg.BatchSize)
+	for b := range stream.C {
+		x := t.decode(b.Buf)
+		logp := t.Model.Forward(x, b.MFG, false)
+		logp.ArgmaxRows(pred[:logp.Rows])
+		for i := 0; i < logp.Rows; i++ {
+			if pred[i] == b.Buf.Labels[i] {
+				correct++
+			}
+		}
+		total += logp.Rows
+		b.Release()
+	}
+	stream.Wait()
+	if total == 0 {
+		return 0, nil
+	}
+	return float64(correct) / float64(total), nil
+}
+
+// FitEarlyStop trains up to maxEpochs, evaluating validation accuracy with
+// the given inference fanouts after every epoch, and stops once validation
+// accuracy has not improved for `patience` consecutive epochs. It returns
+// the per-epoch stats, the best validation accuracy, and the epoch it was
+// achieved at.
+func (t *Trainer) FitEarlyStop(maxEpochs, patience int, evalFanouts []int) ([]EpochStats, float64, int, error) {
+	if patience < 1 {
+		patience = 1
+	}
+	var stats []EpochStats
+	best, bestEpoch, stale := -1.0, -1, 0
+	for e := 0; e < maxEpochs; e++ {
+		stats = append(stats, t.TrainEpoch(e))
+		acc, err := t.Evaluate(t.DS.Val, evalFanouts, t.epochSeed(e)^0xace1)
+		if err != nil {
+			return stats, best, bestEpoch, err
+		}
+		if acc > best {
+			best, bestEpoch, stale = acc, e, 0
+		} else {
+			stale++
+			if stale >= patience {
+				break
+			}
+		}
+	}
+	return stats, best, bestEpoch, nil
+}

@@ -1,0 +1,186 @@
+package train
+
+import (
+	"math"
+	"testing"
+
+	"salient/internal/dataset"
+	"salient/internal/nn"
+)
+
+func smallDS(t testing.TB) *dataset.Dataset {
+	t.Helper()
+	ds, err := dataset.Load(dataset.Arxiv, 0.05)
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	return ds
+}
+
+func smallCfg() Config {
+	return Config{
+		Arch:      "SAGE",
+		Hidden:    32,
+		Layers:    2,
+		Fanouts:   []int{10, 5},
+		BatchSize: 128,
+		LR:        5e-3,
+		Workers:   2,
+		Seed:      7,
+	}
+}
+
+func TestTrainerLossDecreasesAccuracyRises(t *testing.T) {
+	ds := smallDS(t)
+	tr, err := New(ds, smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := tr.Fit(5)
+	first, last := stats[0], stats[len(stats)-1]
+	if !(last.Loss < first.Loss) {
+		t.Fatalf("loss did not decrease: %.4f -> %.4f", first.Loss, last.Loss)
+	}
+	if !(last.Acc > first.Acc) {
+		t.Fatalf("accuracy did not rise: %.4f -> %.4f", first.Acc, last.Acc)
+	}
+	if last.Acc < 0.30 {
+		t.Fatalf("final train accuracy %.4f too low for a learnable dataset", last.Acc)
+	}
+	for _, s := range stats {
+		if s.Batches == 0 || s.NodesSeen == 0 || s.EdgesSeen == 0 {
+			t.Fatalf("empty epoch stats: %+v", s)
+		}
+		if math.IsNaN(s.Loss) || math.IsInf(s.Loss, 0) {
+			t.Fatalf("non-finite loss at epoch %d: %v", s.Epoch, s.Loss)
+		}
+	}
+}
+
+func TestTrainerDeterministicGivenSeed(t *testing.T) {
+	ds := smallDS(t)
+	run := func() []EpochStats {
+		tr, err := New(ds, smallCfg())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tr.Fit(2)
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i].Loss != b[i].Loss || a[i].Acc != b[i].Acc {
+			t.Fatalf("epoch %d not reproducible: (%v,%v) vs (%v,%v)",
+				i, a[i].Loss, a[i].Acc, b[i].Loss, b[i].Acc)
+		}
+	}
+}
+
+func TestPyGExecutorTrainsEquivalently(t *testing.T) {
+	ds := smallDS(t)
+	cfg := smallCfg()
+	cfg.Executor = ExecPyG
+	tr, err := New(ds, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := tr.Fit(3)
+	if !(stats[2].Loss < stats[0].Loss) {
+		t.Fatalf("PyG-executor training failed to reduce loss: %.4f -> %.4f",
+			stats[0].Loss, stats[2].Loss)
+	}
+}
+
+func TestAllArchitecturesTrainOneEpoch(t *testing.T) {
+	ds := smallDS(t)
+	for _, arch := range []string{"SAGE", "GAT", "GIN", "SAGE-RI"} {
+		cfg := smallCfg()
+		cfg.Arch = arch
+		cfg.BatchSize = 256
+		tr, err := New(ds, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", arch, err)
+		}
+		s := tr.TrainEpoch(0)
+		if math.IsNaN(s.Loss) || s.Batches == 0 {
+			t.Fatalf("%s: bad epoch stats %+v", arch, s)
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	ds := smallDS(t)
+	cfg := smallCfg()
+	cfg.Fanouts = []int{5} // wrong length for 2 layers
+	if _, err := New(ds, cfg); err == nil {
+		t.Fatal("expected fanout/layer mismatch error")
+	}
+	cfg = smallCfg()
+	cfg.Arch = "GCN-nonexistent"
+	if _, err := New(ds, cfg); err == nil {
+		t.Fatal("expected unknown-architecture error")
+	}
+}
+
+func TestDefaultsMatchPaperTable5(t *testing.T) {
+	var c Config
+	c.Defaults()
+	if c.Hidden != 256 || c.Layers != 3 || c.BatchSize != 1024 {
+		t.Fatalf("defaults diverge from Table 5: %+v", c)
+	}
+	if len(c.Fanouts) != 3 || c.Fanouts[0] != 15 || c.Fanouts[1] != 10 || c.Fanouts[2] != 5 {
+		t.Fatalf("default fanouts %v, want (15,10,5)", c.Fanouts)
+	}
+}
+
+func TestEvaluateAndEarlyStop(t *testing.T) {
+	ds := smallDS(t)
+	cfg := smallCfg()
+	cfg.ClipNorm = 5
+	cfg.WeightDecay = 1e-4
+	cfg.Schedule = nn.CosineLR(20, 0.1)
+	tr, err := New(ds, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, bestVal, bestEpoch, err := tr.FitEarlyStop(12, 3, []int{20, 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats) == 0 || len(stats) > 12 {
+		t.Fatalf("ran %d epochs", len(stats))
+	}
+	if bestVal <= 1.0/float64(ds.NumClasses)*2 {
+		t.Fatalf("best val accuracy %.4f barely above chance", bestVal)
+	}
+	if bestEpoch < 0 || bestEpoch >= len(stats) {
+		t.Fatalf("best epoch %d out of range", bestEpoch)
+	}
+	// Evaluate must be repeatable with a fixed seed.
+	a, err := tr.Evaluate(ds.Val, []int{20, 20}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := tr.Evaluate(ds.Val, []int{20, 20}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("Evaluate not deterministic: %v vs %v", a, b)
+	}
+}
+
+func TestClipAndDecayStillLearn(t *testing.T) {
+	ds := smallDS(t)
+	cfg := smallCfg()
+	cfg.ClipNorm = 1
+	cfg.WeightDecay = 1e-3
+	tr, err := New(ds, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := tr.Fit(4)
+	if !(stats[3].Loss < stats[0].Loss) {
+		t.Fatalf("clipped+decayed training failed to reduce loss: %.4f -> %.4f",
+			stats[0].Loss, stats[3].Loss)
+	}
+}
