@@ -10,6 +10,9 @@
 //	                                  batching, cache, partition, memory,
 //	                                  sensitivity)
 //	salient train [flags]             train a model and report per-epoch stats
+//	salient serve [flags]             train briefly, then serve online
+//	                                  sampled-inference traffic and report
+//	                                  latency/occupancy/cache statistics
 //	salient gen [flags] <file>        generate a dataset and save its container
 //	salient stats [<file>]            print dataset statistics
 //
@@ -24,7 +27,12 @@
 //	-scale F       train/gen/stats: dataset scale factor (default 0.3)
 //	-epochs N      train: number of epochs (default 5)
 //	-executor E    train: salient | pyg (default salient)
-//	-workers N     train: preparation workers (default 4)
+//	-workers N     train/serve: preparation/batching workers (default 4)
+//	-rate F        serve: offered load in requests/sec (0 = closed loop)
+//	-requests N    serve: number of requests to serve (default 4000)
+//	-maxbatch N    serve: micro-batch size cap (default 32)
+//	-delay D       serve: micro-batch coalescing deadline (default 300µs)
+//	-cachefrac F   serve: GPU feature cache size as a fraction of N (default 0.2)
 package main
 
 import (
@@ -32,9 +40,12 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	"salient/internal/bench"
+	"salient/internal/cache"
 	"salient/internal/dataset"
+	"salient/internal/serve"
 	"salient/internal/train"
 )
 
@@ -55,6 +66,11 @@ func main() {
 	epochs := fs.Int("epochs", 5, "epochs for train")
 	executor := fs.String("executor", "salient", "batch-prep executor: salient|pyg")
 	workers := fs.Int("workers", 4, "preparation workers")
+	rate := fs.Float64("rate", 0, "serve: offered rps (0 = closed loop)")
+	requests := fs.Int("requests", 4000, "serve: request count")
+	maxBatch := fs.Int("maxbatch", 32, "serve: micro-batch cap")
+	delay := fs.Duration("delay", 300*time.Microsecond, "serve: coalescing deadline")
+	cacheFrac := fs.Float64("cachefrac", 0.2, "serve: feature cache fraction of N")
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(2)
 	}
@@ -77,6 +93,15 @@ func main() {
 		}
 	case "train":
 		if err := runTrain(*arch, *dsName, *scale, *epochs, *executor, *workers, *seed); err != nil {
+			fatal(err)
+		}
+	case "serve":
+		cfg := serveConfig{
+			arch: *arch, dataset: *dsName, scale: *scale, epochs: *epochs,
+			workers: *workers, rate: *rate, requests: *requests,
+			maxBatch: *maxBatch, delay: *delay, cacheFrac: *cacheFrac, seed: *seed,
+		}
+		if err := runServe(cfg); err != nil {
 			fatal(err)
 		}
 	case "gen":
@@ -160,6 +185,77 @@ func runTrain(arch, dsName string, scale float64, epochs int, executor string, w
 	return nil
 }
 
+type serveConfig struct {
+	arch      string
+	dataset   string
+	scale     float64
+	epochs    int
+	workers   int
+	rate      float64
+	requests  int
+	maxBatch  int
+	delay     time.Duration
+	cacheFrac float64
+	seed      uint64
+}
+
+// runServe trains a model briefly, stands up the online inference server,
+// drives it with synthetic single-node request traffic over the test split,
+// and prints the serving statistics.
+func runServe(c serveConfig) error {
+	ds, err := dataset.Load(c.dataset, c.scale)
+	if err != nil {
+		return err
+	}
+	fanouts := []int{10, 5}
+	tr, err := train.New(ds, train.Config{
+		Arch: c.arch, Hidden: 64, Layers: len(fanouts), Fanouts: fanouts,
+		BatchSize: 128, Workers: c.workers, Seed: c.seed,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("warming up: training %s on %s for %d epochs...\n", c.arch, ds.Name, c.epochs)
+	tr.Fit(c.epochs)
+
+	srv, err := serve.New(tr.Model, ds, serve.Options{
+		Fanouts:     fanouts,
+		Workers:     c.workers,
+		MaxBatch:    c.maxBatch,
+		MaxDelay:    c.delay,
+		Seed:        c.seed,
+		CacheRows:   int(float64(ds.G.N) * c.cacheFrac),
+		CachePolicy: cache.StaticDegree,
+	})
+	if err != nil {
+		return err
+	}
+	mode := "closed-loop (16 clients)"
+	if c.rate > 0 {
+		mode = fmt.Sprintf("open-loop at %.0f rps", c.rate)
+	}
+	fmt.Printf("serving %d requests over %d test nodes, %s...\n", c.requests, len(ds.Test), mode)
+
+	var wall time.Duration
+	if c.rate > 0 {
+		wall = serve.DriveOpenLoop(srv, ds.Test, c.rate, c.requests)
+	} else {
+		wall = serve.DriveClosedLoop(srv, ds.Test, 16, c.requests)
+	}
+	srv.Close()
+
+	st := srv.Stats()
+	fmt.Printf("\nserved     %d requests in %v (%.0f rps), %d rejected\n",
+		st.Served, wall.Round(time.Millisecond), float64(st.Served)/wall.Seconds(), st.Rejected)
+	fmt.Printf("batches    %d (occupancy mean %.1f, p95 %.0f req/batch)\n",
+		st.Batches, st.Occupancy.Mean, st.Occupancy.P95)
+	fmt.Printf("latency    p50 %.2fms  p95 %.2fms  p99 %.2fms  max %.2fms\n",
+		st.Latency.P50*1e3, st.Latency.P95*1e3, st.Latency.P99*1e3, st.Latency.Max*1e3)
+	fmt.Printf("transfers  %.1f MB moved, %.1f MB saved by the feature cache (hit rate %.0f%%)\n",
+		float64(st.BytesTransferred)/(1<<20), float64(st.BytesSaved)/(1<<20), 100*st.CacheHitRate())
+	return nil
+}
+
 // runGen materializes a preset dataset and writes it to a binary container.
 func runGen(name string, scale float64, args []string) error {
 	if len(args) != 1 {
@@ -211,7 +307,7 @@ func runStats(name string, scale float64, args []string) error {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: salient <list|all|train|experiment-id> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: salient <list|all|train|serve|experiment-id> [flags]")
 	fmt.Fprintln(os.Stderr, "experiments:", bench.IDs())
 }
 

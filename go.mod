@@ -1,0 +1,3 @@
+module salient
+
+go 1.22

@@ -83,7 +83,8 @@ func TestFig4AndFig5AndTable7Render(t *testing.T) {
 func TestRegistryCoversEveryPaperExhibit(t *testing.T) {
 	want := []string{"table1", "table2", "table3", "table6", "table7",
 		"fig1", "fig2", "fig3", "fig4", "fig5", "fig6",
-		"cache", "partition", "memory", "strategies", "sensitivity", "batching"}
+		"cache", "partition", "memory", "strategies", "sensitivity", "batching",
+		"serving"}
 	got := IDs()
 	if len(got) != len(want) {
 		t.Fatalf("registry has %d experiments, want %d: %v", len(got), len(want), got)
@@ -210,6 +211,23 @@ func TestCacheAblationRuns(t *testing.T) {
 	// The no-cache row must report a 0% hit rate and 100% feature bytes.
 	if tb.Rows[0][2] != "0.0%" || tb.Rows[0][3] != "100%" {
 		t.Fatalf("no-cache row wrong: %v", tb.Rows[0])
+	}
+}
+
+func TestServingSweepRunsAtTinyScale(t *testing.T) {
+	tb, err := ServingSweep(ServingOpts{
+		Scale: 0.05, Hidden: 16, Epochs: 1, Workers: 2, Requests: 200, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 3 {
+		t.Fatalf("want 3 offered-load levels, got %d", len(tb.Rows))
+	}
+	for _, row := range tb.Rows {
+		if len(row) != len(tb.Header) {
+			t.Fatalf("ragged row %v vs header %v", row, tb.Header)
+		}
 	}
 }
 

@@ -85,6 +85,10 @@ func Experiments() map[string]Experiment {
 			return []Table{t}, err
 		}},
 		{ID: "sensitivity", Paper: "§8 extension", Run: wrap(Sensitivity)},
+		{ID: "serving", Paper: "§5 extension", Run: func(o Options) ([]Table, error) {
+			t, err := ServingSweep(ServingOpts{Seed: o.Seed})
+			return []Table{t}, err
+		}},
 		{ID: "batching", Paper: "§7 extension", Run: func(o Options) ([]Table, error) {
 			t, err := BatchingStudy(o.Accuracy)
 			return []Table{t}, err

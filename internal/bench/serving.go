@@ -1,0 +1,159 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"salient/internal/cache"
+	"salient/internal/dataset"
+	"salient/internal/serve"
+	"salient/internal/train"
+)
+
+// ServingOpts configures the online-serving sweep.
+type ServingOpts struct {
+	Scale     float64       // arxiv stand-in scale
+	Hidden    int           // model width
+	Epochs    int           // warm-up training epochs
+	Workers   int           // server batching workers
+	MaxBatch  int           // micro-batch cap
+	MaxDelay  time.Duration // micro-batch coalescing deadline
+	Requests  int           // requests per load level
+	CacheFrac float64       // GPU feature cache size as a fraction of N
+	Seed      uint64
+}
+
+func (o *ServingOpts) defaults() {
+	if o.Scale == 0 {
+		o.Scale = 0.1
+	}
+	if o.Hidden == 0 {
+		o.Hidden = 32
+	}
+	if o.Epochs == 0 {
+		o.Epochs = 2
+	}
+	if o.Workers == 0 {
+		o.Workers = 4
+	}
+	if o.MaxBatch == 0 {
+		o.MaxBatch = 32
+	}
+	if o.MaxDelay == 0 {
+		o.MaxDelay = 300 * time.Microsecond
+	}
+	if o.Requests == 0 {
+		o.Requests = 2000
+	}
+	if o.CacheFrac == 0 {
+		o.CacheFrac = 0.2
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+}
+
+// ServingSweep is the throughput-versus-latency study for the online serving
+// layer (internal/serve): it first measures the server's closed-loop
+// capacity, then offers open-loop load at fractions of that capacity and
+// reports achieved throughput, rejection rate, micro-batch occupancy, tail
+// latency, and feature-cache savings at each level.
+//
+// The expected shape is the classic serving curve: below capacity, latency
+// sits near the coalescing deadline and nothing is rejected; at capacity,
+// occupancy rises as coalescing kicks in; past capacity, admission control
+// sheds the excess as rejections instead of letting latency collapse.
+func ServingSweep(o ServingOpts) (Table, error) {
+	o.defaults()
+	t := Table{
+		ID:    "serving",
+		Title: "Online sampled-inference serving: offered load vs latency (§5 extension)",
+		Header: []string{"Offered", "Achieved", "Rejected", "Occupancy",
+			"p50", "p95", "p99", "CacheHit"},
+	}
+	ds, err := dataset.Load(dataset.Arxiv, o.Scale)
+	if err != nil {
+		return t, err
+	}
+	fanouts := []int{10, 5}
+	tr, err := train.New(ds, train.Config{
+		Arch: "SAGE", Hidden: o.Hidden, Layers: len(fanouts), Fanouts: fanouts,
+		BatchSize: 128, Workers: o.Workers, Seed: o.Seed,
+	})
+	if err != nil {
+		return t, err
+	}
+	tr.Fit(o.Epochs)
+
+	newServer := func() (*serve.Server, error) {
+		return serve.New(tr.Model, ds, serve.Options{
+			Fanouts:       fanouts,
+			Workers:       o.Workers,
+			MaxBatch:      o.MaxBatch,
+			MaxDelay:      o.MaxDelay,
+			QueueCapacity: 1024,
+			Seed:          o.Seed + 13,
+			CacheRows:     int(float64(ds.G.N) * o.CacheFrac),
+			CachePolicy:   cache.StaticDegree,
+		})
+	}
+
+	// Closed-loop calibration: saturate with parallel clients to find the
+	// server's service capacity in requests/second.
+	capacity, err := closedLoopCapacity(newServer, ds.Test, o.Requests)
+	if err != nil {
+		return t, err
+	}
+
+	for _, frac := range []float64{0.5, 1.0, 2.0} {
+		st, achieved, err := openLoopLevel(newServer, ds.Test, frac*capacity, o.Requests)
+		if err != nil {
+			return t, err
+		}
+		rejFrac := 0.0
+		if st.Submitted+st.Rejected > 0 {
+			rejFrac = float64(st.Rejected) / float64(st.Submitted+st.Rejected)
+		}
+		t.AddRow(
+			fmt.Sprintf("%.0f rps (%.1fx)", frac*capacity, frac),
+			fmt.Sprintf("%.0f rps", achieved),
+			pct(rejFrac),
+			fmt.Sprintf("%.1f req/batch", st.Occupancy.Mean),
+			ms(st.Latency.P50), ms(st.Latency.P95), ms(st.Latency.P99),
+			pct(st.CacheHitRate()),
+		)
+	}
+	t.AddNote("closed-loop capacity %.0f rps; %d requests/level; %d workers, batch<=%d, delay %v",
+		capacity, o.Requests, o.Workers, o.MaxBatch, o.MaxDelay)
+	t.AddNote("cache: static-degree, %.0f%% of nodes; rejection = admission control shedding past capacity",
+		100*o.CacheFrac)
+	return t, nil
+}
+
+// ms formats seconds as milliseconds.
+func ms(sec float64) string { return fmt.Sprintf("%.2fms", sec*1e3) }
+
+// closedLoopCapacity drives the server with enough always-busy clients to
+// saturate it and returns the sustained service rate.
+func closedLoopCapacity(newServer func() (*serve.Server, error), nodes []int32, requests int) (float64, error) {
+	s, err := newServer()
+	if err != nil {
+		return 0, err
+	}
+	defer s.Close()
+	wall := serve.DriveClosedLoop(s, nodes, 16, requests)
+	return float64(requests) / wall.Seconds(), nil
+}
+
+// openLoopLevel offers load at a fixed rate and returns the server's stats
+// for the level plus the achieved goodput in requests/second.
+func openLoopLevel(newServer func() (*serve.Server, error), nodes []int32, rate float64, requests int) (serve.Stats, float64, error) {
+	s, err := newServer()
+	if err != nil {
+		return serve.Stats{}, 0, err
+	}
+	wall := serve.DriveOpenLoop(s, nodes, rate, requests)
+	s.Close()
+	st := s.Stats()
+	return st, float64(st.Served) / wall.Seconds(), nil
+}

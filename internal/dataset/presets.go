@@ -1,5 +1,7 @@
 package dataset
 
+import "fmt"
+
 // Preset names for the three paper benchmark datasets.
 const (
 	Arxiv    = "arxiv"
@@ -76,7 +78,15 @@ func PresetConfig(name string, scale float64) Config {
 	}
 }
 
-// Load generates the named preset dataset at the given scale.
+// Load generates the named preset dataset at the given scale. Unlike
+// PresetConfig (which panics on programmer error), Load reports an unknown
+// preset name as an error, since the name typically arrives from a CLI flag.
 func Load(name string, scale float64) (*Dataset, error) {
+	switch name {
+	case Arxiv, Products, Papers:
+	default:
+		return nil, fmt.Errorf("dataset: unknown preset %q (have %s, %s, %s)",
+			name, Arxiv, Products, Papers)
+	}
 	return Generate(PresetConfig(name, scale))
 }

@@ -1,0 +1,99 @@
+package event
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Recorder accumulates scalar samples (latencies in seconds, batch
+// occupancies, ...) and summarizes them with order statistics. It complements
+// the virtual-time resources in this package: those model where time goes,
+// the Recorder reports how it distributes.
+//
+// Recorder is not safe for concurrent use; callers that record from multiple
+// goroutines must synchronize externally.
+type Recorder struct {
+	samples []float64
+	sorted  bool
+}
+
+// Add records one sample.
+func (r *Recorder) Add(v float64) {
+	r.samples = append(r.samples, v)
+	r.sorted = false
+}
+
+// Count returns the number of recorded samples.
+func (r *Recorder) Count() int { return len(r.samples) }
+
+// Mean returns the arithmetic mean, or 0 with no samples.
+func (r *Recorder) Mean() float64 {
+	if len(r.samples) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range r.samples {
+		sum += v
+	}
+	return sum / float64(len(r.samples))
+}
+
+// Max returns the largest sample, or 0 with no samples.
+func (r *Recorder) Max() float64 {
+	m := 0.0
+	for i, v := range r.samples {
+		if i == 0 || v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Quantile returns the p-quantile (0 <= p <= 1) using the nearest-rank
+// method on the sorted samples, or 0 with no samples.
+func (r *Recorder) Quantile(p float64) float64 {
+	n := len(r.samples)
+	if n == 0 {
+		return 0
+	}
+	if !r.sorted {
+		sort.Float64s(r.samples)
+		r.sorted = true
+	}
+	rank := int(math.Ceil(p*float64(n))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= n {
+		rank = n - 1
+	}
+	return r.samples[rank]
+}
+
+// Summary is the fixed set of order statistics the serving experiments
+// report for a latency or occupancy distribution.
+type Summary struct {
+	Count         int
+	Mean          float64
+	P50, P95, P99 float64
+	Max           float64
+}
+
+// Summarize computes the standard summary of the recorded samples.
+func (r *Recorder) Summarize() Summary {
+	return Summary{
+		Count: r.Count(),
+		Mean:  r.Mean(),
+		P50:   r.Quantile(0.50),
+		P95:   r.Quantile(0.95),
+		P99:   r.Quantile(0.99),
+		Max:   r.Max(),
+	}
+}
+
+// String renders the summary compactly, interpreting values as seconds.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.3gs p50=%.3gs p95=%.3gs p99=%.3gs max=%.3gs",
+		s.Count, s.Mean, s.P50, s.P95, s.P99, s.Max)
+}

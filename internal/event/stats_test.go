@@ -1,0 +1,60 @@
+package event
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRecorderEmpty(t *testing.T) {
+	var r Recorder
+	s := r.Summarize()
+	if s.Count != 0 || s.Mean != 0 || s.P50 != 0 || s.P99 != 0 || s.Max != 0 {
+		t.Fatalf("empty summary not zero: %+v", s)
+	}
+}
+
+func TestRecorderQuantiles(t *testing.T) {
+	var r Recorder
+	// 1..100 in scrambled order; nearest-rank quantiles are exact.
+	for i := 0; i < 100; i++ {
+		r.Add(float64((i*37)%100 + 1))
+	}
+	if got := r.Quantile(0.50); got != 50 {
+		t.Errorf("p50 = %v, want 50", got)
+	}
+	if got := r.Quantile(0.95); got != 95 {
+		t.Errorf("p95 = %v, want 95", got)
+	}
+	if got := r.Quantile(0.99); got != 99 {
+		t.Errorf("p99 = %v, want 99", got)
+	}
+	if got := r.Quantile(1.0); got != 100 {
+		t.Errorf("p100 = %v, want 100", got)
+	}
+	if got := r.Quantile(0); got != 1 {
+		t.Errorf("p0 = %v, want 1", got)
+	}
+	if got := r.Max(); got != 100 {
+		t.Errorf("max = %v, want 100", got)
+	}
+	if got := r.Mean(); math.Abs(got-50.5) > 1e-9 {
+		t.Errorf("mean = %v, want 50.5", got)
+	}
+}
+
+func TestRecorderInterleavedAddAndQuantile(t *testing.T) {
+	// Adding after a quantile query must re-sort, not corrupt.
+	var r Recorder
+	r.Add(3)
+	r.Add(1)
+	if got := r.Quantile(0.5); got != 1 {
+		t.Fatalf("p50 of {1,3} = %v, want 1", got)
+	}
+	r.Add(2)
+	if got := r.Quantile(0.5); got != 2 {
+		t.Fatalf("p50 of {1,2,3} = %v, want 2", got)
+	}
+	if r.Count() != 3 {
+		t.Fatalf("count = %d, want 3", r.Count())
+	}
+}

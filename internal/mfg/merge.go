@@ -1,0 +1,106 @@
+package mfg
+
+// Merge combines independently sampled MFGs into one batched MFG whose
+// forward pass is row-for-row equivalent to running each input separately:
+// the merged graph is the disjoint (block-diagonal) union of the inputs,
+// re-labeled so the package's ordering invariants still hold (destinations a
+// prefix of sources, adjacent blocks chaining).
+//
+// The merged seed order is the concatenation of the inputs' seed orders, so
+// output row Σbatch(0..i-1)+j of a forward pass over the merged MFG is the
+// prediction for input i's seed j. Inputs must have the same number of
+// layers. No aliasing: the result owns all its storage.
+//
+// This is the coalescing primitive of the online serving layer: requests are
+// sampled independently (keeping per-request determinism regardless of how
+// they happen to batch) and merged for one amortized slice + forward.
+func Merge(ms []*MFG) *MFG {
+	if len(ms) == 0 {
+		return nil
+	}
+	if len(ms) == 1 {
+		return ms[0].Clone()
+	}
+	layers := len(ms[0].Blocks)
+	for _, m := range ms[1:] {
+		if len(m.Blocks) != layers {
+			panic("mfg: Merge inputs have differing layer counts")
+		}
+	}
+
+	// ref identifies one node of one input: (input index, local ID). Level ℓ
+	// is the source node set of block ℓ; level `layers` is the seed set.
+	type ref struct {
+		in  int
+		loc int32
+	}
+	levelSize := func(m *MFG, l int) int32 {
+		if l == layers {
+			return m.Batch
+		}
+		return m.Blocks[l].NumSrc
+	}
+
+	// Build the merged node order per level, top (seeds) down: level ℓ is
+	// level ℓ+1 (the destination prefix) followed by each input's newly
+	// discovered sources in input order.
+	orders := make([][]ref, layers+1)
+	for i, m := range ms {
+		for v := int32(0); v < m.Batch; v++ {
+			orders[layers] = append(orders[layers], ref{i, v})
+		}
+	}
+	for l := layers - 1; l >= 0; l-- {
+		ord := append(make([]ref, 0, 2*len(orders[l+1])), orders[l+1]...)
+		for i, m := range ms {
+			b := &m.Blocks[l]
+			for v := b.NumDst; v < b.NumSrc; v++ {
+				ord = append(ord, ref{i, v})
+			}
+		}
+		orders[l] = ord
+	}
+
+	// Invert each level's order into per-input local→merged maps.
+	localToMerged := func(l int) [][]int32 {
+		maps := make([][]int32, len(ms))
+		for i, m := range ms {
+			maps[i] = make([]int32, levelSize(m, l))
+		}
+		for merged, r := range orders[l] {
+			maps[r.in][r.loc] = int32(merged)
+		}
+		return maps
+	}
+
+	out := &MFG{Blocks: make([]Block, layers)}
+	for _, m := range ms {
+		out.Batch += m.Batch
+	}
+	out.NodeIDs = make([]int32, len(orders[0]))
+	for merged, r := range orders[0] {
+		out.NodeIDs[merged] = ms[r.in].NodeIDs[r.loc]
+	}
+	for l := 0; l < layers; l++ {
+		srcMap := localToMerged(l)
+		dstOrd := orders[l+1]
+		blk := Block{
+			NumDst: int32(len(dstOrd)),
+			NumSrc: int32(len(orders[l])),
+			DstPtr: make([]int32, 1, len(dstOrd)+1),
+		}
+		edges := 0
+		for _, m := range ms {
+			edges += m.Blocks[l].NumEdges()
+		}
+		blk.Src = make([]int32, 0, edges)
+		for _, r := range dstOrd {
+			for _, s := range ms[r.in].Blocks[l].Neighbors(r.loc) {
+				blk.Src = append(blk.Src, srcMap[r.in][s])
+			}
+			blk.DstPtr = append(blk.DstPtr, int32(len(blk.Src)))
+		}
+		out.Blocks[l] = blk
+	}
+	return out
+}

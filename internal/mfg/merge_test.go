@@ -1,0 +1,108 @@
+package mfg
+
+import (
+	"reflect"
+	"testing"
+)
+
+// chain2 builds a small valid 2-layer MFG by hand:
+//
+//	layer-1 block (outer): dsts are the layer-boundary nodes, srcs add extras
+//	layer-2 block (inner): dsts are the seeds
+func chain2(nodeIDs []int32, seeds int32, inner, outer Block) *MFG {
+	return &MFG{Blocks: []Block{outer, inner}, NodeIDs: nodeIDs, Batch: seeds}
+}
+
+func singleton(id int32, neighbors ...int32) *MFG {
+	// One seed, one layer-boundary set {seed, n1..nk}, outer block re-samples
+	// the same neighbors for every boundary node (content is irrelevant to
+	// the merge invariants; shape is what matters).
+	nIDs := append([]int32{id}, neighbors...)
+	nb := int32(len(neighbors))
+	innerSrc := make([]int32, 0, nb+1)
+	for v := int32(0); v <= nb; v++ {
+		innerSrc = append(innerSrc, v)
+	}
+	inner := Block{DstPtr: []int32{0, nb + 1}, Src: innerSrc, NumDst: 1, NumSrc: nb + 1}
+	outer := Block{DstPtr: make([]int32, 1, nb+2), NumDst: nb + 1, NumSrc: nb + 1}
+	for v := int32(0); v <= nb; v++ {
+		outer.Src = append(outer.Src, v)
+		outer.DstPtr = append(outer.DstPtr, int32(len(outer.Src)))
+	}
+	return chain2(nIDs, 1, inner, outer)
+}
+
+func TestMergeValidAndSeedOrder(t *testing.T) {
+	a := singleton(10, 11, 12)
+	b := singleton(20, 21)
+	c := singleton(30)
+	m := Merge([]*MFG{a, b, c})
+	if err := m.Validate(); err != nil {
+		t.Fatalf("merged MFG invalid: %v", err)
+	}
+	if m.Batch != 3 {
+		t.Fatalf("Batch = %d, want 3", m.Batch)
+	}
+	// Seed prefix of NodeIDs must be the inputs' seeds in input order.
+	if got := m.NodeIDs[:3]; !reflect.DeepEqual(got, []int32{10, 20, 30}) {
+		t.Fatalf("seed prefix = %v, want [10 20 30]", got)
+	}
+	if m.TotalNodes() != a.TotalNodes()+b.TotalNodes()+c.TotalNodes() {
+		t.Fatalf("TotalNodes = %d, want %d", m.TotalNodes(),
+			a.TotalNodes()+b.TotalNodes()+c.TotalNodes())
+	}
+	if m.TotalEdges() != a.TotalEdges()+b.TotalEdges()+c.TotalEdges() {
+		t.Fatalf("TotalEdges = %d, want %d", m.TotalEdges(),
+			a.TotalEdges()+b.TotalEdges()+c.TotalEdges())
+	}
+}
+
+func TestMergeDisjointUnion(t *testing.T) {
+	// Every merged destination's neighborhood must map back, via NodeIDs, to
+	// exactly the global-ID neighborhood it had in its input MFG — i.e. the
+	// merge is a relabeled disjoint union with no cross-edges.
+	ins := []*MFG{singleton(10, 11, 12), singleton(20, 21)}
+	m := Merge(ins)
+	for l := range m.Blocks {
+		want := map[int32][]int32{} // dst global ID -> neighbor global IDs
+		for _, in := range ins {
+			b := &in.Blocks[l]
+			for v := int32(0); v < b.NumDst; v++ {
+				var ids []int32
+				for _, s := range b.Neighbors(v) {
+					ids = append(ids, in.NodeIDs[s])
+				}
+				want[in.NodeIDs[v]] = ids
+			}
+		}
+		b := &m.Blocks[l]
+		if int(b.NumDst) != len(want) {
+			t.Fatalf("layer %d: NumDst = %d, want %d", l, b.NumDst, len(want))
+		}
+		for v := int32(0); v < b.NumDst; v++ {
+			var ids []int32
+			for _, s := range b.Neighbors(v) {
+				ids = append(ids, m.NodeIDs[s])
+			}
+			if !reflect.DeepEqual(ids, want[m.NodeIDs[v]]) {
+				t.Fatalf("layer %d dst %d (global %d): neighbors %v, want %v",
+					l, v, m.NodeIDs[v], ids, want[m.NodeIDs[v]])
+			}
+		}
+	}
+}
+
+func TestMergeSingleInputClones(t *testing.T) {
+	a := singleton(5, 6)
+	m := Merge([]*MFG{a})
+	if err := m.Validate(); err != nil {
+		t.Fatalf("invalid: %v", err)
+	}
+	m.NodeIDs[0] = 99
+	if a.NodeIDs[0] != 5 {
+		t.Fatal("Merge of one input aliases its storage")
+	}
+	if Merge(nil) != nil {
+		t.Fatal("Merge(nil) != nil")
+	}
+}

@@ -168,8 +168,13 @@ func shuffled(seeds []int32, epochSeed uint64) []int32 {
 	return perm
 }
 
-// batchRNG returns the deterministic RNG for a given (epoch, batch) pair.
-func batchRNG(epochSeed uint64, index int) *rng.Rand {
+// BatchRNG returns the deterministic RNG for a given (epoch, batch) pair.
+// It is the executors' sampling-RNG derivation, exported so other consumers
+// of the data path (the online serving layer) can reproduce exactly the
+// sample a given epoch batch would draw — serve keys per-request sampling to
+// BatchRNG(seed, 0), the RNG of a singleton epoch, making each prediction
+// identical to one-shot infer.Sampled on that node alone.
+func BatchRNG(epochSeed uint64, index int) *rng.Rand {
 	return rng.New(epochSeed*0x9e3779b97f4a7c15 + uint64(index)*0xbf58476d1ce4e5b9 + 1)
 }
 
@@ -302,7 +307,7 @@ func (e *Salient) Run(seeds []int32, epochSeed uint64) *Stream {
 // scratch, and slice features and labels into a pinned buffer.
 func (e *Salient) prepare(sm *sampler.Sampler, perm []int32, epochSeed uint64, idx int) *Batch {
 	seeds := batchSeeds(perm, e.opts.BatchSize, idx)
-	m := cloneMFG(sm.Sample(batchRNG(epochSeed, idx), seeds))
+	m := cloneMFG(sm.Sample(BatchRNG(epochSeed, idx), seeds))
 	buf := e.pool.Get()
 	if err := slicing.SliceHalf(buf, e.ds.FeatHalf, e.ds.FeatDim, e.ds.Labels, m.NodeIDs, len(seeds)); err != nil {
 		// Impossible by construction (batch ≤ nodes); fail loudly.
@@ -400,7 +405,7 @@ func (e *PyG) Run(seeds []int32, epochSeed uint64) *Stream {
 			for idx := w; idx < nb; idx += p {
 				start := time.Now()
 				sd := batchSeeds(perm, e.opts.BatchSize, idx)
-				m := cloneMFG(sm.Sample(batchRNG(epochSeed, idx), sd))
+				m := cloneMFG(sm.Sample(BatchRNG(epochSeed, idx), sd))
 				// Second copy: pickling across the process boundary.
 				sb := sampled{idx: idx, seeds: sd, m: cloneMFG(m)}
 				s.workerBusy[w] += time.Since(start)

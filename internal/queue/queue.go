@@ -33,8 +33,15 @@ type MPMC[T any] struct {
 	closed  atomic.Bool
 }
 
-// New returns a queue with capacity rounded up to the next power of two
-// (minimum 2).
+// New returns a queue able to hold at least capacity elements.
+//
+// The actual capacity (reported by Cap) is capacity rounded up to the next
+// power of two, with a floor of 2: the Vyukov algorithm masks sequence
+// numbers by capacity-1, so slots must be a power of two. Any capacity <= 2
+// — including zero and negative values — yields the minimum capacity of 2.
+// Callers sizing a queue as an admission-control bound should therefore
+// treat the requested capacity as a lower bound and use Cap for the exact
+// saturation point.
 func New[T any](capacity int) *MPMC[T] {
 	n := 2
 	for n < capacity {

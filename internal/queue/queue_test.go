@@ -28,14 +28,49 @@ func TestFIFOSingleThread(t *testing.T) {
 }
 
 func TestCapacityRounding(t *testing.T) {
-	if got := New[int](5).Cap(); got != 8 {
-		t.Fatalf("Cap = %d, want 8", got)
+	// The documented contract: Cap() == max(2, next power of two >= capacity),
+	// and capacity <= 0 is accepted, yielding the minimum. The serving layer
+	// sizes its admission bound off this, so it is a regression surface.
+	cases := []struct{ request, want int }{
+		{-3, 2},
+		{0, 2},
+		{1, 2},
+		{2, 2},
+		{3, 4},
+		{5, 8},
+		{16, 16},
+		{1000, 1024},
 	}
-	if got := New[int](1).Cap(); got != 2 {
-		t.Fatalf("Cap = %d, want 2", got)
+	for _, c := range cases {
+		if got := New[int](c.request).Cap(); got != c.want {
+			t.Errorf("New(%d).Cap() = %d, want %d", c.request, got, c.want)
+		}
 	}
-	if got := New[int](16).Cap(); got != 16 {
-		t.Fatalf("Cap = %d, want 16", got)
+}
+
+func TestDegenerateCapacityUsable(t *testing.T) {
+	// Queues built from degenerate capacities must still satisfy the full
+	// push/pop contract: exactly Cap() slots, FIFO order, reject when full.
+	for _, request := range []int{0, 1, 3} {
+		q := New[int](request)
+		n := q.Cap()
+		for i := 0; i < n; i++ {
+			if !q.TryPush(i) {
+				t.Fatalf("New(%d): TryPush(%d) failed below Cap()=%d", request, i, n)
+			}
+		}
+		if q.TryPush(n) {
+			t.Fatalf("New(%d): TryPush succeeded past Cap()=%d", request, n)
+		}
+		for i := 0; i < n; i++ {
+			v, ok := q.TryPop()
+			if !ok || v != i {
+				t.Fatalf("New(%d): TryPop = %d,%v want %d,true", request, v, ok, i)
+			}
+		}
+		if _, ok := q.TryPop(); ok {
+			t.Fatalf("New(%d): TryPop succeeded on drained queue", request)
+		}
 	}
 }
 

@@ -1,0 +1,66 @@
+package serve
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// Load drivers shared by the bench sweep and the CLI: the two canonical ways
+// to offer traffic to a Server. Requests cycle over the given node set.
+
+// DriveClosedLoop submits exactly `requests` requests from `clients`
+// always-busy goroutines (request i goes to client i%clients), retrying
+// saturation rejections — the classic closed-loop client that measures
+// service capacity. It returns the wall time of the run. Errors other than
+// ErrSaturated (e.g. a concurrently closed server) abort that client.
+func DriveClosedLoop(s *Server, nodes []int32, clients, requests int) time.Duration {
+	if clients < 1 {
+		clients = 1
+	}
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := c; i < requests; i += clients {
+				v := nodes[i%len(nodes)]
+				for {
+					_, err := s.Submit(v)
+					if errors.Is(err, ErrSaturated) {
+						continue
+					}
+					break
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	return time.Since(start)
+}
+
+// DriveOpenLoop offers `requests` requests at a fixed rate (one dispatch per
+// 1/rate seconds, fire-and-forget), the open-loop client that exposes
+// latency and rejection behaviour under a set offered load. It returns the
+// wall time from first dispatch until every outstanding request completed;
+// rejections land in the server's Stats.
+func DriveOpenLoop(s *Server, nodes []int32, rate float64, requests int) time.Duration {
+	interval := time.Duration(float64(time.Second) / rate)
+	var wg sync.WaitGroup
+	start := time.Now()
+	next := start
+	for i := 0; i < requests; i++ {
+		if d := time.Until(next); d > 0 {
+			time.Sleep(d)
+		}
+		next = next.Add(interval)
+		wg.Add(1)
+		go func(v int32) {
+			defer wg.Done()
+			s.Submit(v) //nolint:errcheck // rejections are the measurement
+		}(nodes[i%len(nodes)])
+	}
+	wg.Wait()
+	return time.Since(start)
+}

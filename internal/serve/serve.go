@@ -1,0 +1,428 @@
+// Package serve is the online inference layer: a request server built on
+// SALIENT's batch-preparation data path (paper §5's argument that sampled
+// inference reuses the training pipeline, taken to its serving conclusion).
+//
+// Clients call Submit with a single node and block for its predicted label.
+// Internally, requests land in the same lock-free MPMC ring the executors
+// use for dynamic load balancing (internal/queue); worker goroutines pull a
+// request and coalesce whatever else has arrived — up to MaxBatch requests
+// or until MaxDelay has elapsed since the micro-batch opened — then run one
+// fused prepare-and-forward over the coalesced set: per-request neighborhood
+// sampling, a block-diagonal MFG merge (mfg.Merge), one slice into a pinned
+// staging buffer, and one model forward.
+//
+// Determinism: each request is sampled independently with the RNG a
+// singleton inference epoch would use (prep.BatchRNG(seed, 0)), and the
+// merged forward is row-for-row equal to singleton forwards, so the answer
+// for a node never depends on which requests it happened to share a
+// micro-batch with — Submit(v) always equals one-shot infer.Sampled on {v}.
+//
+// Backpressure: the ring is the admission bound. When it is full, Submit
+// fails fast with ErrSaturated instead of queueing unbounded work, so
+// saturation degrades into rejections rather than latency collapse or
+// deadlock.
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"salient/internal/cache"
+	"salient/internal/dataset"
+	"salient/internal/event"
+	"salient/internal/mfg"
+	"salient/internal/nn"
+	"salient/internal/prep"
+	"salient/internal/queue"
+	"salient/internal/sampler"
+	"salient/internal/slicing"
+	"salient/internal/tensor"
+)
+
+// ErrSaturated is returned by Submit when the admission queue is full: the
+// server is at capacity and the caller should back off or shed the request.
+var ErrSaturated = errors.New("serve: server saturated, request rejected")
+
+// ErrClosed is returned by Submit after Close.
+var ErrClosed = errors.New("serve: server closed")
+
+// Options configures a Server.
+type Options struct {
+	// Fanouts are the per-layer inference fanouts (Table 6). Required, and
+	// must match the model's layer count.
+	Fanouts []int
+	// Workers is the number of batching workers pulling from the request
+	// ring. Default 2.
+	Workers int
+	// MaxBatch caps how many requests one micro-batch coalesces. Default 64.
+	MaxBatch int
+	// MaxDelay bounds how long an open micro-batch waits for more requests
+	// after its first one arrives. Zero selects the default of 500µs; a
+	// negative value means "drain what is already queued, never wait".
+	MaxDelay time.Duration
+	// QueueCapacity is the admission bound: the minimum number of requests
+	// that may wait in the ring before Submit rejects (rounded up by
+	// internal/queue to a power of two). Default 1024.
+	QueueCapacity int
+	// Seed keys per-request sampling. A server with seed s answers Submit(v)
+	// exactly as infer.Sampled(model, ds, {v}, Options{Seed: s}) would.
+	// Default 1.
+	Seed uint64
+	// CacheRows enables the GPU feature cache (internal/cache) with the
+	// given row capacity; 0 disables caching. The cache only affects the
+	// transfer accounting in Stats, never predictions.
+	CacheRows int
+	// CachePolicy selects the cache policy when CacheRows > 0.
+	CachePolicy cache.Policy
+}
+
+func (o *Options) normalize() error {
+	if len(o.Fanouts) == 0 {
+		return fmt.Errorf("serve: no fanouts")
+	}
+	if o.Workers < 1 {
+		o.Workers = 2
+	}
+	if o.MaxBatch < 1 {
+		o.MaxBatch = 64
+	}
+	if o.MaxDelay < 0 {
+		o.MaxDelay = 0
+	} else if o.MaxDelay == 0 {
+		o.MaxDelay = 500 * time.Microsecond
+	}
+	if o.QueueCapacity < 1 {
+		o.QueueCapacity = 1024
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return nil
+}
+
+// request is one in-flight Submit.
+type request struct {
+	node int32
+	enq  time.Time
+	done chan result
+}
+
+type result struct {
+	label int32
+	err   error
+}
+
+// Stats is a snapshot of the server's counters and distributions.
+type Stats struct {
+	Submitted int64 // requests accepted into the ring
+	Rejected  int64 // requests refused with ErrSaturated
+	Served    int64 // requests answered
+	Batches   int64 // micro-batches executed
+
+	Latency   event.Summary // per-request Submit→answer latency, seconds
+	Occupancy event.Summary // requests per micro-batch
+
+	// Transfer accounting against the GPU feature cache (zero-valued when
+	// caching is disabled). Bytes assume half-precision feature rows, as the
+	// host stores them.
+	CacheLookups     int64
+	CacheHits        int64
+	BytesTransferred int64
+	BytesSaved       int64
+}
+
+// CacheHitRate returns the fraction of feature-row lookups served from the
+// device cache.
+func (s Stats) CacheHitRate() float64 {
+	if s.CacheLookups == 0 {
+		return 0
+	}
+	return float64(s.CacheHits) / float64(s.CacheLookups)
+}
+
+// Server is an online sampled-inference server over a trained model. Create
+// with New, submit with Submit from any number of goroutines, and Close when
+// done.
+type Server struct {
+	model nn.Model
+	ds    *dataset.Dataset
+	opts  Options
+
+	ring *queue.MPMC[*request]
+	pool *slicing.Pool
+
+	// doorbell wakes one parked worker after a push; stop (closed by Close)
+	// wakes them all for the final drain. Workers park instead of spinning on
+	// the ring so an idle long-lived server costs no CPU.
+	doorbell chan struct{}
+	stop     chan struct{}
+
+	// modelMu serializes forwards: models keep internal backward scratch, and
+	// the modeled system has one GPU compute stream anyway.
+	modelMu sync.Mutex
+
+	cacheMu sync.Mutex
+	cache   *cache.Cache
+
+	statsMu   sync.Mutex
+	submitted int64
+	rejected  int64
+	served    int64
+	batches   int64
+	latency   event.Recorder
+	occupancy event.Recorder
+	bytesMove int64
+	bytesSave int64
+
+	// gate orders Submit's push against Close: Submit pushes under the read
+	// lock, Close flips closing under the write lock before closing the ring,
+	// so no push can land after the workers have drained and exited.
+	gate    sync.RWMutex
+	closing bool
+
+	wg     sync.WaitGroup
+	closed sync.Once
+}
+
+// New starts a server over a trained model and its dataset. The caller keeps
+// ownership of both but must not train the model while the server is live.
+func New(m nn.Model, ds *dataset.Dataset, opts Options) (*Server, error) {
+	if err := opts.normalize(); err != nil {
+		return nil, err
+	}
+	s := &Server{
+		model:    m,
+		ds:       ds,
+		opts:     opts,
+		ring:     queue.New[*request](opts.QueueCapacity),
+		doorbell: make(chan struct{}, 1),
+		stop:     make(chan struct{}),
+	}
+	rows := maxRows(opts.MaxBatch, opts.Fanouts, int(ds.G.N))
+	s.pool = slicing.NewPool(opts.Workers, rows, ds.FeatDim, opts.MaxBatch)
+	if opts.CacheRows > 0 {
+		c, err := cache.New(ds.G, opts.CacheRows, opts.CachePolicy)
+		if err != nil {
+			return nil, err
+		}
+		s.cache = c
+	}
+	for w := 0; w < opts.Workers; w++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s, nil
+}
+
+// maxRows bounds the staged row count of a full micro-batch. Each request
+// expands to at most min(Π(fanout+1), n) nodes, and mfg.Merge is a disjoint
+// union (a node sampled by two requests is staged twice), so the batch bound
+// is batch × that per-request cap — not the graph size.
+func maxRows(batch int, fanouts []int, n int) int {
+	per := 1
+	for _, f := range fanouts {
+		if per >= n {
+			break
+		}
+		per *= f + 1
+	}
+	if per > n {
+		per = n
+	}
+	return batch * per
+}
+
+// Submit requests a prediction for node and blocks until it is answered or
+// rejected. It is safe to call from any number of goroutines. Saturation is
+// reported as ErrSaturated without blocking; a closed server reports
+// ErrClosed.
+func (s *Server) Submit(node int32) (int32, error) {
+	if node < 0 || node >= int32(s.ds.G.N) {
+		return 0, fmt.Errorf("serve: node %d out of range [0,%d)", node, s.ds.G.N)
+	}
+	req := &request{node: node, enq: time.Now(), done: make(chan result, 1)}
+	s.gate.RLock()
+	if s.closing {
+		s.gate.RUnlock()
+		return 0, ErrClosed
+	}
+	pushed := s.ring.TryPush(req)
+	s.gate.RUnlock()
+	if !pushed {
+		s.statsMu.Lock()
+		s.rejected++
+		s.statsMu.Unlock()
+		return 0, ErrSaturated
+	}
+	// Ring the doorbell (one token is enough: a woken worker drains the ring
+	// before parking again, and re-rings if work remains for its peers).
+	select {
+	case s.doorbell <- struct{}{}:
+	default:
+	}
+	s.statsMu.Lock()
+	s.submitted++
+	s.statsMu.Unlock()
+	r := <-req.done
+	return r.label, r.err
+}
+
+// Close stops admitting requests, drains and answers everything already
+// queued, and waits for the workers to exit. Safe to call more than once.
+func (s *Server) Close() {
+	s.closed.Do(func() {
+		s.gate.Lock()
+		s.closing = true
+		s.gate.Unlock()
+		s.ring.Close()
+		close(s.stop)
+		s.wg.Wait()
+	})
+}
+
+// Stats returns a snapshot of the server's accumulated statistics.
+func (s *Server) Stats() Stats {
+	s.statsMu.Lock()
+	defer s.statsMu.Unlock()
+	st := Stats{
+		Submitted:        s.submitted,
+		Rejected:         s.rejected,
+		Served:           s.served,
+		Batches:          s.batches,
+		Latency:          s.latency.Summarize(),
+		Occupancy:        s.occupancy.Summarize(),
+		BytesTransferred: s.bytesMove,
+		BytesSaved:       s.bytesSave,
+	}
+	if s.cache != nil {
+		s.cacheMu.Lock()
+		cs := s.cache.Stats()
+		s.cacheMu.Unlock()
+		st.CacheLookups = cs.Lookups
+		st.CacheHits = cs.Hits
+	}
+	return st
+}
+
+// worker pulls one request, coalesces a deadline-bounded micro-batch behind
+// it, and executes the batch end-to-end on the SALIENT data path. Between
+// micro-batches it parks on the doorbell, so idle servers consume no CPU.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	sm := sampler.New(s.ds.G, s.opts.Fanouts, sampler.FastConfig())
+	batch := make([]*request, 0, s.opts.MaxBatch)
+	var x *tensor.Dense // reused decode buffer, as infer.Sampled does
+	for {
+		first, ok := s.ring.TryPop()
+		if !ok {
+			// Park until a push or shutdown; on shutdown keep draining until
+			// the ring is verifiably empty after the closed flag is visible.
+			select {
+			case <-s.doorbell:
+				continue
+			case <-s.stop:
+				if first, ok = s.ring.TryPop(); !ok {
+					return
+				}
+			}
+		}
+		// One doorbell token wakes one worker; if more requests are already
+		// queued behind this one, wake a peer to coalesce in parallel.
+		if s.ring.Len() > 0 {
+			select {
+			case s.doorbell <- struct{}{}:
+			default:
+			}
+		}
+		batch = append(batch[:0], first)
+		deadline := time.Now().Add(s.opts.MaxDelay)
+		for len(batch) < s.opts.MaxBatch {
+			r, ok := s.ring.TryPop()
+			if ok {
+				batch = append(batch, r)
+				continue
+			}
+			if s.ring.Closed() || !time.Now().Before(deadline) {
+				break
+			}
+			// The ring is empty but the batch still has headroom and time:
+			// yield briefly rather than spinning hot on TryPop.
+			time.Sleep(10 * time.Microsecond)
+		}
+		x = s.execute(sm, x, batch)
+	}
+}
+
+// execute answers one coalesced micro-batch: sample each request
+// independently, merge, slice, forward once, and deliver per-request rows.
+// x is the worker's reusable decode tensor; the (possibly reallocated)
+// buffer is returned for the next batch.
+func (s *Server) execute(sm *sampler.Sampler, x *tensor.Dense, batch []*request) *tensor.Dense {
+	mfgs := make([]*mfg.MFG, len(batch))
+	for i, req := range batch {
+		// Singleton-epoch RNG: this exact draw is what infer.Sampled performs
+		// for a one-node request, which pins per-request determinism no
+		// matter how requests coalesce.
+		r := prep.BatchRNG(s.opts.Seed, 0)
+		mfgs[i] = sm.Sample(r, []int32{req.node}).Clone()
+	}
+	merged := mfg.Merge(mfgs)
+
+	buf := s.pool.Get()
+	err := slicing.SliceHalf(buf, s.ds.FeatHalf, s.ds.FeatDim, s.ds.Labels,
+		merged.NodeIDs, int(merged.Batch))
+	if err != nil {
+		s.pool.Put(buf)
+		s.deliverError(batch, err)
+		return x
+	}
+	if x == nil || x.Rows != buf.Rows || x.Cols != buf.Dim {
+		x = tensor.New(buf.Rows, buf.Dim)
+	}
+	slicing.DecodeFeatures(x, buf)
+
+	s.modelMu.Lock()
+	logp := s.model.Forward(x, merged, false)
+	pred := make([]int32, logp.Rows)
+	logp.ArgmaxRows(pred)
+	s.modelMu.Unlock()
+	s.pool.Put(buf)
+
+	transferred := int64(len(merged.NodeIDs))
+	saved := int64(0)
+	if s.cache != nil {
+		s.cacheMu.Lock()
+		misses := s.cache.TouchBatch(merged.NodeIDs)
+		s.cacheMu.Unlock()
+		saved = int64(len(merged.NodeIDs) - misses)
+		transferred = int64(misses)
+	}
+	rowBytes := int64(s.ds.FeatDim) * 2 // half-precision host rows
+
+	now := time.Now()
+	s.statsMu.Lock()
+	s.batches++
+	s.served += int64(len(batch))
+	s.occupancy.Add(float64(len(batch)))
+	for _, req := range batch {
+		s.latency.Add(now.Sub(req.enq).Seconds())
+	}
+	s.bytesMove += transferred * rowBytes
+	s.bytesSave += saved * rowBytes
+	s.statsMu.Unlock()
+
+	// Merged row i is request i's seed (mfg.Merge seed-order contract).
+	for i, req := range batch {
+		req.done <- result{label: pred[i]}
+	}
+	return x
+}
+
+// deliverError fails every request of a micro-batch with the same error.
+func (s *Server) deliverError(batch []*request, err error) {
+	for _, req := range batch {
+		req.done <- result{err: err}
+	}
+}

@@ -1,0 +1,276 @@
+package serve
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"salient/internal/cache"
+	"salient/internal/dataset"
+	"salient/internal/infer"
+	"salient/internal/train"
+)
+
+// fitted trains a small model once per test binary; the serving tests all
+// read from it concurrently through the server's own synchronization.
+var fittedOnce struct {
+	sync.Once
+	ds  *dataset.Dataset
+	tr  *train.Trainer
+	err error
+}
+
+func fitted(t testing.TB) (*dataset.Dataset, *train.Trainer) {
+	t.Helper()
+	fittedOnce.Do(func() {
+		ds, err := dataset.Load(dataset.Arxiv, 0.05)
+		if err != nil {
+			fittedOnce.err = err
+			return
+		}
+		tr, err := train.New(ds, train.Config{
+			Arch: "SAGE", Hidden: 32, Layers: 2, Fanouts: []int{10, 5},
+			BatchSize: 128, LR: 5e-3, Workers: 2, Seed: 3,
+		})
+		if err != nil {
+			fittedOnce.err = err
+			return
+		}
+		tr.Fit(2)
+		fittedOnce.ds, fittedOnce.tr = ds, tr
+	})
+	if fittedOnce.err != nil {
+		t.Fatal(fittedOnce.err)
+	}
+	return fittedOnce.ds, fittedOnce.tr
+}
+
+const serveSeed = 7
+
+var serveFanouts = []int{10, 5}
+
+// singleShot computes the ground truth the server must match: one-shot
+// infer.Sampled on each node alone, with the server's seed and fanouts.
+func singleShot(t testing.TB, nodes []int32) map[int32]int32 {
+	t.Helper()
+	ds, tr := fitted(t)
+	want := make(map[int32]int32, len(nodes))
+	for _, v := range nodes {
+		if _, ok := want[v]; ok {
+			continue
+		}
+		pred, err := infer.Sampled(tr.Model, ds, []int32{v}, infer.Options{
+			Fanouts: serveFanouts, BatchSize: 1, Workers: 1, Seed: serveSeed,
+		})
+		if err != nil {
+			t.Fatalf("infer.Sampled(%d): %v", v, err)
+		}
+		want[v] = pred[0]
+	}
+	return want
+}
+
+func TestSubmitMatchesSingleShotInference(t *testing.T) {
+	ds, tr := fitted(t)
+	nodes := ds.Test[:50]
+	want := singleShot(t, nodes)
+
+	s, err := New(tr.Model, ds, Options{
+		Fanouts: serveFanouts, Workers: 3, MaxBatch: 8,
+		MaxDelay: 200 * time.Microsecond, Seed: serveSeed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	// Sequential submissions: whatever micro-batches form, every answer must
+	// equal the singleton ground truth.
+	for _, v := range nodes {
+		got, err := s.Submit(v)
+		if err != nil {
+			t.Fatalf("Submit(%d): %v", v, err)
+		}
+		if got != want[v] {
+			t.Fatalf("Submit(%d) = %d, want %d (single-shot infer.Sampled)", v, got, want[v])
+		}
+	}
+}
+
+func TestConcurrentSubmittersDeterministic(t *testing.T) {
+	ds, tr := fitted(t)
+	nodes := ds.Test[:32]
+	want := singleShot(t, nodes)
+
+	s, err := New(tr.Model, ds, Options{
+		Fanouts: serveFanouts, Workers: 4, MaxBatch: 16,
+		MaxDelay: 300 * time.Microsecond, QueueCapacity: 4096, Seed: serveSeed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	// 64 submitters × 8 requests each, all hammering the same node set so
+	// coalescing mixes them arbitrarily across micro-batches.
+	const submitters, perSubmitter = 64, 8
+	errs := make(chan error, submitters)
+	var wg sync.WaitGroup
+	for g := 0; g < submitters; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perSubmitter; i++ {
+				v := nodes[(g*perSubmitter+i)%len(nodes)]
+				got, err := s.Submit(v)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if got != want[v] {
+					errs <- errors.New("prediction mismatch under concurrency")
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	st := s.Stats()
+	if st.Served != submitters*perSubmitter {
+		t.Fatalf("served %d, want %d", st.Served, submitters*perSubmitter)
+	}
+	if st.Latency.Count != int(st.Served) {
+		t.Fatalf("latency samples %d != served %d", st.Latency.Count, st.Served)
+	}
+	if st.Batches == 0 || st.Occupancy.Count != int(st.Batches) {
+		t.Fatalf("occupancy samples %d vs batches %d", st.Occupancy.Count, st.Batches)
+	}
+}
+
+func TestSaturationRejectsWithoutDeadlock(t *testing.T) {
+	ds, tr := fitted(t)
+	nodes := ds.Test[:16]
+	want := singleShot(t, nodes)
+
+	// A two-slot ring and one worker against 32 hot submitters: admission
+	// control must shed load with ErrSaturated, and every accepted request
+	// must still be answered correctly — no deadlock, no wrong rows.
+	s, err := New(tr.Model, ds, Options{
+		Fanouts: serveFanouts, Workers: 1, MaxBatch: 4,
+		MaxDelay: 0, QueueCapacity: 2, Seed: serveSeed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	const submitters, perSubmitter = 32, 16
+	var rejected, served int64
+	var mu sync.Mutex
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		var wg sync.WaitGroup
+		for g := 0; g < submitters; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				for i := 0; i < perSubmitter; i++ {
+					v := nodes[(g+i)%len(nodes)]
+					got, err := s.Submit(v)
+					mu.Lock()
+					switch {
+					case errors.Is(err, ErrSaturated):
+						rejected++
+					case err != nil:
+						mu.Unlock()
+						t.Errorf("Submit(%d): %v", v, err)
+						return
+					case got != want[v]:
+						mu.Unlock()
+						t.Errorf("Submit(%d) = %d, want %d", v, got, want[v])
+						return
+					default:
+						served++
+					}
+					mu.Unlock()
+				}
+			}(g)
+		}
+		wg.Wait()
+	}()
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatal("saturated server deadlocked")
+	}
+
+	if rejected == 0 {
+		t.Fatal("no rejections despite a 2-slot ring under 32 hot submitters")
+	}
+	if served == 0 {
+		t.Fatal("every request rejected; server made no progress")
+	}
+	st := s.Stats()
+	if st.Rejected != rejected || st.Served != served {
+		t.Fatalf("stats {rejected %d, served %d} disagree with observed {%d, %d}",
+			st.Rejected, st.Served, rejected, served)
+	}
+}
+
+func TestCacheAccounting(t *testing.T) {
+	ds, tr := fitted(t)
+	s, err := New(tr.Model, ds, Options{
+		Fanouts: serveFanouts, Workers: 2, MaxBatch: 8, Seed: serveSeed,
+		CacheRows: int(ds.G.N) / 4, CachePolicy: cache.StaticDegree,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range ds.Test[:64] {
+		if _, err := s.Submit(v); err != nil {
+			t.Fatalf("Submit(%d): %v", v, err)
+		}
+	}
+	s.Close()
+	st := s.Stats()
+	if st.CacheLookups == 0 {
+		t.Fatal("cache enabled but no lookups recorded")
+	}
+	if st.CacheHits == 0 {
+		t.Fatal("quarter-graph static-degree cache recorded zero hits")
+	}
+	if st.BytesSaved == 0 || st.BytesTransferred == 0 {
+		t.Fatalf("transfer accounting empty: %+v", st)
+	}
+	rowBytes := int64(ds.FeatDim) * 2
+	if st.BytesSaved+st.BytesTransferred != st.CacheLookups*rowBytes {
+		t.Fatalf("saved %d + transferred %d != lookups %d × row %d",
+			st.BytesSaved, st.BytesTransferred, st.CacheLookups, rowBytes)
+	}
+}
+
+func TestSubmitAfterCloseAndBadNode(t *testing.T) {
+	ds, tr := fitted(t)
+	s, err := New(tr.Model, ds, Options{Fanouts: serveFanouts, Seed: serveSeed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Submit(int32(ds.G.N)); err == nil {
+		t.Fatal("out-of-range node accepted")
+	}
+	if _, err := s.Submit(-1); err == nil {
+		t.Fatal("negative node accepted")
+	}
+	s.Close()
+	s.Close() // idempotent
+	if _, err := s.Submit(0); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Submit after Close = %v, want ErrClosed", err)
+	}
+}
