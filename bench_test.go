@@ -116,7 +116,9 @@ func BenchmarkTable6(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	tr.Fit(4)
+	if _, err := tr.Fit(4); err != nil {
+		b.Fatal(err)
+	}
 	for _, fan := range []int{20, 10, 5} {
 		b.Run("fanout="+itoa(fan), func(b *testing.B) {
 			var acc float64
@@ -198,7 +200,9 @@ func BenchmarkFig3(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	tr.Fit(3)
+	if _, err := tr.Fit(3); err != nil {
+		b.Fatal(err)
+	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		pred, err := infer.Sampled(tr.Model, ds, ds.Test, infer.Options{
@@ -332,7 +336,9 @@ func BenchmarkTrainEpoch(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		tr.TrainEpoch(i)
+		if _, err := tr.TrainEpoch(i); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

@@ -8,7 +8,7 @@
 //	salient <experiment> [flags]      run one: fig1..fig6, table1..table7,
 //	                                  or the extension studies (strategies,
 //	                                  batching, cache, partition, memory,
-//	                                  sensitivity)
+//	                                  sensitivity, featurestore)
 //	salient train [flags]             train a model and report per-epoch stats
 //	salient serve [flags]             train briefly, then serve online
 //	                                  sampled-inference traffic and report
@@ -28,11 +28,20 @@
 //	-epochs N      train: number of epochs (default 5)
 //	-executor E    train: salient | pyg (default salient)
 //	-workers N     train/serve: preparation/batching workers (default 4)
+//	-store S       train/serve: feature store: flat | sharded | cached |
+//	               sharded+cached (default: flat for train; for serve,
+//	               cached when -cachefrac > 0, else flat)
+//	-parts N       train/serve: shard count for -store sharded (default 4)
+//	-placement P   train/serve: shard placement: ldg | random (default ldg)
 //	-rate F        serve: offered load in requests/sec (0 = closed loop)
 //	-requests N    serve: number of requests to serve (default 4000)
 //	-maxbatch N    serve: micro-batch size cap (default 32)
 //	-delay D       serve: micro-batch coalescing deadline (default 300µs)
-//	-cachefrac F   serve: GPU feature cache size as a fraction of N (default 0.2)
+//	-cachefrac F   serve, and train with -store cached: feature cache size
+//	               as a fraction of N (default 0.2)
+//
+// Bad flag values exit with status 2 and a usage message instead of running
+// with silently substituted defaults.
 package main
 
 import (
@@ -46,8 +55,32 @@ import (
 	"salient/internal/cache"
 	"salient/internal/dataset"
 	"salient/internal/serve"
+	"salient/internal/store"
 	"salient/internal/train"
 )
+
+// cliFlags holds every parsed flag value so subcommand validation sees one
+// struct instead of a pile of pointers.
+type cliFlags struct {
+	seed        uint64
+	full        bool
+	allRows     bool
+	tracePrefix string
+	arch        string
+	dataset     string
+	scale       float64
+	epochs      int
+	executor    string
+	workers     int
+	storeKind   string
+	parts       int
+	placement   string
+	rate        float64
+	requests    int
+	maxBatch    int
+	delay       time.Duration
+	cacheFrac   float64
+}
 
 func main() {
 	if len(os.Args) < 2 {
@@ -56,29 +89,39 @@ func main() {
 	}
 	cmd := os.Args[1]
 	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
-	seed := fs.Uint64("seed", 1, "simulation seed")
-	full := fs.Bool("full", false, "thorough accuracy preset")
-	allRows := fs.Bool("all", false, "fig2: full scatter")
-	tracePrefix := fs.String("trace", "", "fig1: write Chrome trace JSON files with this path prefix")
-	arch := fs.String("arch", "SAGE", "architecture for train")
-	dsName := fs.String("dataset", "arxiv", "dataset for train")
-	scale := fs.Float64("scale", 0.3, "dataset scale for train")
-	epochs := fs.Int("epochs", 5, "epochs for train")
-	executor := fs.String("executor", "salient", "batch-prep executor: salient|pyg")
-	workers := fs.Int("workers", 4, "preparation workers")
-	rate := fs.Float64("rate", 0, "serve: offered rps (0 = closed loop)")
-	requests := fs.Int("requests", 4000, "serve: request count")
-	maxBatch := fs.Int("maxbatch", 32, "serve: micro-batch cap")
-	delay := fs.Duration("delay", 300*time.Microsecond, "serve: coalescing deadline")
-	cacheFrac := fs.Float64("cachefrac", 0.2, "serve: feature cache fraction of N")
+	var f cliFlags
+	fs.Uint64Var(&f.seed, "seed", 1, "simulation seed")
+	fs.BoolVar(&f.full, "full", false, "thorough accuracy preset")
+	fs.BoolVar(&f.allRows, "all", false, "fig2: full scatter")
+	fs.StringVar(&f.tracePrefix, "trace", "", "fig1: write Chrome trace JSON files with this path prefix")
+	fs.StringVar(&f.arch, "arch", "SAGE", "architecture for train")
+	fs.StringVar(&f.dataset, "dataset", "arxiv", "dataset for train")
+	fs.Float64Var(&f.scale, "scale", 0.3, "dataset scale for train")
+	fs.IntVar(&f.epochs, "epochs", 5, "epochs for train")
+	fs.StringVar(&f.executor, "executor", "salient", "batch-prep executor: salient|pyg")
+	fs.IntVar(&f.workers, "workers", 4, "preparation workers")
+	fs.StringVar(&f.storeKind, "store", "", "feature store: flat|sharded|cached|sharded+cached (empty = subcommand default)")
+	fs.IntVar(&f.parts, "parts", 4, "shard count for -store sharded")
+	fs.StringVar(&f.placement, "placement", "ldg", "shard placement: ldg|random")
+	fs.Float64Var(&f.rate, "rate", 0, "serve: offered rps (0 = closed loop)")
+	fs.IntVar(&f.requests, "requests", 4000, "serve: request count")
+	fs.IntVar(&f.maxBatch, "maxbatch", 32, "serve: micro-batch cap")
+	fs.DurationVar(&f.delay, "delay", 300*time.Microsecond, "serve: coalescing deadline")
+	fs.Float64Var(&f.cacheFrac, "cachefrac", 0.2, "feature cache fraction of N")
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(2)
 	}
+	if err := f.validate(cmd); err != nil {
+		fmt.Fprintf(os.Stderr, "salient %s: %v\n", cmd, err)
+		usage()
+		os.Exit(2)
+	}
+	f.resolveStore(cmd)
 
 	opts := bench.DefaultOptions()
-	opts.Seed = *seed
-	opts.AllRows = *allRows
-	if *full {
+	opts.Seed = f.seed
+	opts.AllRows = f.allRows
+	if f.full {
 		opts.Accuracy = bench.FullAcc()
 	}
 
@@ -92,24 +135,19 @@ func main() {
 			fatal(err)
 		}
 	case "train":
-		if err := runTrain(*arch, *dsName, *scale, *epochs, *executor, *workers, *seed); err != nil {
+		if err := runTrain(f); err != nil {
 			fatal(err)
 		}
 	case "serve":
-		cfg := serveConfig{
-			arch: *arch, dataset: *dsName, scale: *scale, epochs: *epochs,
-			workers: *workers, rate: *rate, requests: *requests,
-			maxBatch: *maxBatch, delay: *delay, cacheFrac: *cacheFrac, seed: *seed,
-		}
-		if err := runServe(cfg); err != nil {
+		if err := runServe(f); err != nil {
 			fatal(err)
 		}
 	case "gen":
-		if err := runGen(*dsName, *scale, fs.Args()); err != nil {
+		if err := runGen(f.dataset, f.scale, fs.Args()); err != nil {
 			fatal(err)
 		}
 	case "stats":
-		if err := runStats(*dsName, *scale, fs.Args()); err != nil {
+		if err := runStats(f.dataset, f.scale, fs.Args()); err != nil {
 			fatal(err)
 		}
 	case "help", "-h", "--help":
@@ -118,12 +156,115 @@ func main() {
 		if err := bench.RunOne(os.Stdout, cmd, opts); err != nil {
 			fatal(err)
 		}
-		if cmd == "fig1" && *tracePrefix != "" {
-			if err := writeTraces(*tracePrefix, *seed); err != nil {
+		if cmd == "fig1" && f.tracePrefix != "" {
+			if err := writeTraces(f.tracePrefix, f.seed); err != nil {
 				fatal(err)
 			}
 		}
 	}
+}
+
+// oneOf reports whether v is among the allowed values.
+func oneOf(v string, allowed ...string) bool {
+	for _, a := range allowed {
+		if v == a {
+			return true
+		}
+	}
+	return false
+}
+
+// validate rejects out-of-domain flag values for the subcommands that read
+// them, so a typo fails loudly instead of running with defaults.
+func (f *cliFlags) validate(cmd string) error {
+	switch cmd {
+	case "train", "serve", "gen", "stats":
+		if !oneOf(f.dataset, dataset.Arxiv, dataset.Products, dataset.Papers) {
+			return fmt.Errorf("unknown -dataset %q (want arxiv, products, or papers)", f.dataset)
+		}
+		if f.scale <= 0 {
+			return fmt.Errorf("-scale must be > 0, got %g", f.scale)
+		}
+	}
+	switch cmd {
+	case "train", "serve":
+		if !oneOf(f.arch, "SAGE", "GAT", "GIN", "SAGE-RI") {
+			return fmt.Errorf("unknown -arch %q (want SAGE, GAT, GIN, or SAGE-RI)", f.arch)
+		}
+		if f.epochs < 1 {
+			return fmt.Errorf("-epochs must be >= 1, got %d", f.epochs)
+		}
+		if f.workers < 1 {
+			return fmt.Errorf("-workers must be >= 1, got %d", f.workers)
+		}
+		if !store.ValidKind(f.storeKind) {
+			return fmt.Errorf("unknown -store %q (want flat, sharded, cached, or sharded+cached)", f.storeKind)
+		}
+		if f.parts < 1 {
+			return fmt.Errorf("-parts must be >= 1, got %d", f.parts)
+		}
+		if !store.ValidPlacement(f.placement) {
+			return fmt.Errorf("unknown -placement %q (want ldg or random)", f.placement)
+		}
+		if f.cacheFrac < 0 || f.cacheFrac > 1 {
+			return fmt.Errorf("-cachefrac must be in [0,1], got %g", f.cacheFrac)
+		}
+		// An explicitly requested cache layer needs a nonzero size; a
+		// zero-row cache would otherwise round into a silent default.
+		if oneOf(f.storeKind, "cached", "sharded+cached") && f.cacheFrac == 0 {
+			return fmt.Errorf("-store %s requires -cachefrac > 0", f.storeKind)
+		}
+	}
+	if cmd == "train" && !oneOf(f.executor, "salient", "pyg") {
+		return fmt.Errorf("unknown -executor %q (want salient or pyg)", f.executor)
+	}
+	if cmd == "serve" {
+		if f.rate < 0 {
+			return fmt.Errorf("-rate must be >= 0, got %g", f.rate)
+		}
+		if f.requests < 1 {
+			return fmt.Errorf("-requests must be >= 1, got %d", f.requests)
+		}
+		if f.maxBatch < 1 {
+			return fmt.Errorf("-maxbatch must be >= 1, got %d", f.maxBatch)
+		}
+		if f.delay < 0 {
+			return fmt.Errorf("-delay must be >= 0, got %v", f.delay)
+		}
+	}
+	return nil
+}
+
+// resolveStore fills the per-subcommand default store kind: train reads
+// flat unless told otherwise; serve keeps its historical default of a
+// degree cache sized by -cachefrac.
+func (f *cliFlags) resolveStore(cmd string) {
+	if f.storeKind != "" {
+		return
+	}
+	if cmd == "serve" && f.cacheFrac > 0 {
+		f.storeKind = "cached"
+		return
+	}
+	f.storeKind = "flat"
+}
+
+// buildStore composes the feature store the -store/-parts/-placement flags
+// describe over ds. The cache layer is sized by -cachefrac, never rounded
+// down to zero (validation guarantees the fraction is positive).
+func buildStore(ds *dataset.Dataset, f cliFlags) (store.FeatureStore, error) {
+	rows := int(float64(ds.G.N) * f.cacheFrac)
+	if rows < 1 {
+		rows = 1
+	}
+	return store.Build(ds, store.Spec{
+		Kind:        f.storeKind,
+		Parts:       f.parts,
+		Placement:   f.placement,
+		CacheRows:   rows,
+		CachePolicy: cache.StaticDegree,
+		Seed:        f.seed,
+	})
 }
 
 // writeTraces exports Chrome trace-event JSON for both Figure 1 timelines.
@@ -152,95 +293,111 @@ func writeTraces(prefix string, seed uint64) error {
 	return nil
 }
 
-func runTrain(arch, dsName string, scale float64, epochs int, executor string, workers int, seed uint64) error {
-	ds, err := dataset.Load(dsName, scale)
+func runTrain(f cliFlags) error {
+	ds, err := dataset.Load(f.dataset, f.scale)
+	if err != nil {
+		return err
+	}
+	st, err := buildStore(ds, f)
 	if err != nil {
 		return err
 	}
 	cfg := train.Config{
-		Arch:    arch,
+		Arch:    f.arch,
 		Hidden:  64,
-		Workers: workers,
-		Seed:    seed,
+		Workers: f.workers,
+		Seed:    f.seed,
+		Store:   st,
 	}
-	switch executor {
+	switch f.executor {
 	case "salient":
 		cfg.Executor = train.ExecSalient
 	case "pyg":
 		cfg.Executor = train.ExecPyG
-	default:
-		return fmt.Errorf("unknown executor %q", executor)
 	}
 	tr, err := train.New(ds, cfg)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("training %s on %s (N=%d, train=%d) with the %s executor\n",
-		arch, ds.Name, ds.G.N, len(ds.Train), executor)
-	for e := 0; e < epochs; e++ {
-		s := tr.TrainEpoch(e)
+	fmt.Printf("training %s on %s (N=%d, train=%d) with the %s executor, %s store\n",
+		f.arch, ds.Name, ds.G.N, len(ds.Train), f.executor, f.storeKind)
+	for e := 0; e < f.epochs; e++ {
+		s, err := tr.TrainEpoch(e)
+		if err != nil {
+			return err
+		}
 		fmt.Printf("epoch %2d  loss %.4f  train-acc %.4f  wall %v (prep-wait %v, compute %v)\n",
 			s.Epoch, s.Loss, s.Acc, s.Wall.Round(1e6), s.PrepWait.Round(1e6), s.Compute.Round(1e6))
 	}
+	printStoreStats(tr.FeatureStore())
 	return nil
 }
 
-type serveConfig struct {
-	arch      string
-	dataset   string
-	scale     float64
-	epochs    int
-	workers   int
-	rate      float64
-	requests  int
-	maxBatch  int
-	delay     time.Duration
-	cacheFrac float64
-	seed      uint64
+// printStoreStats summarizes the feature store's transfer accounting.
+func printStoreStats(st store.FeatureStore) {
+	ss := st.Stats()
+	fmt.Printf("feature store: %d gathers, %d rows, %.1f MB moved",
+		ss.Gathers, ss.Rows, float64(ss.BytesMoved)/(1<<20))
+	if ss.CacheLookups > 0 {
+		fmt.Printf(", %.1f MB saved by cache (hit rate %.0f%%)",
+			float64(ss.BytesSaved)/(1<<20), 100*ss.HitRate())
+	}
+	if ss.RowsRemote > 0 {
+		fmt.Printf(", %.0f%% of rows cross-shard", 100*ss.RemoteFrac())
+	}
+	fmt.Println()
 }
 
 // runServe trains a model briefly, stands up the online inference server,
 // drives it with synthetic single-node request traffic over the test split,
 // and prints the serving statistics.
-func runServe(c serveConfig) error {
-	ds, err := dataset.Load(c.dataset, c.scale)
+func runServe(f cliFlags) error {
+	ds, err := dataset.Load(f.dataset, f.scale)
 	if err != nil {
 		return err
 	}
 	fanouts := []int{10, 5}
 	tr, err := train.New(ds, train.Config{
-		Arch: c.arch, Hidden: 64, Layers: len(fanouts), Fanouts: fanouts,
-		BatchSize: 128, Workers: c.workers, Seed: c.seed,
+		Arch: f.arch, Hidden: 64, Layers: len(fanouts), Fanouts: fanouts,
+		BatchSize: 128, Workers: f.workers, Seed: f.seed,
 	})
 	if err != nil {
 		return err
 	}
-	fmt.Printf("warming up: training %s on %s for %d epochs...\n", c.arch, ds.Name, c.epochs)
-	tr.Fit(c.epochs)
+	fmt.Printf("warming up: training %s on %s for %d epochs...\n", f.arch, ds.Name, f.epochs)
+	if _, err := tr.Fit(f.epochs); err != nil {
+		return err
+	}
 
+	// The composed store (cache layer included) is built exactly as train
+	// builds it, so the same flag set means the same store everywhere; the
+	// server's own CacheRows wrapping stays off.
+	fstore, err := buildStore(ds, f)
+	if err != nil {
+		return err
+	}
 	srv, err := serve.New(tr.Model, ds, serve.Options{
-		Fanouts:     fanouts,
-		Workers:     c.workers,
-		MaxBatch:    c.maxBatch,
-		MaxDelay:    c.delay,
-		Seed:        c.seed,
-		CacheRows:   int(float64(ds.G.N) * c.cacheFrac),
-		CachePolicy: cache.StaticDegree,
+		Fanouts:  fanouts,
+		Workers:  f.workers,
+		MaxBatch: f.maxBatch,
+		MaxDelay: f.delay,
+		Seed:     f.seed,
+		Store:    fstore,
 	})
 	if err != nil {
 		return err
 	}
 	mode := "closed-loop (16 clients)"
-	if c.rate > 0 {
-		mode = fmt.Sprintf("open-loop at %.0f rps", c.rate)
+	if f.rate > 0 {
+		mode = fmt.Sprintf("open-loop at %.0f rps", f.rate)
 	}
-	fmt.Printf("serving %d requests over %d test nodes, %s...\n", c.requests, len(ds.Test), mode)
+	fmt.Printf("serving %d requests over %d test nodes, %s...\n", f.requests, len(ds.Test), mode)
 
 	var wall time.Duration
-	if c.rate > 0 {
-		wall = serve.DriveOpenLoop(srv, ds.Test, c.rate, c.requests)
+	if f.rate > 0 {
+		wall = serve.DriveOpenLoop(srv, ds.Test, f.rate, f.requests)
 	} else {
-		wall = serve.DriveClosedLoop(srv, ds.Test, 16, c.requests)
+		wall = serve.DriveClosedLoop(srv, ds.Test, 16, f.requests)
 	}
 	srv.Close()
 
@@ -251,8 +408,7 @@ func runServe(c serveConfig) error {
 		st.Batches, st.Occupancy.Mean, st.Occupancy.P95)
 	fmt.Printf("latency    p50 %.2fms  p95 %.2fms  p99 %.2fms  max %.2fms\n",
 		st.Latency.P50*1e3, st.Latency.P95*1e3, st.Latency.P99*1e3, st.Latency.Max*1e3)
-	fmt.Printf("transfers  %.1f MB moved, %.1f MB saved by the feature cache (hit rate %.0f%%)\n",
-		float64(st.BytesTransferred)/(1<<20), float64(st.BytesSaved)/(1<<20), 100*st.CacheHitRate())
+	printStoreStats(srv.FeatureStore())
 	return nil
 }
 

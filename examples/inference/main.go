@@ -37,7 +37,10 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Println("training 8 epochs with fanout (15,10,5)...")
-	stats := tr.Fit(8)
+	stats, err := tr.Fit(8)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("final train accuracy %.4f\n\n", stats[len(stats)-1].Acc)
 
 	// Full-neighborhood inference: layer-wise over the whole graph, the

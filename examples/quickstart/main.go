@@ -48,7 +48,10 @@ func main() {
 	//    executor: worker goroutines sample with the fast sampler and slice
 	//    features directly into pinned staging buffers.
 	for e := 0; e < 6; e++ {
-		s := tr.TrainEpoch(e)
+		s, err := tr.TrainEpoch(e)
+		if err != nil {
+			log.Fatal(err)
+		}
 		fmt.Printf("epoch %d  loss %.4f  train-acc %.4f  wall %v (prep-wait %v)\n",
 			s.Epoch, s.Loss, s.Acc, s.Wall.Round(1e6), s.PrepWait.Round(1e6))
 	}

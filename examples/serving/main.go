@@ -49,7 +49,9 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Println("training 4 epochs...")
-	tr.Fit(4)
+	if _, err := tr.Fit(4); err != nil {
+		log.Fatal(err)
+	}
 
 	const seed = 42
 	srv, err := serve.New(tr.Model, ds, serve.Options{

@@ -96,7 +96,9 @@ func fit(ds *dataset.Dataset, o AccuracyOpts, seed uint64) (*train.Trainer, erro
 	if err != nil {
 		return nil, err
 	}
-	tr.Fit(o.Epochs)
+	if _, err := tr.Fit(o.Epochs); err != nil {
+		return nil, err
+	}
 	return tr, nil
 }
 
@@ -263,7 +265,9 @@ func Fig6Accuracy(o AccuracyOpts) (Table, error) {
 		if err != nil {
 			return t, err
 		}
-		tr.Fit(o.Epochs)
+		if _, err := tr.Fit(o.Epochs); err != nil {
+			return t, err
+		}
 		pred, err := infer.Sampled(tr.Model, ds, ds.Test, infer.Options{
 			Fanouts: uniformFanout(o.Layers, 20),
 			Workers: o.Workers,

@@ -1,0 +1,71 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// smallFS keeps the sweep cheap for unit tests and CI smoke benchmarks.
+func smallFS() FeatureStoreOpts {
+	return FeatureStoreOpts{Scale: 0.1, BatchSize: 8, Rounds: 1, Seed: 1}
+}
+
+func TestFeatureStoreSweepOrdering(t *testing.T) {
+	results, err := featureStoreResults(smallFS())
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]fsResult{}
+	var flat, ldg, rand fsResult
+	var cached []fsResult
+	for _, r := range results {
+		byName[r.name] = r
+		switch {
+		case r.name == "flat":
+			flat = r
+		case strings.Contains(r.name, "ldg"):
+			ldg = r
+		case strings.Contains(r.name, "random"):
+			rand = r
+		case strings.HasPrefix(r.name, "cached"):
+			cached = append(cached, r)
+		}
+	}
+	if flat.name == "" || ldg.name == "" || rand.name == "" || len(cached) == 0 {
+		t.Fatalf("sweep missing configurations: %v", byName)
+	}
+	// The acceptance gate: cached(top-K) must transfer fewer bytes than flat.
+	for _, c := range cached {
+		if c.movedMB >= flat.movedMB {
+			t.Fatalf("%s moved %.2f MB, flat moved %.2f MB: cache saved nothing", c.name, c.movedMB, flat.movedMB)
+		}
+		if c.savedMB <= 0 || c.hitRate <= 0 {
+			t.Fatalf("%s reported no savings: %+v", c.name, c)
+		}
+	}
+	// Placement quality must show up in cross-shard traffic.
+	if ldg.remoteFrac >= rand.remoteFrac {
+		t.Fatalf("LDG remote %.3f not below random %.3f", ldg.remoteFrac, rand.remoteFrac)
+	}
+	if flat.remoteFrac != 0 || flat.savedMB != 0 {
+		t.Fatalf("flat store charged shard/cache accounting: %+v", flat)
+	}
+	for _, r := range results {
+		if r.rows == 0 || r.stagedMB <= 0 {
+			t.Fatalf("empty sweep row: %+v", r)
+		}
+	}
+}
+
+func TestFeatureStoreSweepRenders(t *testing.T) {
+	tb, err := FeatureStoreSweep(smallFS())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) < 4 {
+		t.Fatalf("sweep rendered %d rows, want flat + 2 sharded + cached", len(tb.Rows))
+	}
+	if tb.Rows[0][0] != "flat" {
+		t.Fatalf("first row %v, want flat", tb.Rows[0])
+	}
+}

@@ -85,6 +85,10 @@ func Experiments() map[string]Experiment {
 			return []Table{t}, err
 		}},
 		{ID: "sensitivity", Paper: "§8 extension", Run: wrap(Sensitivity)},
+		{ID: "featurestore", Paper: "§4.2/§8 extension", Run: func(o Options) ([]Table, error) {
+			t, err := FeatureStoreSweep(FeatureStoreOpts{Seed: o.Seed})
+			return []Table{t}, err
+		}},
 		{ID: "serving", Paper: "§5 extension", Run: func(o Options) ([]Table, error) {
 			t, err := ServingSweep(ServingOpts{Seed: o.Seed})
 			return []Table{t}, err

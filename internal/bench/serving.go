@@ -83,7 +83,9 @@ func ServingSweep(o ServingOpts) (Table, error) {
 	if err != nil {
 		return t, err
 	}
-	tr.Fit(o.Epochs)
+	if _, err := tr.Fit(o.Epochs); err != nil {
+		return t, err
+	}
 
 	newServer := func() (*serve.Server, error) {
 		return serve.New(tr.Model, ds, serve.Options{

@@ -1,0 +1,35 @@
+package bench
+
+import (
+	"io"
+	"testing"
+)
+
+// BenchmarkRegistrySmoke executes registry experiments end-to-end, one
+// sub-benchmark per ID. CI runs this with -benchtime=1x as a smoke gate so
+// registry sweeps cannot silently rot; the training-backed accuracy
+// experiments (table6, fig3, strategies, batching, cache, partition,
+// memory, serving, fig6) are covered by the quick-preset unit tests and
+// skipped here to keep the smoke run fast.
+func BenchmarkRegistrySmoke(b *testing.B) {
+	opts := DefaultOptions()
+	for _, id := range []string{"fig1", "table1", "table2", "table3", "table7", "fig4", "fig5", "sensitivity"} {
+		b.Run(id, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if err := RunOne(io.Discard, id, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFeatureStoreSweep times the feature-store sweep itself (small
+// preset), keeping the new registry entry exercised under -bench.
+func BenchmarkFeatureStoreSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := FeatureStoreSweep(smallFS()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -14,12 +14,15 @@
 package infer
 
 import (
+	"fmt"
+
 	"salient/internal/dataset"
 	"salient/internal/graph"
 	"salient/internal/nn"
 	"salient/internal/prep"
 	"salient/internal/sampler"
 	"salient/internal/slicing"
+	"salient/internal/store"
 	"salient/internal/tensor"
 )
 
@@ -29,6 +32,9 @@ type Options struct {
 	BatchSize int
 	Workers   int
 	Seed      uint64
+	// Store is the feature-access layer inference reads through. Nil
+	// selects the flat store over the dataset.
+	Store store.FeatureStore
 }
 
 func (o *Options) defaults() {
@@ -53,6 +59,7 @@ func Sampled(m nn.Model, ds *dataset.Dataset, nodes []int32, opts Options) ([]in
 		BatchSize: opts.BatchSize,
 		Fanouts:   opts.Fanouts,
 		Sampler:   sampler.FastConfig(),
+		Store:     opts.Store,
 	})
 	if err != nil {
 		return nil, err
@@ -65,9 +72,17 @@ func Sampled(m nn.Model, ds *dataset.Dataset, nodes []int32, opts Options) ([]in
 	}
 
 	stream := ex.Run(nodes, opts.Seed)
+	var firstErr error
 	var x *tensor.Dense
 	rowPred := make([]int32, opts.BatchSize)
 	for b := range stream.C {
+		if b.Err != nil || firstErr != nil {
+			if firstErr == nil {
+				firstErr = b.Err
+			}
+			b.Release()
+			continue
+		}
 		x = decodeInto(x, b.Buf)
 		logp := m.Forward(x, b.MFG, false)
 		logp.ArgmaxRows(rowPred[:logp.Rows])
@@ -77,6 +92,9 @@ func Sampled(m nn.Model, ds *dataset.Dataset, nodes []int32, opts Options) ([]in
 		b.Release()
 	}
 	stream.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
 	return pred, nil
 }
 
@@ -91,14 +109,46 @@ func decodeInto(x *tensor.Dense, buf *slicing.Pinned) *tensor.Dense {
 // Full runs layer-wise full-neighborhood inference over the whole graph and
 // returns predictions for the given nodes.
 func Full(m nn.Model, ds *dataset.Dataset, nodes []int32) []int32 {
-	logp := m.InferFull(ds.G, ds.Feat)
+	pred, err := FullThrough(m, ds, nodes, nil)
+	if err != nil {
+		// Unreachable without a store: ds.Feat is used directly.
+		panic("infer: " + err.Error())
+	}
+	return pred
+}
+
+// FullThrough is Full reading the layer-0 feature matrix through st, so
+// full inference pays the same gather accounting as the rest of the data
+// path. The staged rows decode to exactly ds.Feat (the dataset keeps its
+// float32 master equal to the widened half-precision rows), so the store
+// changes accounting, never predictions; nil skips the gather and uses
+// ds.Feat directly, copy-free.
+func FullThrough(m nn.Model, ds *dataset.Dataset, nodes []int32, st store.FeatureStore) ([]int32, error) {
+	x := ds.Feat
+	if st != nil {
+		if err := store.Check(st, ds); err != nil {
+			return nil, fmt.Errorf("infer: %w", err)
+		}
+		ids := make([]int32, ds.G.N)
+		for i := range ids {
+			ids[i] = int32(i)
+		}
+		buf := slicing.NewPinned(len(ids), st.Dim(), 0)
+		if err := st.Gather(buf, ids, 0); err != nil {
+			return nil, err
+		}
+		x = tensor.New(buf.Rows, buf.Dim)
+		slicing.DecodeFeatures(x, buf)
+	}
+
+	logp := m.InferFull(ds.G, x)
 	all := make([]int32, logp.Rows)
 	logp.ArgmaxRows(all)
 	pred := make([]int32, len(nodes))
 	for i, v := range nodes {
 		pred[i] = all[v]
 	}
-	return pred
+	return pred, nil
 }
 
 // Accuracy returns the fraction of nodes whose prediction matches labels.

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"salient/internal/dataset"
+	"salient/internal/store"
 	"salient/internal/train"
 )
 
@@ -21,7 +22,9 @@ func fitted(t testing.TB) (*dataset.Dataset, *train.Trainer) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	tr.Fit(4)
+	if _, err := tr.Fit(4); err != nil {
+		t.Fatal(err)
+	}
 	return ds, tr
 }
 
@@ -93,6 +96,26 @@ func TestPredictionsAlignedWithNodes(t *testing.T) {
 	}
 	if frac := float64(same) / float64(len(pred)); frac < 0.95 {
 		t.Fatalf("only %.2f%% of repeated sampled predictions agree", 100*frac)
+	}
+}
+
+// TestFullThroughStoreMatchesFull: reading the full feature matrix through
+// a store changes accounting, never predictions.
+func TestFullThroughStoreMatchesFull(t *testing.T) {
+	ds, tr := fitted(t)
+	want := Full(tr.Model, ds, ds.Test)
+	st := store.NewFlat(ds)
+	got, err := FullThrough(tr.Model, ds, ds.Test, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("prediction %d differs through the store: %d vs %d", i, got[i], want[i])
+		}
+	}
+	if ss := st.Stats(); ss.Rows != int64(ds.G.N) {
+		t.Fatalf("full inference gathered %d rows, want %d", ss.Rows, ds.G.N)
 	}
 }
 

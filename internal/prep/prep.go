@@ -22,6 +22,10 @@
 // Batches are deterministic in content: batch index i of an epoch keyed by
 // epochSeed always contains the same seeds and the same sampled MFG, no
 // matter which worker prepares it or in which order batches finish.
+//
+// Feature rows are read through the FeatureStore layer (internal/store):
+// the executors never touch the dataset's arrays directly, so the same
+// preparation pipeline runs over flat, sharded, or cached feature layouts.
 package prep
 
 import (
@@ -35,6 +39,7 @@ import (
 	"salient/internal/rng"
 	"salient/internal/sampler"
 	"salient/internal/slicing"
+	"salient/internal/store"
 )
 
 // Batch is one prepared mini-batch: the sampled message-flow graph plus the
@@ -47,21 +52,28 @@ type Batch struct {
 	MFG   *mfg.MFG // owned by the batch (not aliased to sampler scratch)
 	Buf   *slicing.Pinned
 
+	// Err reports a preparation failure for this batch (a feature-store
+	// gather rejection). An errored batch carries no staged buffer; it still
+	// occupies its epoch index so ordered delivery never stalls, and the
+	// consumer must still Release it. The stream records the first such
+	// error (Stream.Err).
+	Err error
+
 	pool   *slicing.Pool
 	credit chan<- struct{}
 }
 
-// Release returns the pinned staging buffer to the executor's pool. It is
-// idempotent.
+// Release returns the pinned staging buffer (if any) to the executor's pool
+// and the buffer credit to the epoch. It is idempotent.
 func (b *Batch) Release() {
 	if b.pool != nil && b.Buf != nil {
 		b.pool.Put(b.Buf)
-		b.Buf = nil
-		b.pool = nil
-		if b.credit != nil {
-			b.credit <- struct{}{}
-			b.credit = nil
-		}
+	}
+	b.Buf = nil
+	b.pool = nil
+	if b.credit != nil {
+		b.credit <- struct{}{}
+		b.credit = nil
 	}
 }
 
@@ -99,6 +111,11 @@ type Options struct {
 	// order; ordering adds a small reorder stage on the consumer side and
 	// makes end-to-end training bit-reproducible.
 	Ordered bool
+	// Store is the feature-access layer batches are gathered through. Nil
+	// selects the flat store over the dataset (the seed behavior); sharded
+	// and cached stores change layout and transfer accounting without
+	// changing batch contents.
+	Store store.FeatureStore
 }
 
 func (o *Options) normalize(n int) error {
@@ -129,10 +146,31 @@ type Stream struct {
 
 	wg sync.WaitGroup
 
+	errMu sync.Mutex
+	err   error
+
 	// Per-worker accounting, written by each worker in its own slot and
 	// safe to read after Wait returns.
 	workerBusy    []time.Duration
 	workerBatches []int
+}
+
+// setErr records the first batch-preparation failure of the epoch.
+func (s *Stream) setErr(err error) {
+	s.errMu.Lock()
+	if s.err == nil {
+		s.err = err
+	}
+	s.errMu.Unlock()
+}
+
+// Err returns the first batch-preparation failure of the epoch, or nil.
+// Individual failed batches also arrive on C with Batch.Err set; Err is the
+// post-drain summary check.
+func (s *Stream) Err() error {
+	s.errMu.Lock()
+	defer s.errMu.Unlock()
+	return s.err
 }
 
 // WorkerStats reports how preparation work distributed across workers for
@@ -188,6 +226,19 @@ func NumBatches(n, batchSize int) int {
 // features; PyG additionally pays this copy a second time for IPC.
 func cloneMFG(m *mfg.MFG) *mfg.MFG { return m.Clone() }
 
+// storeFor resolves the configured feature store, defaulting to the flat
+// layout over ds, and rejects dimensionality mismatches up front.
+func storeFor(ds *dataset.Dataset, opts Options) (store.FeatureStore, error) {
+	st := opts.Store
+	if st == nil {
+		return store.NewFlat(ds), nil
+	}
+	if err := store.Check(st, ds); err != nil {
+		return nil, fmt.Errorf("prep: %w", err)
+	}
+	return st, nil
+}
+
 // maxRowsEstimate sizes pinned buffers: batch × Π(fanout+1), capped at N.
 func maxRowsEstimate(batch int, fanouts []int, n int) int {
 	est := batch
@@ -210,9 +261,10 @@ func maxRowsEstimate(batch int, fanouts []int, n int) int {
 // unreleased batches while waiting for another, or the epoch stalls (the
 // same contract SALIENT's recycled batch slots impose on the training loop).
 type Salient struct {
-	ds   *dataset.Dataset
-	opts Options
-	pool *slicing.Pool
+	ds    *dataset.Dataset
+	opts  Options
+	store store.FeatureStore
+	pool  *slicing.Pool
 	// credits gates buffer acquisition: a worker takes one credit before
 	// claiming a batch index (and hence before taking a pinned buffer), and
 	// the credit is returned when the consumer Releases the batch. A held
@@ -230,10 +282,15 @@ func NewSalient(ds *dataset.Dataset, opts Options) (*Salient, error) {
 	if err := opts.normalize(int(ds.G.N)); err != nil {
 		return nil, err
 	}
+	st, err := storeFor(ds, opts)
+	if err != nil {
+		return nil, err
+	}
 	rows := maxRowsEstimate(opts.BatchSize, opts.Fanouts, int(ds.G.N))
 	e := &Salient{
 		ds:      ds,
 		opts:    opts,
+		store:   st,
 		pool:    slicing.NewPool(opts.InFlight, rows, ds.FeatDim, opts.BatchSize),
 		credits: make(chan struct{}, opts.InFlight),
 	}
@@ -288,6 +345,9 @@ func (e *Salient) Run(seeds []int32, epochSeed uint64) *Stream {
 				}
 				start := time.Now()
 				b := e.prepare(sm, perm, epochSeed, idx)
+				if b.Err != nil {
+					s.setErr(b.Err)
+				}
 				s.workerBusy[w] += time.Since(start)
 				s.workerBatches[w]++
 				raw <- b
@@ -304,14 +364,16 @@ func (e *Salient) Run(seeds []int32, epochSeed uint64) *Stream {
 }
 
 // prepare builds batch idx end-to-end: sample, clone the MFG out of sampler
-// scratch, and slice features and labels into a pinned buffer.
+// scratch, and gather features and labels through the store into a pinned
+// buffer. A gather rejection comes back as an errored batch (still indexed,
+// still creditable) rather than a worker panic.
 func (e *Salient) prepare(sm *sampler.Sampler, perm []int32, epochSeed uint64, idx int) *Batch {
 	seeds := batchSeeds(perm, e.opts.BatchSize, idx)
 	m := cloneMFG(sm.Sample(BatchRNG(epochSeed, idx), seeds))
 	buf := e.pool.Get()
-	if err := slicing.SliceHalf(buf, e.ds.FeatHalf, e.ds.FeatDim, e.ds.Labels, m.NodeIDs, len(seeds)); err != nil {
-		// Impossible by construction (batch ≤ nodes); fail loudly.
-		panic(err)
+	if err := e.store.Gather(buf, m.NodeIDs, len(seeds)); err != nil {
+		e.pool.Put(buf)
+		return &Batch{Index: idx, Seeds: seeds, MFG: m, Err: err, credit: e.credits}
 	}
 	return &Batch{Index: idx, Seeds: seeds, MFG: m, Buf: buf, pool: e.pool, credit: e.credits}
 }
@@ -352,9 +414,10 @@ func reorder(s *Stream, in <-chan *Batch, nb, inflight int) chan *Batch {
 // only in workers, an IPC copy of every sampled MFG, and consumer-side
 // striped-parallel slicing.
 type PyG struct {
-	ds   *dataset.Dataset
-	opts Options
-	pool *slicing.Pool
+	ds    *dataset.Dataset
+	opts  Options
+	store store.FeatureStore
+	pool  *slicing.Pool
 }
 
 // NewPyG builds a PyG-style executor over ds.
@@ -362,11 +425,16 @@ func NewPyG(ds *dataset.Dataset, opts Options) (*PyG, error) {
 	if err := opts.normalize(int(ds.G.N)); err != nil {
 		return nil, err
 	}
+	st, err := storeFor(ds, opts)
+	if err != nil {
+		return nil, err
+	}
 	rows := maxRowsEstimate(opts.BatchSize, opts.Fanouts, int(ds.G.N))
 	return &PyG{
-		ds:   ds,
-		opts: opts,
-		pool: slicing.NewPool(opts.InFlight, rows, ds.FeatDim, opts.BatchSize),
+		ds:    ds,
+		opts:  opts,
+		store: st,
+		pool:  slicing.NewPool(opts.InFlight, rows, ds.FeatDim, opts.BatchSize),
 	}, nil
 }
 
@@ -435,7 +503,11 @@ func (e *PyG) Run(seeds []int32, epochSeed uint64) *Stream {
 					break
 				}
 				delete(pending, next)
-				out <- e.slice(b.idx, b.seeds, b.m)
+				sb := e.slice(b.idx, b.seeds, b.m)
+				if sb.Err != nil {
+					s.setErr(sb.Err)
+				}
+				out <- sb
 				next++
 			}
 		}
@@ -443,12 +515,16 @@ func (e *PyG) Run(seeds []int32, epochSeed uint64) *Stream {
 	return s
 }
 
-// slice stages one batch with the striped-parallel kernel running the
-// stripes concurrently (PyTorch's OpenMP-parallel indexing).
+// slice stages one batch through the store. Stores that support static
+// stripes (StripedGatherer) gather with the striped-parallel kernel running
+// the stripes concurrently (PyTorch's OpenMP-parallel indexing); others
+// fall back to the serial gather. A gather rejection comes back as an
+// errored batch rather than a consumer panic.
 func (e *PyG) slice(idx int, seeds []int32, m *mfg.MFG) *Batch {
 	buf := e.pool.Get()
-	err := slicing.SliceHalfStriped(buf, e.ds.FeatHalf, e.ds.FeatDim, e.ds.Labels,
-		m.NodeIDs, len(seeds), e.opts.Workers, func(stripes []func()) {
+	var err error
+	if sg, ok := e.store.(store.StripedGatherer); ok {
+		err = sg.GatherStriped(buf, m.NodeIDs, len(seeds), e.opts.Workers, func(stripes []func()) {
 			var wg sync.WaitGroup
 			for _, st := range stripes {
 				wg.Add(1)
@@ -459,8 +535,12 @@ func (e *PyG) slice(idx int, seeds []int32, m *mfg.MFG) *Batch {
 			}
 			wg.Wait()
 		})
+	} else {
+		err = e.store.Gather(buf, m.NodeIDs, len(seeds))
+	}
 	if err != nil {
-		panic(err)
+		e.pool.Put(buf)
+		return &Batch{Index: idx, Seeds: seeds, MFG: m, Err: err}
 	}
 	return &Batch{Index: idx, Seeds: seeds, MFG: m, Buf: buf, pool: e.pool}
 }

@@ -8,8 +8,10 @@
 // request and coalesce whatever else has arrived — up to MaxBatch requests
 // or until MaxDelay has elapsed since the micro-batch opened — then run one
 // fused prepare-and-forward over the coalesced set: per-request neighborhood
-// sampling, a block-diagonal MFG merge (mfg.Merge), one slice into a pinned
-// staging buffer, and one model forward.
+// sampling, a block-diagonal MFG merge (mfg.Merge), one gather through the
+// feature store (internal/store) into a pinned staging buffer, and one
+// model forward. Transfer and cache accounting live in the store; the
+// server just snapshots them into its Stats.
 //
 // Determinism: each request is sampled independently with the RNG a
 // singleton inference epoch would use (prep.BatchRNG(seed, 0)), and the
@@ -38,6 +40,7 @@ import (
 	"salient/internal/queue"
 	"salient/internal/sampler"
 	"salient/internal/slicing"
+	"salient/internal/store"
 	"salient/internal/tensor"
 )
 
@@ -70,12 +73,18 @@ type Options struct {
 	// exactly as infer.Sampled(model, ds, {v}, Options{Seed: s}) would.
 	// Default 1.
 	Seed uint64
-	// CacheRows enables the GPU feature cache (internal/cache) with the
-	// given row capacity; 0 disables caching. The cache only affects the
-	// transfer accounting in Stats, never predictions.
+	// CacheRows enables the GPU feature cache with the given row capacity
+	// by wrapping the server's store in a store.Cached; 0 disables caching.
+	// The cache only affects the transfer accounting in Stats, never
+	// predictions.
 	CacheRows int
 	// CachePolicy selects the cache policy when CacheRows > 0.
 	CachePolicy cache.Policy
+	// Store is the feature-access layer requests are gathered through. Nil
+	// selects the flat store over the dataset. When CacheRows > 0 the
+	// server wraps this base store in a store.Cached; pass an already
+	// cached store with CacheRows = 0 for custom compositions.
+	Store store.FeatureStore
 }
 
 func (o *Options) normalize() error {
@@ -124,9 +133,9 @@ type Stats struct {
 	Latency   event.Summary // per-request Submit→answer latency, seconds
 	Occupancy event.Summary // requests per micro-batch
 
-	// Transfer accounting against the GPU feature cache (zero-valued when
-	// caching is disabled). Bytes assume half-precision feature rows, as the
-	// host stores them.
+	// Transfer accounting, read from the server's feature store (cache
+	// counters are zero-valued when caching is disabled). Bytes assume
+	// half-precision feature rows, as the host stores them.
 	CacheLookups     int64
 	CacheHits        int64
 	BytesTransferred int64
@@ -163,8 +172,9 @@ type Server struct {
 	// the modeled system has one GPU compute stream anyway.
 	modelMu sync.Mutex
 
-	cacheMu sync.Mutex
-	cache   *cache.Cache
+	// store is the feature-access layer; it owns all transfer and cache
+	// accounting (Cached-wrapped when Options.CacheRows > 0).
+	store store.FeatureStore
 
 	statsMu   sync.Mutex
 	submitted int64
@@ -173,8 +183,6 @@ type Server struct {
 	batches   int64
 	latency   event.Recorder
 	occupancy event.Recorder
-	bytesMove int64
-	bytesSave int64
 
 	// gate orders Submit's push against Close: Submit pushes under the read
 	// lock, Close flips closing under the write lock before closing the ring,
@@ -202,12 +210,20 @@ func New(m nn.Model, ds *dataset.Dataset, opts Options) (*Server, error) {
 	}
 	rows := maxRows(opts.MaxBatch, opts.Fanouts, int(ds.G.N))
 	s.pool = slicing.NewPool(opts.Workers, rows, ds.FeatDim, opts.MaxBatch)
+	base := opts.Store
+	if base == nil {
+		base = store.NewFlat(ds)
+	}
+	if err := store.Check(base, ds); err != nil {
+		return nil, fmt.Errorf("serve: %w", err)
+	}
+	s.store = base
 	if opts.CacheRows > 0 {
-		c, err := cache.New(ds.G, opts.CacheRows, opts.CachePolicy)
+		cached, err := store.NewCached(base, ds.G, opts.CacheRows, opts.CachePolicy)
 		if err != nil {
 			return nil, err
 		}
-		s.cache = c
+		s.store = cached
 	}
 	for w := 0; w < opts.Workers; w++ {
 		s.wg.Add(1)
@@ -282,29 +298,30 @@ func (s *Server) Close() {
 	})
 }
 
-// Stats returns a snapshot of the server's accumulated statistics.
+// Stats returns a snapshot of the server's accumulated statistics. Transfer
+// and cache numbers come from the feature store; if the caller shares that
+// store with other consumers, they share the accounting too.
 func (s *Server) Stats() Stats {
+	ss := s.store.Stats()
 	s.statsMu.Lock()
 	defer s.statsMu.Unlock()
-	st := Stats{
+	return Stats{
 		Submitted:        s.submitted,
 		Rejected:         s.rejected,
 		Served:           s.served,
 		Batches:          s.batches,
 		Latency:          s.latency.Summarize(),
 		Occupancy:        s.occupancy.Summarize(),
-		BytesTransferred: s.bytesMove,
-		BytesSaved:       s.bytesSave,
+		BytesTransferred: ss.BytesMoved,
+		BytesSaved:       ss.BytesSaved,
+		CacheLookups:     ss.CacheLookups,
+		CacheHits:        ss.CacheHits,
 	}
-	if s.cache != nil {
-		s.cacheMu.Lock()
-		cs := s.cache.Stats()
-		s.cacheMu.Unlock()
-		st.CacheLookups = cs.Lookups
-		st.CacheHits = cs.Hits
-	}
-	return st
 }
+
+// FeatureStore returns the store the server gathers features through (the
+// Cached wrapper when Options.CacheRows > 0).
+func (s *Server) FeatureStore() store.FeatureStore { return s.store }
 
 // worker pulls one request, coalesces a deadline-bounded micro-batch behind
 // it, and executes the batch end-to-end on the SALIENT data path. Between
@@ -371,9 +388,7 @@ func (s *Server) execute(sm *sampler.Sampler, x *tensor.Dense, batch []*request)
 	merged := mfg.Merge(mfgs)
 
 	buf := s.pool.Get()
-	err := slicing.SliceHalf(buf, s.ds.FeatHalf, s.ds.FeatDim, s.ds.Labels,
-		merged.NodeIDs, int(merged.Batch))
-	if err != nil {
+	if err := s.store.Gather(buf, merged.NodeIDs, int(merged.Batch)); err != nil {
 		s.pool.Put(buf)
 		s.deliverError(batch, err)
 		return x
@@ -390,17 +405,6 @@ func (s *Server) execute(sm *sampler.Sampler, x *tensor.Dense, batch []*request)
 	s.modelMu.Unlock()
 	s.pool.Put(buf)
 
-	transferred := int64(len(merged.NodeIDs))
-	saved := int64(0)
-	if s.cache != nil {
-		s.cacheMu.Lock()
-		misses := s.cache.TouchBatch(merged.NodeIDs)
-		s.cacheMu.Unlock()
-		saved = int64(len(merged.NodeIDs) - misses)
-		transferred = int64(misses)
-	}
-	rowBytes := int64(s.ds.FeatDim) * 2 // half-precision host rows
-
 	now := time.Now()
 	s.statsMu.Lock()
 	s.batches++
@@ -409,8 +413,6 @@ func (s *Server) execute(sm *sampler.Sampler, x *tensor.Dense, batch []*request)
 	for _, req := range batch {
 		s.latency.Add(now.Sub(req.enq).Seconds())
 	}
-	s.bytesMove += transferred * rowBytes
-	s.bytesSave += saved * rowBytes
 	s.statsMu.Unlock()
 
 	// Merged row i is request i's seed (mfg.Merge seed-order contract).

@@ -9,6 +9,8 @@ import (
 	"salient/internal/cache"
 	"salient/internal/dataset"
 	"salient/internal/infer"
+	"salient/internal/partition"
+	"salient/internal/store"
 	"salient/internal/train"
 )
 
@@ -37,7 +39,10 @@ func fitted(t testing.TB) (*dataset.Dataset, *train.Trainer) {
 			fittedOnce.err = err
 			return
 		}
-		tr.Fit(2)
+		if _, err := tr.Fit(2); err != nil {
+			fittedOnce.err = err
+			return
+		}
 		fittedOnce.ds, fittedOnce.tr = ds, tr
 	})
 	if fittedOnce.err != nil {
@@ -253,6 +258,52 @@ func TestCacheAccounting(t *testing.T) {
 	if st.BytesSaved+st.BytesTransferred != st.CacheLookups*rowBytes {
 		t.Fatalf("saved %d + transferred %d != lookups %d × row %d",
 			st.BytesSaved, st.BytesTransferred, st.CacheLookups, rowBytes)
+	}
+}
+
+// TestServeThroughShardedStore: a custom base store changes accounting,
+// never answers — predictions must still match one-shot inference, and the
+// cached wrapper must report shard traffic alongside cache savings.
+func TestServeThroughShardedStore(t *testing.T) {
+	ds, tr := fitted(t)
+	nodes := ds.Test[:24]
+	want := singleShot(t, nodes)
+
+	a, err := partition.LDG(ds.G, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded, err := store.NewSharded(ds, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(tr.Model, ds, Options{
+		Fanouts: serveFanouts, Workers: 2, MaxBatch: 8, Seed: serveSeed,
+		Store: sharded, CacheRows: int(ds.G.N) / 4, CachePolicy: cache.StaticDegree,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range nodes {
+		got, err := s.Submit(v)
+		if err != nil {
+			t.Fatalf("Submit(%d): %v", v, err)
+		}
+		if got != want[v] {
+			t.Fatalf("Submit(%d) = %d, want %d", v, got, want[v])
+		}
+	}
+	s.Close()
+	ss := s.FeatureStore().Stats()
+	if ss.RowsRemote == 0 {
+		t.Fatal("sharded base store reported no cross-shard rows")
+	}
+	if ss.BytesSaved == 0 {
+		t.Fatal("cached wrapper saved no transfer")
+	}
+	st := s.Stats()
+	if st.BytesTransferred != ss.BytesMoved || st.BytesSaved != ss.BytesSaved {
+		t.Fatalf("server stats %+v disagree with store stats %+v", st, ss)
 	}
 }
 

@@ -42,8 +42,10 @@ func NewPinned(maxRows, featDim, maxBatch int) *Pinned {
 	}
 }
 
-// ensure grows the buffer if the batch needs more rows than ever seen.
-func (p *Pinned) ensure(rows, dim, batch int) {
+// Ensure grows the buffer if the batch needs more rows than ever seen and
+// sets the staged shape. Gather kernels (here and in internal/store) call it
+// before writing rows.
+func (p *Pinned) Ensure(rows, dim, batch int) {
 	if need := rows * dim; cap(p.Feat) < need {
 		p.Feat = make([]half.Float16, need)
 	}
@@ -61,40 +63,75 @@ func (p *Pinned) Bytes() int64 {
 	return int64(len(p.Feat))*2 + int64(len(p.Labels))*4
 }
 
-// SliceHalf gathers the feature rows for nodeIDs out of the half-precision
-// host feature matrix into dst, and the labels for the first batch entries
-// of nodeIDs (the seed prefix). This is the SALIENT serial kernel: one
-// worker slices one whole batch, contiguously, with no synchronization.
-func SliceHalf(dst *Pinned, feat []half.Float16, featDim int, labels []int32, nodeIDs []int32, batch int) error {
+// Source provides per-node feature rows and labels to the gather kernels.
+// It is the seam between the kernels and the FeatureStore layer
+// (internal/store): the kernels own the iteration over a batch's node IDs
+// and the destination layout, the source decides where each row physically
+// lives (one flat array, a partition shard, ...).
+type Source interface {
+	// Dim returns the feature dimensionality.
+	Dim() int
+	// Row returns node id's feature row (length Dim). The returned slice
+	// must stay valid and immutable for the duration of the gather.
+	Row(id int32) []half.Float16
+	// Label returns node id's label.
+	Label(id int32) int32
+}
+
+// flatSource is the single-array layout: row id lives at [id*dim, id*dim+dim).
+type flatSource struct {
+	feat   []half.Float16
+	dim    int
+	labels []int32
+}
+
+func (s flatSource) Dim() int { return s.dim }
+func (s flatSource) Row(id int32) []half.Float16 {
+	return s.feat[int(id)*s.dim : (int(id)+1)*s.dim]
+}
+func (s flatSource) Label(id int32) int32 { return s.labels[id] }
+
+// NewFlatSource wraps a flat row-major half-precision feature matrix and its
+// label vector as a Source.
+func NewFlatSource(feat []half.Float16, featDim int, labels []int32) Source {
+	return flatSource{feat: feat, dim: featDim, labels: labels}
+}
+
+// Slice gathers the feature rows for nodeIDs out of src into dst, and the
+// labels for the first batch entries of nodeIDs (the seed prefix). This is
+// the SALIENT serial kernel: one worker slices one whole batch,
+// contiguously, with no synchronization.
+func Slice(dst *Pinned, src Source, nodeIDs []int32, batch int) error {
 	if batch > len(nodeIDs) {
 		return fmt.Errorf("slicing: batch %d > nodes %d", batch, len(nodeIDs))
 	}
-	dst.ensure(len(nodeIDs), featDim, batch)
+	dim := src.Dim()
+	dst.Ensure(len(nodeIDs), dim, batch)
 	for i, id := range nodeIDs {
-		srcRow := feat[int(id)*featDim : (int(id)+1)*featDim]
-		copy(dst.Feat[i*featDim:(i+1)*featDim], srcRow)
+		copy(dst.Feat[i*dim:(i+1)*dim], src.Row(id))
 	}
 	for i := 0; i < batch; i++ {
-		dst.Labels[i] = labels[nodeIDs[i]]
+		dst.Labels[i] = src.Label(nodeIDs[i])
 	}
 	return nil
 }
 
-// SliceHalfStriped is the PyTorch-style parallel slice kernel: the row range
-// is split into nWorkers static stripes processed by the provided runner
-// (in production PyTorch, OpenMP threads). It exists for the Table 2
-// comparison; SALIENT itself uses SliceHalf per batch-preparation worker.
+// SliceStriped is the PyTorch-style parallel slice kernel: the row range is
+// split into nWorkers static stripes processed by the provided runner (in
+// production PyTorch, OpenMP threads). It exists for the Table 2 comparison;
+// SALIENT itself uses Slice per batch-preparation worker.
 //
-// run is called once per stripe with the stripe bounds and must execute the
-// stripes (possibly concurrently) before returning.
-func SliceHalfStriped(dst *Pinned, feat []half.Float16, featDim int, labels []int32, nodeIDs []int32, batch, nWorkers int, run func(stripes []func())) error {
+// run is called once with the stripe closures and must execute them
+// (possibly concurrently) before returning.
+func SliceStriped(dst *Pinned, src Source, nodeIDs []int32, batch, nWorkers int, run func(stripes []func())) error {
 	if batch > len(nodeIDs) {
 		return fmt.Errorf("slicing: batch %d > nodes %d", batch, len(nodeIDs))
 	}
 	if nWorkers < 1 {
 		nWorkers = 1
 	}
-	dst.ensure(len(nodeIDs), featDim, batch)
+	dim := src.Dim()
+	dst.Ensure(len(nodeIDs), dim, batch)
 	n := len(nodeIDs)
 	stripes := make([]func(), 0, nWorkers)
 	for w := 0; w < nWorkers; w++ {
@@ -105,16 +142,26 @@ func SliceHalfStriped(dst *Pinned, feat []half.Float16, featDim int, labels []in
 		}
 		stripes = append(stripes, func() {
 			for i := lo; i < hi; i++ {
-				id := nodeIDs[i]
-				copy(dst.Feat[i*featDim:(i+1)*featDim], feat[int(id)*featDim:(int(id)+1)*featDim])
+				copy(dst.Feat[i*dim:(i+1)*dim], src.Row(nodeIDs[i]))
 			}
 		})
 	}
 	run(stripes)
 	for i := 0; i < batch; i++ {
-		dst.Labels[i] = labels[nodeIDs[i]]
+		dst.Labels[i] = src.Label(nodeIDs[i])
 	}
 	return nil
+}
+
+// SliceHalf is Slice over the flat single-array layout, kept as the
+// convenient entry point for callers that hold raw feature/label slices.
+func SliceHalf(dst *Pinned, feat []half.Float16, featDim int, labels []int32, nodeIDs []int32, batch int) error {
+	return Slice(dst, NewFlatSource(feat, featDim, labels), nodeIDs, batch)
+}
+
+// SliceHalfStriped is SliceStriped over the flat single-array layout.
+func SliceHalfStriped(dst *Pinned, feat []half.Float16, featDim int, labels []int32, nodeIDs []int32, batch, nWorkers int, run func(stripes []func())) error {
+	return SliceStriped(dst, NewFlatSource(feat, featDim, labels), nodeIDs, batch, nWorkers, run)
 }
 
 // DecodeFeatures converts a staged half-precision feature block into the

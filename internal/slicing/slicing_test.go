@@ -159,6 +159,107 @@ func TestPoolLifecycle(t *testing.T) {
 	pool.Put(NewPinned(1, 1, 1))
 }
 
+func TestPoolDoublePutSameBufferPanics(t *testing.T) {
+	pool := NewPool(2, 4, 4, 4)
+	a := pool.Get()
+	b := pool.Get()
+	pool.Put(a)
+	pool.Put(b)
+	// Both slots are free again; returning a buffer a second time is a
+	// double-free and must be caught by the overflow panic.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double Put of the same buffer did not panic")
+		}
+	}()
+	pool.Put(a)
+}
+
+func TestTryGetExhaustionAndRecovery(t *testing.T) {
+	pool := NewPool(1, 4, 4, 4)
+	a, ok := pool.TryGet()
+	if !ok || a == nil {
+		t.Fatal("fresh pool refused TryGet")
+	}
+	for i := 0; i < 3; i++ {
+		if b, ok := pool.TryGet(); ok || b != nil {
+			t.Fatal("exhausted pool handed out a buffer")
+		}
+	}
+	pool.Put(a)
+	if _, ok := pool.TryGet(); !ok {
+		t.Fatal("TryGet failed after Put")
+	}
+}
+
+func TestDecodeShapePanicsOnColumnMismatch(t *testing.T) {
+	p := NewPinned(3, 4, 3)
+	p.Rows, p.Dim = 3, 4
+	defer func() {
+		if recover() == nil {
+			t.Fatal("column mismatch did not panic")
+		}
+	}()
+	DecodeFeatures(tensor.New(3, 5), p)
+}
+
+// stridedSource stores rows reversed to prove the kernels only ever go
+// through the Source interface, never assume the flat layout.
+type stridedSource struct {
+	feat   []half.Float16
+	dim    int
+	n      int
+	labels []int32
+}
+
+func (s stridedSource) Dim() int { return s.dim }
+func (s stridedSource) Row(id int32) []half.Float16 {
+	r := s.n - 1 - int(id)
+	return s.feat[r*s.dim : (r+1)*s.dim]
+}
+func (s stridedSource) Label(id int32) int32 { return s.labels[id] + 100 }
+
+func TestSliceHonorsCustomSource(t *testing.T) {
+	const n, dim = 50, 4
+	feat, labels := makeFeatures(t, n, dim)
+	rev := make([]half.Float16, len(feat))
+	for v := 0; v < n; v++ {
+		copy(rev[(n-1-v)*dim:(n-v)*dim], feat[v*dim:(v+1)*dim])
+	}
+	src := stridedSource{feat: rev, dim: dim, n: n, labels: labels}
+	nodeIDs := []int32{7, 0, 49, 7}
+	serial := NewPinned(1, dim, 1)
+	if err := Slice(serial, src, nodeIDs, 2); err != nil {
+		t.Fatal(err)
+	}
+	for i, id := range nodeIDs {
+		for j := 0; j < dim; j++ {
+			if serial.Feat[i*dim+j] != feat[int(id)*dim+j] {
+				t.Fatalf("row %d col %d not read through the source", i, j)
+			}
+		}
+	}
+	for i := 0; i < 2; i++ {
+		if serial.Labels[i] != labels[nodeIDs[i]]+100 {
+			t.Fatalf("label %d not read through the source", i)
+		}
+	}
+	striped := NewPinned(1, dim, 1)
+	err := SliceStriped(striped, src, nodeIDs, 2, 3, func(stripes []func()) {
+		for _, s := range stripes {
+			s()
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range serial.Feat {
+		if striped.Feat[i] != serial.Feat[i] {
+			t.Fatalf("striped kernel diverged at scalar %d", i)
+		}
+	}
+}
+
 func BenchmarkSliceHalf1024x128(b *testing.B) {
 	const n, dim = 1 << 16, 128
 	feat, labels := makeFeatures(b, n, dim)

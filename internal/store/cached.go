@@ -1,0 +1,140 @@
+package store
+
+import (
+	"fmt"
+
+	"sync"
+
+	"salient/internal/cache"
+	"salient/internal/graph"
+	"salient/internal/slicing"
+)
+
+// Cached wraps any FeatureStore with a device-resident feature-row cache
+// (internal/cache): rows the policy keeps resident are never charged
+// host-to-device transfer, only the misses are — the GNS/Zero-Copy
+// extension the paper points to (§8), applied on the live data path.
+//
+// Batch contents are still staged in full and bit-identically to the inner
+// store: the host-side copy of a resident row models the device assembling
+// it from cache memory, which costs no PCIe traffic. Only the accounting
+// changes, which is exactly the quantity the caching literature optimizes.
+//
+// The outermost store is authoritative for transfer stats; the inner
+// store's own Stats keep counting every staged row and should be ignored
+// when wrapped.
+type Cached struct {
+	inner FeatureStore
+
+	mu    sync.Mutex
+	cache *cache.Cache
+	stats Stats
+}
+
+// NewCached wraps inner with a cache of the given row capacity and policy
+// over graph g (the degree source for static placement).
+func NewCached(inner FeatureStore, g *graph.CSR, rows int, policy cache.Policy) (*Cached, error) {
+	if int(g.N) != inner.NumNodes() {
+		return nil, fmt.Errorf("store: cache graph has %d nodes, store holds %d", g.N, inner.NumNodes())
+	}
+	c, err := cache.New(g, rows, policy)
+	if err != nil {
+		return nil, err
+	}
+	return &Cached{inner: inner, cache: c}, nil
+}
+
+// Dim returns the feature dimensionality.
+func (c *Cached) Dim() int { return c.inner.Dim() }
+
+// NumNodes returns the number of feature rows held.
+func (c *Cached) NumNodes() int { return c.inner.NumNodes() }
+
+// Cache exposes the wrapped cache for residency inspection.
+func (c *Cached) Cache() *cache.Cache { return c.cache }
+
+// Gather stages the batch through the inner store, then settles the
+// transfer bill against the cache: resident rows are saved bytes, misses
+// are moved bytes (and, under LRU, become resident for the next batch).
+func (c *Cached) Gather(dst *slicing.Pinned, nodeIDs []int32, batch int) error {
+	if err := c.inner.Gather(dst, nodeIDs, batch); err != nil {
+		return err
+	}
+	c.settle(nodeIDs)
+	return nil
+}
+
+// GatherStriped preserves the inner store's striped-parallel kernel (the
+// PyG executor's Table 2 comparison) under caching, falling back to the
+// serial gather for inner stores without static stripes.
+func (c *Cached) GatherStriped(dst *slicing.Pinned, nodeIDs []int32, batch, nWorkers int, run func(stripes []func())) error {
+	var err error
+	if sg, ok := c.inner.(StripedGatherer); ok {
+		err = sg.GatherStriped(dst, nodeIDs, batch, nWorkers, run)
+	} else {
+		err = c.inner.Gather(dst, nodeIDs, batch)
+	}
+	if err != nil {
+		return err
+	}
+	c.settle(nodeIDs)
+	return nil
+}
+
+// settle charges the cache bill for one gathered batch. Over a sharded
+// inner store it also re-derives remote traffic cache-aware: only rows that
+// both missed the cache and live off the batch's home shard count as remote
+// fetches — a resident row costs no network no matter where its master
+// copy lives.
+func (c *Cached) settle(nodeIDs []int32) {
+	rowBytes := int64(c.inner.Dim()) * 2
+	sh, _ := c.inner.(*Sharded)
+	var home int32
+	if sh != nil && len(nodeIDs) > 0 {
+		home = sh.Part(nodeIDs[0])
+	}
+	c.mu.Lock()
+	misses, remoteMisses := 0, 0
+	for _, v := range nodeIDs {
+		if c.cache.Touch(v) {
+			continue
+		}
+		misses++
+		if sh != nil && sh.Part(v) != home {
+			remoteMisses++
+		}
+	}
+	hits := len(nodeIDs) - misses
+	cs := c.cache.Stats()
+	c.stats.Gathers++
+	c.stats.Rows += int64(len(nodeIDs))
+	c.stats.RowsMoved += int64(misses)
+	c.stats.BytesMoved += int64(misses) * rowBytes
+	c.stats.RowsSaved += int64(hits)
+	c.stats.BytesSaved += int64(hits) * rowBytes
+	c.stats.RowsRemote += int64(remoteMisses)
+	c.stats.BytesRemote += int64(remoteMisses) * rowBytes
+	c.stats.CacheLookups = cs.Lookups
+	c.stats.CacheHits = cs.Hits
+	c.mu.Unlock()
+}
+
+// Stats returns the accumulated transfer accounting. In a Cached(Sharded)
+// composition RowsRemote counts only cache-missing off-shard rows (actual
+// remote fetches); the inner store's own Stats keep the pre-cache layout
+// view.
+func (c *Cached) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// ResetStats clears the accounting on this layer, the cache's counters, and
+// the inner store (residency is untouched).
+func (c *Cached) ResetStats() {
+	c.mu.Lock()
+	c.stats = Stats{}
+	c.cache.ResetStats()
+	c.mu.Unlock()
+	c.inner.ResetStats()
+}

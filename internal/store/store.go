@@ -1,0 +1,115 @@
+// Package store is the feature-access layer of the data path: every
+// consumer that needs the feature rows of a sampled mini-batch — the
+// training executors (internal/prep), sampled and full inference
+// (internal/infer), and the online serving layer (internal/serve) — reads
+// them through one FeatureStore interface instead of reaching into
+// dataset.Dataset's flat arrays.
+//
+// The paper's batch-preparation analysis (§4.2) and its future-work section
+// (§8, citing GNS and Zero-Copy caching) both center on the same
+// bottleneck: moving feature rows from host memory to the device. Pulling
+// that movement behind one interface lets the layout and the transfer
+// policy vary independently of the consumers:
+//
+//   - Flat is the seed behavior: one contiguous row-major array, every row
+//     transferred for every batch.
+//   - Sharded lays the rows out in P shards per a partition.Assignment and
+//     gathers shard-parallel, accounting rows that cross shard boundaries —
+//     the feature-path half of the distributed setting §8 sketches, where
+//     placement quality (LDG versus random) directly changes network traffic.
+//   - Cached wraps any store with a device-resident row cache
+//     (internal/cache), so resident rows stop being charged transfer — the
+//     GNS/Zero-Copy extension, now on the real data path rather than as an
+//     isolated simulation.
+//
+// All implementations stage bit-identical batch contents; they differ only
+// in physical layout, gather parallelism, and transfer accounting.
+package store
+
+import (
+	"fmt"
+
+	"salient/internal/dataset"
+	"salient/internal/slicing"
+)
+
+// Stats accumulates gather-side transfer accounting for a store. Bytes
+// count half-precision feature payload only (2 bytes per scalar, as the
+// host stores rows); label and MFG-index bytes are accounted by the batch
+// (prep.Batch.TransferBytes), not the store.
+type Stats struct {
+	Gathers int64 // Gather calls served
+	Rows    int64 // feature rows requested across all gathers
+
+	RowsMoved  int64 // rows actually transferred host -> device
+	BytesMoved int64 // RowsMoved × rowBytes
+
+	RowsSaved  int64 // rows served from device-resident cache (Cached only)
+	BytesSaved int64 // RowsSaved × rowBytes
+
+	// RowsRemote counts rows fetched from a non-home shard (Sharded). A
+	// Cached(Sharded) composition counts only cache-missing off-shard rows:
+	// resident rows cost no network wherever their master copy lives.
+	RowsRemote  int64
+	BytesRemote int64 // RowsRemote × rowBytes
+
+	CacheLookups int64 // row residency lookups (Cached only)
+	CacheHits    int64 // lookups that found the row resident
+}
+
+// HitRate returns the fraction of cache lookups served from residency.
+func (s Stats) HitRate() float64 {
+	if s.CacheLookups == 0 {
+		return 0
+	}
+	return float64(s.CacheHits) / float64(s.CacheLookups)
+}
+
+// RemoteFrac returns the fraction of gathered rows that crossed a shard
+// boundary.
+func (s Stats) RemoteFrac() float64 {
+	if s.Rows == 0 {
+		return 0
+	}
+	return float64(s.RowsRemote) / float64(s.Rows)
+}
+
+// FeatureStore is the one feature-access abstraction the data path shares.
+// Gather stages the feature rows for nodeIDs — and the labels of the first
+// batch entries, the seed prefix — into dst, exactly as the slicing kernels
+// lay a batch out, and charges the store's transfer accounting.
+//
+// Implementations must be safe for concurrent Gather calls: the batch
+// preparation executors gather from multiple workers at once.
+type FeatureStore interface {
+	// Dim returns the feature dimensionality.
+	Dim() int
+	// NumNodes returns the number of feature rows held.
+	NumNodes() int
+	// Gather stages features for nodeIDs and labels for the seed prefix
+	// (the first batch entries) into dst.
+	Gather(dst *slicing.Pinned, nodeIDs []int32, batch int) error
+	// Stats returns the accumulated transfer accounting.
+	Stats() Stats
+	// ResetStats clears the accounting (never residency or layout).
+	ResetStats()
+}
+
+// Check verifies st holds exactly ds's rows, so consumers reject a store
+// built over the wrong dataset loudly at wiring time instead of deep in a
+// gather or a forward pass.
+func Check(st FeatureStore, ds *dataset.Dataset) error {
+	if st.Dim() != ds.FeatDim || st.NumNodes() != int(ds.G.N) {
+		return fmt.Errorf("store holds %d×%d, dataset is %d×%d",
+			st.NumNodes(), st.Dim(), ds.G.N, ds.FeatDim)
+	}
+	return nil
+}
+
+// StripedGatherer is implemented by stores whose gather supports the
+// statically striped parallel kernel (PyTorch's OpenMP-style slicing). The
+// PyG executor uses it when available to preserve the Table 2 comparison;
+// stores without static stripes fall back to Gather.
+type StripedGatherer interface {
+	GatherStriped(dst *slicing.Pinned, nodeIDs []int32, batch, nWorkers int, run func(stripes []func())) error
+}

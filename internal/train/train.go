@@ -17,6 +17,7 @@ import (
 	"salient/internal/prep"
 	"salient/internal/sampler"
 	"salient/internal/slicing"
+	"salient/internal/store"
 	"salient/internal/tensor"
 )
 
@@ -54,6 +55,10 @@ type Config struct {
 	ClipNorm float64
 	// Schedule maps epoch to a learning-rate multiplier (nil = constant).
 	Schedule nn.LRSchedule
+	// Store is the feature-access layer the executors gather batches
+	// through. Nil selects the flat store over the dataset; sharded and
+	// cached stores change transfer accounting, never batch contents.
+	Store store.FeatureStore
 }
 
 // Defaults fills unset fields with the paper's GraphSAGE settings.
@@ -119,10 +124,15 @@ type Trainer struct {
 	Cfg   Config
 
 	opt      *nn.Adam
+	store    store.FeatureStore
 	salient  *prep.Salient
 	pyg      *prep.PyG
 	features *tensor.Dense // reusable decode target
 }
+
+// FeatureStore returns the store the trainer reads features through, for
+// transfer-accounting inspection.
+func (t *Trainer) FeatureStore() store.FeatureStore { return t.store }
 
 // New builds a trainer over ds. Fanout length must equal the layer count.
 func New(ds *dataset.Dataset, cfg Config) (*Trainer, error) {
@@ -144,11 +154,16 @@ func New(ds *dataset.Dataset, cfg Config) (*Trainer, error) {
 	if cfg.WeightDecay > 0 {
 		tr.opt.WithWeightDecay(cfg.WeightDecay)
 	}
+	tr.store = cfg.Store
+	if tr.store == nil {
+		tr.store = store.NewFlat(ds)
+	}
 	opts := prep.Options{
 		Workers:   cfg.Workers,
 		BatchSize: cfg.BatchSize,
 		Fanouts:   cfg.Fanouts,
 		Ordered:   true, // bit-reproducible training
+		Store:     tr.store,
 	}
 	switch cfg.Executor {
 	case ExecSalient:
@@ -179,8 +194,10 @@ func (t *Trainer) epochSeed(epoch int) uint64 {
 	return t.Cfg.Seed*0x9e3779b97f4a7c15 + uint64(epoch) + 1
 }
 
-// TrainEpoch runs one epoch of mini-batch SGD over the training split.
-func (t *Trainer) TrainEpoch(epoch int) EpochStats {
+// TrainEpoch runs one epoch of mini-batch SGD over the training split. A
+// batch-preparation failure drains the epoch (releasing every staged
+// buffer) and is returned instead of panicking inside an executor worker.
+func (t *Trainer) TrainEpoch(epoch int) (EpochStats, error) {
 	st := EpochStats{Epoch: epoch}
 	if t.Cfg.Schedule != nil {
 		t.opt.SetLRFactor(t.Cfg.Schedule(epoch))
@@ -188,6 +205,7 @@ func (t *Trainer) TrainEpoch(epoch int) EpochStats {
 	start := time.Now()
 	stream := t.run(t.DS.Train, t.epochSeed(epoch))
 
+	var firstErr error
 	var correct, total int
 	pred := make([]int32, t.Cfg.BatchSize)
 	for {
@@ -197,6 +215,13 @@ func (t *Trainer) TrainEpoch(epoch int) EpochStats {
 			break
 		}
 		st.PrepWait += time.Since(waitStart)
+		if b.Err != nil || firstErr != nil {
+			if firstErr == nil {
+				firstErr = b.Err
+			}
+			b.Release()
+			continue
+		}
 
 		cStart := time.Now()
 		x := t.decode(b.Buf)
@@ -224,6 +249,9 @@ func (t *Trainer) TrainEpoch(epoch int) EpochStats {
 		b.Release()
 	}
 	stream.Wait()
+	if firstErr == nil {
+		firstErr = stream.Err()
+	}
 	st.Wall = time.Since(start)
 	if st.Batches > 0 {
 		st.Loss /= float64(st.Batches)
@@ -231,7 +259,7 @@ func (t *Trainer) TrainEpoch(epoch int) EpochStats {
 	if total > 0 {
 		st.Acc = float64(correct) / float64(total)
 	}
-	return st
+	return st, firstErr
 }
 
 // decode widens a staged half-precision batch into the reusable float32
@@ -244,13 +272,18 @@ func (t *Trainer) decode(buf *slicing.Pinned) *tensor.Dense {
 	return t.features
 }
 
-// Fit trains for n epochs and returns per-epoch stats.
-func (t *Trainer) Fit(epochs int) []EpochStats {
+// Fit trains for n epochs and returns per-epoch stats, stopping at the
+// first preparation failure.
+func (t *Trainer) Fit(epochs int) ([]EpochStats, error) {
 	out := make([]EpochStats, 0, epochs)
 	for e := 0; e < epochs; e++ {
-		out = append(out, t.TrainEpoch(e))
+		s, err := t.TrainEpoch(e)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, s)
 	}
-	return out
+	return out, nil
 }
 
 // Evaluate runs sampled inference over the given nodes with the given
@@ -261,14 +294,23 @@ func (t *Trainer) Evaluate(nodes []int32, fanouts []int, seed uint64) (float64, 
 		BatchSize: t.Cfg.BatchSize,
 		Fanouts:   fanouts,
 		Sampler:   sampler.FastConfig(),
+		Store:     t.store,
 	})
 	if err != nil {
 		return 0, err
 	}
 	stream := ex.Run(nodes, seed)
+	var firstErr error
 	correct, total := 0, 0
 	pred := make([]int32, t.Cfg.BatchSize)
 	for b := range stream.C {
+		if b.Err != nil || firstErr != nil {
+			if firstErr == nil {
+				firstErr = b.Err
+			}
+			b.Release()
+			continue
+		}
 		x := t.decode(b.Buf)
 		logp := t.Model.Forward(x, b.MFG, false)
 		logp.ArgmaxRows(pred[:logp.Rows])
@@ -281,6 +323,9 @@ func (t *Trainer) Evaluate(nodes []int32, fanouts []int, seed uint64) (float64, 
 		b.Release()
 	}
 	stream.Wait()
+	if firstErr != nil {
+		return 0, firstErr
+	}
 	if total == 0 {
 		return 0, nil
 	}
@@ -299,7 +344,11 @@ func (t *Trainer) FitEarlyStop(maxEpochs, patience int, evalFanouts []int) ([]Ep
 	var stats []EpochStats
 	best, bestEpoch, stale := -1.0, -1, 0
 	for e := 0; e < maxEpochs; e++ {
-		stats = append(stats, t.TrainEpoch(e))
+		s, err := t.TrainEpoch(e)
+		if err != nil {
+			return stats, best, bestEpoch, err
+		}
+		stats = append(stats, s)
 		acc, err := t.Evaluate(t.DS.Val, evalFanouts, t.epochSeed(e)^0xace1)
 		if err != nil {
 			return stats, best, bestEpoch, err

@@ -4,8 +4,11 @@ import (
 	"math"
 	"testing"
 
+	"salient/internal/cache"
 	"salient/internal/dataset"
 	"salient/internal/nn"
+	"salient/internal/partition"
+	"salient/internal/store"
 )
 
 func smallDS(t testing.TB) *dataset.Dataset {
@@ -36,7 +39,10 @@ func TestTrainerLossDecreasesAccuracyRises(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	stats := tr.Fit(5)
+	stats, err := tr.Fit(5)
+	if err != nil {
+		t.Fatal(err)
+	}
 	first, last := stats[0], stats[len(stats)-1]
 	if !(last.Loss < first.Loss) {
 		t.Fatalf("loss did not decrease: %.4f -> %.4f", first.Loss, last.Loss)
@@ -64,7 +70,11 @@ func TestTrainerDeterministicGivenSeed(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		return tr.Fit(2)
+		stats, err := tr.Fit(2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stats
 	}
 	a, b := run(), run()
 	for i := range a {
@@ -83,7 +93,10 @@ func TestPyGExecutorTrainsEquivalently(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	stats := tr.Fit(3)
+	stats, err := tr.Fit(3)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !(stats[2].Loss < stats[0].Loss) {
 		t.Fatalf("PyG-executor training failed to reduce loss: %.4f -> %.4f",
 			stats[0].Loss, stats[2].Loss)
@@ -100,10 +113,63 @@ func TestAllArchitecturesTrainOneEpoch(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s: %v", arch, err)
 		}
-		s := tr.TrainEpoch(0)
+		s, err := tr.TrainEpoch(0)
+		if err != nil {
+			t.Fatalf("%s: %v", arch, err)
+		}
 		if math.IsNaN(s.Loss) || s.Batches == 0 {
 			t.Fatalf("%s: bad epoch stats %+v", arch, s)
 		}
+	}
+}
+
+// TestStoreChoiceDoesNotChangeTraining: the feature store decides layout
+// and transfer accounting, never batch contents — so training through a
+// sharded or cached store must reproduce the flat run bit-for-bit.
+func TestStoreChoiceDoesNotChangeTraining(t *testing.T) {
+	ds := smallDS(t)
+	run := func(st store.FeatureStore) []EpochStats {
+		cfg := smallCfg()
+		cfg.Store = st
+		tr, err := New(ds, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stats, err := tr.Fit(2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stats
+	}
+	want := run(nil)
+
+	a, err := partition.LDG(ds.G, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded, err := store.NewSharded(ds, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached, err := store.NewCached(store.NewFlat(ds), ds.G, int(ds.G.N)/4, cache.StaticDegree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, st := range map[string]store.FeatureStore{"sharded": sharded, "cached": cached} {
+		got := run(st)
+		for e := range want {
+			if got[e].Loss != want[e].Loss || got[e].Acc != want[e].Acc {
+				t.Fatalf("%s store diverged at epoch %d: (%v,%v) vs flat (%v,%v)",
+					name, e, got[e].Loss, got[e].Acc, want[e].Loss, want[e].Acc)
+			}
+		}
+	}
+	// And the stores must have been the path actually used.
+	if cached.Stats().Gathers == 0 || sharded.Stats().Gathers == 0 {
+		t.Fatal("training did not gather through the configured store")
+	}
+	if cached.Stats().BytesSaved == 0 {
+		t.Fatal("cached store saved no transfer during training")
 	}
 }
 
@@ -178,7 +244,10 @@ func TestClipAndDecayStillLearn(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	stats := tr.Fit(4)
+	stats, err := tr.Fit(4)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !(stats[3].Loss < stats[0].Loss) {
 		t.Fatalf("clipped+decayed training failed to reduce loss: %.4f -> %.4f",
 			stats[0].Loss, stats[3].Loss)
