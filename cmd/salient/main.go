@@ -27,7 +27,12 @@
 //	-scale F       train/gen/stats: dataset scale factor (default 0.3)
 //	-epochs N      train: number of epochs (default 5)
 //	-executor E    train: salient | pyg (default salient)
-//	-workers N     train/serve: preparation/batching workers (default 4)
+//	-replicas R    train: execute real data-parallel training on R model
+//	               replicas (salient executor only; default 1). Results are
+//	               bit-identical to single-replica training on the union
+//	               batch schedule.
+//	-workers N     train/serve: preparation/batching workers (default 4;
+//	               per replica with -replicas)
 //	-store S       train/serve: feature store: flat | sharded | cached |
 //	               sharded+cached (default: flat for train; for serve,
 //	               cached when -cachefrac > 0, else flat)
@@ -54,6 +59,7 @@ import (
 	"salient/internal/bench"
 	"salient/internal/cache"
 	"salient/internal/dataset"
+	"salient/internal/ddp"
 	"salient/internal/serve"
 	"salient/internal/store"
 	"salient/internal/train"
@@ -71,6 +77,7 @@ type cliFlags struct {
 	scale       float64
 	epochs      int
 	executor    string
+	replicas    int
 	workers     int
 	storeKind   string
 	parts       int
@@ -99,6 +106,7 @@ func main() {
 	fs.Float64Var(&f.scale, "scale", 0.3, "dataset scale for train")
 	fs.IntVar(&f.epochs, "epochs", 5, "epochs for train")
 	fs.StringVar(&f.executor, "executor", "salient", "batch-prep executor: salient|pyg")
+	fs.IntVar(&f.replicas, "replicas", 1, "train: data-parallel replica count")
 	fs.IntVar(&f.workers, "workers", 4, "preparation workers")
 	fs.StringVar(&f.storeKind, "store", "", "feature store: flat|sharded|cached|sharded+cached (empty = subcommand default)")
 	fs.IntVar(&f.parts, "parts", 4, "shard count for -store sharded")
@@ -215,8 +223,16 @@ func (f *cliFlags) validate(cmd string) error {
 			return fmt.Errorf("-store %s requires -cachefrac > 0", f.storeKind)
 		}
 	}
-	if cmd == "train" && !oneOf(f.executor, "salient", "pyg") {
-		return fmt.Errorf("unknown -executor %q (want salient or pyg)", f.executor)
+	if cmd == "train" {
+		if !oneOf(f.executor, "salient", "pyg") {
+			return fmt.Errorf("unknown -executor %q (want salient or pyg)", f.executor)
+		}
+		if f.replicas < 1 {
+			return fmt.Errorf("-replicas must be >= 1, got %d", f.replicas)
+		}
+		if f.replicas > 1 && f.executor != "salient" {
+			return fmt.Errorf("-replicas %d requires -executor salient", f.replicas)
+		}
 	}
 	if cmd == "serve" {
 		if f.rate < 0 {
@@ -309,6 +325,9 @@ func runTrain(f cliFlags) error {
 		Seed:    f.seed,
 		Store:   st,
 	}
+	if f.replicas > 1 {
+		return runTrainDDP(ds, cfg, f)
+	}
 	switch f.executor {
 	case "salient":
 		cfg.Executor = train.ExecSalient
@@ -330,6 +349,30 @@ func runTrain(f cliFlags) error {
 			s.Epoch, s.Loss, s.Acc, s.Wall.Round(1e6), s.PrepWait.Round(1e6), s.Compute.Round(1e6))
 	}
 	printStoreStats(tr.FeatureStore())
+	return nil
+}
+
+// runTrainDDP executes real data-parallel training: R model replicas in
+// concurrent goroutines over one shared feature store, synchronized per
+// step by gradient averaging. BatchSize is per replica, so the effective
+// batch grows with R (the paper's §6 scaling regime).
+func runTrainDDP(ds *dataset.Dataset, cfg train.Config, f cliFlags) error {
+	tr, err := ddp.NewTrainer(ds, ddp.TrainConfig{Config: cfg, Replicas: f.replicas})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("training %s on %s (N=%d, train=%d) with %d data-parallel replicas, %s store\n",
+		f.arch, ds.Name, ds.G.N, len(ds.Train), f.replicas, f.storeKind)
+	for e := 0; e < f.epochs; e++ {
+		s, err := tr.TrainEpoch(e)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("epoch %2d  loss %.4f  train-acc %.4f  wall %v (%d steps, sync %.0f%%, prep-wait %v, compute %v)\n",
+			s.Epoch, s.Loss, s.Acc, s.Wall.Round(1e6), s.Steps,
+			100*s.SyncFraction(), s.PrepWait.Round(1e6), s.Compute.Round(1e6))
+	}
+	printStoreStats(tr.FeatureStore(0))
 	return nil
 }
 

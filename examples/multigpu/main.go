@@ -1,13 +1,18 @@
-// Multi-GPU scaling: the paper's §6 distributed experiments. Two parts:
+// Multi-GPU scaling: the paper's §6 distributed experiments. Three parts:
 //
 //  1. A virtual-time scaling sweep on the paper's full-scale calibrations
 //     (the Figure 5 curves): SALIENT epochs on 1-16 simulated V100s across
 //     8 machines on 10 GigE.
 //
-//  2. A real data-parallel training demonstration: R model replicas train
-//     on disjoint mini-batch shards with per-step gradient averaging (the
-//     semantic core of DDP's all-reduce), verifying loss convergence and
-//     replica consistency with real numerics.
+//  2. Real executed data-parallel training with ddp.Trainer: 4 model
+//     replicas run concurrently, each feeding from its own prep executor
+//     stream over its deterministic shard of the epoch, synchronized per
+//     step by gradient averaging. Loss converges, straggler (barrier) time
+//     is accounted, and every replica finishes bit-identical.
+//
+//  3. The determinism guarantee: the same 4-replica run is repeated
+//     serially by the Union oracle — single-replica training on the union
+//     batch schedule — and the final parameters match bit for bit.
 package main
 
 import (
@@ -17,11 +22,7 @@ import (
 	"salient/internal/dataset"
 	"salient/internal/ddp"
 	"salient/internal/device"
-	"salient/internal/nn"
-	"salient/internal/prep"
-	"salient/internal/sampler"
-	"salient/internal/slicing"
-	"salient/internal/tensor"
+	"salient/internal/train"
 )
 
 func main() {
@@ -42,92 +43,62 @@ func main() {
 		fmt.Printf("  (speedup %.2fx)\n", res[0].Epoch/res[len(res)-1].Epoch)
 	}
 
-	// Part 2: real data-parallel training with gradient averaging.
-	fmt.Println("\n== real data-parallel training (4 replicas, gradient all-reduce) ==")
+	// Part 2: real executed data-parallel training.
+	const replicas = 4
+	fmt.Printf("\n== executed data-parallel training (%d replicas, per-step gradient averaging) ==\n", replicas)
 	ds, err := dataset.Load(dataset.Arxiv, 0.15)
 	if err != nil {
 		log.Fatal(err)
 	}
-	const replicas = 4
-	cfg := nn.ModelConfig{In: ds.FeatDim, Hidden: 48, Out: ds.NumClasses, Layers: 2, Seed: 5}
-
-	models := make([]nn.Model, replicas)
-	params := make([][]*nn.Param, replicas)
-	for r := range models {
-		models[r] = nn.NewGraphSAGE(cfg)
-		params[r] = models[r].Params()
+	cfg := ddp.TrainConfig{
+		Config: train.Config{
+			Arch:      "SAGE",
+			Hidden:    48,
+			Layers:    2,
+			Fanouts:   []int{10, 5},
+			BatchSize: 128, // per replica: effective batch is 4x
+			Workers:   2,
+			Seed:      5,
+		},
+		Replicas: replicas,
 	}
-	ddp.SyncParams(params) // DDP's initial broadcast
-	opt := nn.NewAdam(params[0], 3e-3)
-
-	ex, err := prep.NewSalient(ds, prep.Options{
-		Workers:   replicas,
-		BatchSize: 128,
-		Fanouts:   []int{10, 5},
-		Sampler:   sampler.FastConfig(),
-		Ordered:   true,
-	})
+	tr, err := ddp.NewTrainer(ds, cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
-
-	var x *tensor.Dense
-	for epoch := 0; epoch < 5; epoch++ {
-		stream := ex.Run(ds.Train, uint64(epoch+1))
-		var loss float64
-		var steps int
-		batchBuf := make([]*prep.Batch, 0, replicas)
-		step := func() {
-			if len(batchBuf) == 0 {
-				return
-			}
-			// Each replica computes gradients on its shard...
-			for r, b := range batchBuf {
-				x = decode(x, b.Buf)
-				logp := models[r].Forward(x, b.MFG, true)
-				grad := tensor.New(logp.Rows, logp.Cols)
-				loss += tensor.NLLLoss(logp, b.Buf.Labels, grad)
-				nn.ZeroGrad(params[r])
-				models[r].Backward(grad)
-				b.Release()
-			}
-			// Idle replicas (tail step) contribute zero gradients scaled out
-			// by averaging over active replicas only.
-			ddp.AverageGradients(params[:len(batchBuf)])
-			// ...then every replica applies the same update. Applying the
-			// optimizer to replica 0 and re-broadcasting is equivalent.
-			opt.Step(params[0])
-			ddp.SyncParams(params)
-			steps++
-			batchBuf = batchBuf[:0]
-		}
-		for b := range stream.C {
-			batchBuf = append(batchBuf, b)
-			if len(batchBuf) == replicas {
-				step()
-			}
-		}
-		step()
-		stream.Wait()
-		fmt.Printf("epoch %d: %d sync steps, mean shard loss %.4f\n",
-			epoch, steps, loss/float64(steps*replicas))
+	stats, err := tr.Fit(5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, s := range stats {
+		fmt.Printf("epoch %d: %d sync steps, loss %.4f, acc %.4f, wall %v (sync %.0f%%)\n",
+			s.Epoch, s.Steps, s.Loss, s.Acc, s.Wall.Round(1e6), 100*s.SyncFraction())
 	}
 
 	// Replicas must agree bit-for-bit after training.
+	lead := tr.Model().Params()
 	for r := 1; r < replicas; r++ {
-		for i := range params[0] {
-			if d := params[0][i].W.MaxAbsDiff(params[r][i].W); d != 0 {
-				log.Fatalf("replica %d param %d diverged by %v", r, i, d)
+		for i, p := range tr.ReplicaModel(r).Params() {
+			if d := lead[i].W.MaxAbsDiff(p.W); d != 0 {
+				log.Fatalf("replica %d param %s diverged by %v", r, p.Name, d)
 			}
 		}
 	}
 	fmt.Println("all replicas hold identical parameters after training ✓")
-}
 
-func decode(x *tensor.Dense, buf *slicing.Pinned) *tensor.Dense {
-	if x == nil || x.Rows != buf.Rows || x.Cols != buf.Dim {
-		x = tensor.New(buf.Rows, buf.Dim)
+	// Part 3: bit-identity against the serial union-schedule oracle.
+	fmt.Println("\n== determinism: concurrent replicas vs serial union schedule ==")
+	un, err := ddp.NewUnion(ds, cfg)
+	if err != nil {
+		log.Fatal(err)
 	}
-	slicing.DecodeFeatures(x, buf)
-	return x
+	if _, err := un.Fit(5); err != nil {
+		log.Fatal(err)
+	}
+	for i, p := range un.Model().Params() {
+		if d := lead[i].W.MaxAbsDiff(p.W); d != 0 {
+			log.Fatalf("union oracle param %s differs by %v", p.Name, d)
+		}
+	}
+	fmt.Println("4-replica execution is bit-identical to single-replica training on the union batch schedule ✓")
 }

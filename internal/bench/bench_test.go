@@ -84,7 +84,7 @@ func TestRegistryCoversEveryPaperExhibit(t *testing.T) {
 	want := []string{"table1", "table2", "table3", "table6", "table7",
 		"fig1", "fig2", "fig3", "fig4", "fig5", "fig6",
 		"cache", "partition", "memory", "strategies", "sensitivity", "batching",
-		"serving", "featurestore"}
+		"serving", "featurestore", "ddpreal"}
 	got := IDs()
 	if len(got) != len(want) {
 		t.Fatalf("registry has %d experiments, want %d: %v", len(got), len(want), got)
@@ -355,5 +355,33 @@ func TestFig1StructuralContrast(t *testing.T) {
 	}
 	if bi > 0.25 {
 		t.Fatalf("SALIENT compute idle fraction %.2f too high for the Figure 1 claim", bi)
+	}
+}
+
+func TestDDPRealSweepTiny(t *testing.T) {
+	// The table rendering itself is exercised by BenchmarkDDPRealSweep (the
+	// CI smoke run); here one execution of the same preset checks the rows.
+	rows, err := ddpRealResults(smallDDPReal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows, want 2", len(rows))
+	}
+	for _, r := range rows {
+		if r.secs <= 0 || r.loss <= 0 || r.acc < 0 || r.acc > 1 {
+			t.Fatalf("implausible executed row: %+v", r)
+		}
+		if r.syncFrac < 0 || r.syncFrac > 1 {
+			t.Fatalf("sync fraction out of range: %+v", r)
+		}
+		if r.simSecs <= 0 || r.simSpeedup <= 0 {
+			t.Fatalf("missing simulated comparison: %+v", r)
+		}
+	}
+	// Doubling replicas halves the synchronized step count (same scheme as
+	// the simulator).
+	if rows[1].steps != (rows[0].steps+1)/2 {
+		t.Fatalf("steps %d -> %d, want halved", rows[0].steps, rows[1].steps)
 	}
 }

@@ -1,0 +1,161 @@
+package bench
+
+import (
+	"fmt"
+
+	"salient/internal/dataset"
+	"salient/internal/ddp"
+	"salient/internal/device"
+	"salient/internal/train"
+)
+
+// DDPRealOpts configures the executed data-parallel scaling sweep.
+type DDPRealOpts struct {
+	Scale     float64 // arxiv stand-in scale
+	Hidden    int
+	BatchSize int // per-replica batch size
+	Fanouts   []int
+	Workers   int // prep workers per replica
+	Epochs    int
+	Replicas  []int // replica counts, first entry is the speedup baseline
+	Seed      uint64
+}
+
+func (o *DDPRealOpts) defaults() {
+	if o.Scale == 0 {
+		o.Scale = 0.1
+	}
+	if o.Hidden == 0 {
+		o.Hidden = 32
+	}
+	if o.BatchSize == 0 {
+		o.BatchSize = 64
+	}
+	if len(o.Fanouts) == 0 {
+		o.Fanouts = []int{10, 5}
+	}
+	if o.Workers == 0 {
+		o.Workers = 2
+	}
+	if o.Epochs == 0 {
+		o.Epochs = 1
+	}
+	if len(o.Replicas) == 0 {
+		o.Replicas = []int{1, 2, 4, 8}
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+}
+
+// ddpRealRow is one replica count's measured and simulated result.
+type ddpRealRow struct {
+	replicas   int
+	steps      int
+	secs       float64 // final-epoch wall time, executed
+	speedup    float64 // vs the first (baseline) replica count
+	efficiency float64 // speedup / (replicas/baselineReplicas)
+	syncFrac   float64 // barrier wait fraction, slowest replica
+	loss       float64
+	acc        float64
+	simSecs    float64 // SimulateEpoch at the paper's full-scale calibration
+	simSpeedup float64
+}
+
+// ddpRealResults executes the sweep. Every configuration trains real
+// models; the matching virtual-time simulation runs at the paper's
+// full-scale arxiv calibration for the Figure 5 comparison.
+func ddpRealResults(o DDPRealOpts) ([]ddpRealRow, error) {
+	o.defaults()
+	ds, err := dataset.Load(dataset.Arxiv, o.Scale)
+	if err != nil {
+		return nil, err
+	}
+	pr := device.PaperProfile()
+	cal := device.Calibration("arxiv")
+
+	var out []ddpRealRow
+	var baseSecs, simBaseSecs float64
+	baseReplicas := o.Replicas[0]
+	for i, R := range o.Replicas {
+		cfg := ddp.TrainConfig{
+			Config: train.Config{
+				Arch:      "SAGE",
+				Hidden:    o.Hidden,
+				Layers:    len(o.Fanouts),
+				Fanouts:   o.Fanouts,
+				BatchSize: o.BatchSize,
+				Workers:   o.Workers,
+				Seed:      o.Seed,
+			},
+			Replicas: R,
+		}
+		tr, err := ddp.NewTrainer(ds, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("ddpreal: R=%d: %w", R, err)
+		}
+		stats, err := tr.Fit(o.Epochs)
+		if err != nil {
+			return nil, fmt.Errorf("ddpreal: R=%d: %w", R, err)
+		}
+		last := stats[len(stats)-1]
+		sim := ddp.SimulateEpoch(pr, cal, R, 2, o.Seed)
+		if i == 0 {
+			baseSecs = last.Wall.Seconds()
+			simBaseSecs = sim.Epoch
+		}
+		row := ddpRealRow{
+			replicas:   R,
+			steps:      last.Steps,
+			secs:       last.Wall.Seconds(),
+			syncFrac:   last.SyncFraction(),
+			loss:       last.Loss,
+			acc:        last.Acc,
+			simSecs:    sim.Epoch,
+			simSpeedup: simBaseSecs / sim.Epoch,
+		}
+		if row.secs > 0 {
+			row.speedup = baseSecs / row.secs
+			row.efficiency = row.speedup * float64(baseReplicas) / float64(R)
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// DDPRealSweep executes real multi-replica data-parallel training at each
+// replica count — concurrent goroutine replicas over striped prep executor
+// streams, per-step gradient averaging — and reports executed epoch time,
+// scaling efficiency, and barrier (straggler) fraction next to the
+// virtual-time SimulateEpoch prediction at the paper's full-scale
+// calibration (§6 / Figure 5, now executed rather than only simulated).
+func DDPRealSweep(o DDPRealOpts) (Table, error) {
+	o.defaults()
+	t := Table{
+		ID:     "ddpreal",
+		Title:  "Executed data-parallel training vs simulated scaling (§6 extension)",
+		Header: []string{"Replicas", "Steps", "Epoch", "Speedup", "Effcy", "Sync", "Loss", "Acc", "SimEpoch", "SimSpeedup"},
+	}
+	rows, err := ddpRealResults(o)
+	if err != nil {
+		return t, err
+	}
+	for _, r := range rows {
+		t.AddRow(
+			fmt.Sprintf("%d", r.replicas),
+			fmt.Sprintf("%d", r.steps),
+			secs(r.secs),
+			fmt.Sprintf("%.2fx", r.speedup),
+			pct(r.efficiency),
+			pct(r.syncFrac),
+			fmt.Sprintf("%.4f", r.loss),
+			fmt.Sprintf("%.4f", r.acc),
+			secs(r.simSecs),
+			fmt.Sprintf("%.2fx", r.simSpeedup),
+		)
+	}
+	t.AddNote("executed: real replicas in goroutines on one host (scale %g arxiv stand-in, batch %d/replica, %d prep workers/replica); replicas contend for the same cores, so Effcy reflects host parallelism, not the paper's multi-GPU hardware", o.Scale, o.BatchSize, o.Workers)
+	t.AddNote("simulated: SimulateEpoch at the paper's full-scale arxiv calibration (2 GPUs/machine) — the Figure 5 prediction the executed path is converging toward")
+	t.AddNote("R-replica runs are bit-identical to single-replica training on the union batch schedule (see internal/ddp tests)")
+	return t, nil
+}

@@ -93,6 +93,10 @@ func Experiments() map[string]Experiment {
 			t, err := ServingSweep(ServingOpts{Seed: o.Seed})
 			return []Table{t}, err
 		}},
+		{ID: "ddpreal", Paper: "§6 extension", Run: func(o Options) ([]Table, error) {
+			t, err := DDPRealSweep(DDPRealOpts{Seed: o.Seed})
+			return []Table{t}, err
+		}},
 		{ID: "batching", Paper: "§7 extension", Run: func(o Options) ([]Table, error) {
 			t, err := BatchingStudy(o.Accuracy)
 			return []Table{t}, err

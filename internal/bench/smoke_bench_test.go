@@ -33,3 +33,21 @@ func BenchmarkFeatureStoreSweep(b *testing.B) {
 		}
 	}
 }
+
+// smallDDPReal is the quick ddpreal preset the smoke run executes: real
+// multi-replica training at 1 and 2 replicas on a tiny stand-in, so the
+// executed data-parallel path is exercised per commit without dominating
+// the bench-smoke budget.
+func smallDDPReal() DDPRealOpts {
+	return DDPRealOpts{Scale: 0.05, BatchSize: 64, Epochs: 1, Replicas: []int{1, 2}}
+}
+
+// BenchmarkDDPRealSweep keeps the executed data-parallel sweep in the CI
+// bench-smoke run (its output is uploaded as the per-commit perf artifact).
+func BenchmarkDDPRealSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := DDPRealSweep(smallDDPReal()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,12 +1,25 @@
-// Package ddp models distributed data-parallel GNN training (paper §6,
-// Figure 5): R GPU replicas, each running the full SALIENT pipeline on its
-// shard of mini-batches, synchronized per step by a ring all-reduce of
-// gradients over the 10 GigE interconnect.
+// Package ddp provides distributed data-parallel GNN training (paper §6,
+// Figure 5) in two forms that share one replica/seed partitioning scheme
+// (StepsFor, ShardSeeds):
 //
-// It also provides the real gradient-averaging primitive used to verify the
-// data-parallel equivalence property on actual models (see ddp tests): with
-// equal per-replica batch sizes, averaging replica gradients equals the
-// gradient of the union batch.
+//   - Cost-model simulators. SimulateEpoch, SimulateBaselineEpoch and
+//     ScalingCurve reproduce the paper's full-scale timing claims in
+//     calibrated virtual time: R simulated V100 replicas run the pipelined
+//     (or blocking baseline) schedule on their shard of mini-batches and
+//     synchronize per step on a modeled ring all-reduce over 10 GigE.
+//
+//   - An executing Trainer. R real model replicas run concurrently in
+//     goroutines, each feeding from its own prep executor stream over its
+//     deterministic shard of the epoch, synchronized per step by
+//     AverageGradients + identical per-replica optimizer steps, with
+//     straggler (barrier-wait) time accounted the way the simulator's cost
+//     model accounts exposed all-reduce. Union is its serial single-replica
+//     oracle: R-replica execution is bit-identical to the union batch
+//     schedule run on one replica.
+//
+// AverageGradients and SyncParams are the shared semantic core: the former
+// is DDP's gradient all-reduce on real models, the latter its parameter
+// broadcast at initialization.
 package ddp
 
 import (
@@ -29,6 +42,7 @@ const (
 // Result summarizes a simulated multi-GPU epoch.
 type Result struct {
 	Replicas  int
+	Steps     int     // synchronized gradient steps (StepsFor)
 	Epoch     float64 // seconds
 	Compute   float64 // per-replica GPU busy time (max over replicas)
 	AllReduce float64 // total all-reduce time on the critical path
@@ -43,7 +57,7 @@ func SimulateEpoch(pr device.Profile, cal device.DatasetCal, replicas, gpusPerMa
 	if replicas < 1 {
 		panic("ddp: need at least one replica")
 	}
-	steps := (cal.Batches + replicas - 1) / replicas
+	steps := StepsFor(cal.Batches, replicas)
 	r := rng.New(seed)
 
 	type replica struct {
@@ -69,6 +83,7 @@ func SimulateEpoch(pr device.Profile, cal device.DatasetCal, replicas, gpusPerMa
 
 	var res Result
 	res.Replicas = replicas
+	res.Steps = steps
 	barrier := pr.EpochStartup
 
 	for s := 0; s < steps; s++ {
@@ -137,7 +152,7 @@ func SimulateBaselineEpoch(pr device.Profile, cal device.DatasetCal, replicas, g
 	if replicas < 1 {
 		panic("ddp: need at least one replica")
 	}
-	steps := (cal.Batches + replicas - 1) / replicas
+	steps := StepsFor(cal.Batches, replicas)
 	r := rng.New(seed)
 
 	p := pr.Workers
@@ -182,6 +197,7 @@ func SimulateBaselineEpoch(pr device.Profile, cal device.DatasetCal, replicas, g
 
 	var res Result
 	res.Replicas = replicas
+	res.Steps = steps
 	barrier := pr.EpochStartup
 	for s := 0; s < steps; s++ {
 		stepEnd := 0.0

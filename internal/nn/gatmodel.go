@@ -40,6 +40,9 @@ func NewGAT(cfg ModelConfig) *GATModel {
 // Name implements Model.
 func (m *GATModel) Name() string { return "GAT" }
 
+// ReseedDropout re-keys the dropout RNG stream (nn.DropoutReseeder).
+func (m *GATModel) ReseedDropout(seed uint64) { m.r.Reseed(seed) }
+
 // Forward implements Model.
 func (m *GATModel) Forward(x *tensor.Dense, g *mfg.MFG, train bool) *tensor.Dense {
 	L := len(m.convs)

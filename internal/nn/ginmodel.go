@@ -41,6 +41,9 @@ func NewGIN(cfg ModelConfig) *GINModel {
 // Name implements Model.
 func (m *GINModel) Name() string { return "GIN" }
 
+// ReseedDropout re-keys the dropout RNG stream (nn.DropoutReseeder).
+func (m *GINModel) ReseedDropout(seed uint64) { m.r.Reseed(seed) }
+
 // Forward implements Model.
 func (m *GINModel) Forward(x *tensor.Dense, g *mfg.MFG, train bool) *tensor.Dense {
 	for i := range m.convs {
@@ -79,6 +82,17 @@ func (m *GINModel) Backward(dLogp *tensor.Dense) {
 // Params implements Model.
 func (m *GINModel) Params() []*Param {
 	return collectParams(m.convs, append(m.lin1.Params(), m.lin2.Params()...)...)
+}
+
+// StatBuffers implements nn.BufferModel: each conv's BatchNorm running
+// mean and variance, layer order.
+func (m *GINModel) StatBuffers() [][]float32 {
+	var out [][]float32
+	for _, c := range m.convs {
+		bn := c.(*GINConv).BN
+		out = append(out, bn.RunningMean, bn.RunningVar)
+	}
+	return out
 }
 
 // InferFull implements Model.

@@ -48,6 +48,9 @@ func layerName(prefix string, l int) string {
 // Name implements Model.
 func (m *GraphSAGE) Name() string { return "SAGE" }
 
+// ReseedDropout re-keys the dropout RNG stream (nn.DropoutReseeder).
+func (m *GraphSAGE) ReseedDropout(seed uint64) { m.r.Reseed(seed) }
+
 // Forward implements Model.
 func (m *GraphSAGE) Forward(x *tensor.Dense, g *mfg.MFG, train bool) *tensor.Dense {
 	L := len(m.convs)

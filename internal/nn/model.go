@@ -24,6 +24,30 @@ type Model interface {
 	InferFull(g *graph.CSR, x *tensor.Dense) *tensor.Dense
 }
 
+// DropoutReseeder is implemented by models whose stochastic layers
+// (dropout) draw from a re-keyable RNG stream. Training loops re-key the
+// stream once per batch (train.DropoutSeed) so a batch's dropout masks
+// depend only on the (epoch seed, global batch index) pair — never on which
+// replica executes the batch or in which order batches run. This is the
+// property that makes executing data-parallel training (internal/ddp)
+// bit-identical to the single-replica union batch schedule.
+type DropoutReseeder interface {
+	ReseedDropout(seed uint64)
+}
+
+// BufferModel is implemented by models carrying non-trainable running
+// statistics (BatchNorm running mean/variance in GIN and SAGE-RI). The
+// buffers are not part of Params() — they take no gradients — so gradient
+// averaging never synchronizes them; the data-parallel trainer instead
+// broadcasts the leader replica's buffers at every step barrier (PyTorch
+// DDP's broadcast_buffers semantics) to keep replicas bit-identical in
+// eval mode too.
+type BufferModel interface {
+	// StatBuffers returns the model's running-statistic vectors in a fixed
+	// order; the slices alias live layer state so they can be copied into.
+	StatBuffers() [][]float32
+}
+
 // conv abstracts the per-layer convolution shared by the architectures.
 type conv interface {
 	Forward(x *tensor.Dense, blk *mfg.Block, train bool) *tensor.Dense

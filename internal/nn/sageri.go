@@ -60,6 +60,9 @@ func NewSAGERI(cfg ModelConfig) *SAGERI {
 // Name implements Model.
 func (m *SAGERI) Name() string { return "SAGE-RI" }
 
+// ReseedDropout re-keys the dropout RNG stream (nn.DropoutReseeder).
+func (m *SAGERI) ReseedDropout(seed uint64) { m.r.Reseed(seed) }
+
 func prefixClone(x *tensor.Dense, rows int) *tensor.Dense {
 	out := tensor.New(rows, x.Cols)
 	copy(out.Data, x.Data[:rows*x.Cols])
@@ -215,6 +218,16 @@ func (m *SAGERI) Params() []*Param {
 	ps = append(ps, m.mlp1.Params()...)
 	ps = append(ps, m.mlp2.Params()...)
 	return ps
+}
+
+// StatBuffers implements nn.BufferModel: each BatchNorm's running mean and
+// variance, layer order.
+func (m *SAGERI) StatBuffers() [][]float32 {
+	var out [][]float32
+	for _, bn := range m.bns {
+		out = append(out, bn.RunningMean, bn.RunningVar)
+	}
+	return out
 }
 
 // InferFull implements Model: layer-wise full-neighborhood inference in eval

@@ -21,7 +21,11 @@
 //
 // Batches are deterministic in content: batch index i of an epoch keyed by
 // epochSeed always contains the same seeds and the same sampled MFG, no
-// matter which worker prepares it or in which order batches finish.
+// matter which worker prepares it or in which order batches finish. The
+// FixedOrder/IndexBase/IndexStride options extend that guarantee across
+// executors: R striped executors over shards of one epoch permutation
+// prepare exactly the batches a sole executor would, which is how the
+// data-parallel trainer (internal/ddp) feeds its replicas.
 //
 // Feature rows are read through the FeatureStore layer (internal/store):
 // the executors never touch the dataset's arrays directly, so the same
@@ -47,10 +51,16 @@ import (
 // when the batch's buffers are no longer needed so the pinned slot returns
 // to the pool.
 type Batch struct {
-	Index int      // position within the epoch
-	Seeds []int32  // global seed node IDs (label rows are in Buf.Labels)
-	MFG   *mfg.MFG // owned by the batch (not aliased to sampler scratch)
-	Buf   *slicing.Pinned
+	Index int // position within this executor's epoch (delivery order key)
+	// GlobalIndex is the batch's position in the global epoch schedule
+	// (Options.IndexBase + Index×Options.IndexStride); it keys the batch's
+	// sampling and dropout RNGs. For a sole executor it equals Index; the
+	// data-parallel trainer stripes R executors so their GlobalIndexes
+	// interleave into one global sequence.
+	GlobalIndex int
+	Seeds       []int32  // global seed node IDs (label rows are in Buf.Labels)
+	MFG         *mfg.MFG // owned by the batch (not aliased to sampler scratch)
+	Buf         *slicing.Pinned
 
 	// Err reports a preparation failure for this batch (a feature-store
 	// gather rejection). An errored batch carries no staged buffer; it still
@@ -116,6 +126,20 @@ type Options struct {
 	// and cached stores change layout and transfer accounting without
 	// changing batch contents.
 	Store store.FeatureStore
+	// FixedOrder uses the seed list exactly as given instead of shuffling
+	// it per epoch: the caller owns the permutation. The data-parallel
+	// trainer (internal/ddp) pre-shuffles the global epoch once and hands
+	// each replica its deterministic shard in schedule order.
+	FixedOrder bool
+	// IndexBase and IndexStride map this executor's local batch indices
+	// onto global epoch batch indices: local batch i carries GlobalIndex
+	// IndexBase+i×IndexStride and samples with BatchRNG(epochSeed,
+	// GlobalIndex). R executors striped as (base=r, stride=R) over
+	// FixedOrder shards of one permutation therefore prepare exactly the
+	// batches a sole executor (base 0, stride 1) would prepare for the
+	// whole epoch. Zero values mean base 0, stride 1.
+	IndexBase   int
+	IndexStride int
 }
 
 func (o *Options) normalize(n int) error {
@@ -134,9 +158,27 @@ func (o *Options) normalize(n int) error {
 	if o.InFlight < o.Workers {
 		o.InFlight = o.Workers
 	}
+	if o.IndexBase < 0 || o.IndexStride < 0 {
+		return fmt.Errorf("prep: negative batch-index mapping (base %d, stride %d)", o.IndexBase, o.IndexStride)
+	}
+	if o.IndexStride == 0 {
+		o.IndexStride = 1
+	}
 	_ = n
 	return nil
 }
+
+// epochPerm resolves the epoch's batch schedule: the caller's order under
+// FixedOrder, otherwise the deterministic epoch shuffle.
+func (o *Options) epochPerm(seeds []int32, epochSeed uint64) []int32 {
+	if o.FixedOrder {
+		return append([]int32(nil), seeds...)
+	}
+	return EpochPerm(seeds, epochSeed)
+}
+
+// globalIndex maps a local batch index onto the global epoch schedule.
+func (o *Options) globalIndex(i int) int { return o.IndexBase + i*o.IndexStride }
 
 // Stream is an in-progress epoch of prepared batches. Batches arrive on C;
 // the channel closes when every batch has been delivered. Each received
@@ -198,8 +240,11 @@ func batchSeeds(perm []int32, batchSize, i int) []int32 {
 	return perm[lo:hi]
 }
 
-// shuffled returns a deterministic epoch permutation of the seed set.
-func shuffled(seeds []int32, epochSeed uint64) []int32 {
+// EpochPerm returns the deterministic epoch permutation of the seed set —
+// the global batch schedule an executor runs when FixedOrder is off.
+// Exported so the data-parallel trainer (internal/ddp) can compute the same
+// permutation once and hand each replica its shard with FixedOrder.
+func EpochPerm(seeds []int32, epochSeed uint64) []int32 {
 	perm := append([]int32(nil), seeds...)
 	r := rng.New(epochSeed)
 	r.Shuffle(perm)
@@ -304,7 +349,7 @@ func NewSalient(ds *dataset.Dataset, opts Options) (*Salient, error) {
 // prepared batches. Each worker owns a private fast sampler; batch indices
 // are balanced dynamically through a lock-free queue.
 func (e *Salient) Run(seeds []int32, epochSeed uint64) *Stream {
-	perm := shuffled(seeds, epochSeed)
+	perm := e.opts.epochPerm(seeds, epochSeed)
 	nb := NumBatches(len(perm), e.opts.BatchSize)
 
 	work := queue.New[int](nb + 1)
@@ -369,13 +414,14 @@ func (e *Salient) Run(seeds []int32, epochSeed uint64) *Stream {
 // still creditable) rather than a worker panic.
 func (e *Salient) prepare(sm *sampler.Sampler, perm []int32, epochSeed uint64, idx int) *Batch {
 	seeds := batchSeeds(perm, e.opts.BatchSize, idx)
-	m := cloneMFG(sm.Sample(BatchRNG(epochSeed, idx), seeds))
+	gidx := e.opts.globalIndex(idx)
+	m := cloneMFG(sm.Sample(BatchRNG(epochSeed, gidx), seeds))
 	buf := e.pool.Get()
 	if err := e.store.Gather(buf, m.NodeIDs, len(seeds)); err != nil {
 		e.pool.Put(buf)
-		return &Batch{Index: idx, Seeds: seeds, MFG: m, Err: err, credit: e.credits}
+		return &Batch{Index: idx, GlobalIndex: gidx, Seeds: seeds, MFG: m, Err: err, credit: e.credits}
 	}
-	return &Batch{Index: idx, Seeds: seeds, MFG: m, Buf: buf, pool: e.pool, credit: e.credits}
+	return &Batch{Index: idx, GlobalIndex: gidx, Seeds: seeds, MFG: m, Buf: buf, pool: e.pool, credit: e.credits}
 }
 
 // reorder re-sequences an unordered batch stream into index order using a
@@ -445,7 +491,7 @@ func NewPyG(ds *dataset.Dataset, opts Options) (*PyG, error) {
 // order with the striped-parallel kernel before emitting it, as the main
 // process does in the reference workflow (Listing 1, line 3).
 func (e *PyG) Run(seeds []int32, epochSeed uint64) *Stream {
-	perm := shuffled(seeds, epochSeed)
+	perm := e.opts.epochPerm(seeds, epochSeed)
 	nb := NumBatches(len(perm), e.opts.BatchSize)
 	p := e.opts.Workers
 
@@ -473,7 +519,7 @@ func (e *PyG) Run(seeds []int32, epochSeed uint64) *Stream {
 			for idx := w; idx < nb; idx += p {
 				start := time.Now()
 				sd := batchSeeds(perm, e.opts.BatchSize, idx)
-				m := cloneMFG(sm.Sample(BatchRNG(epochSeed, idx), sd))
+				m := cloneMFG(sm.Sample(BatchRNG(epochSeed, e.opts.globalIndex(idx)), sd))
 				// Second copy: pickling across the process boundary.
 				sb := sampled{idx: idx, seeds: sd, m: cloneMFG(m)}
 				s.workerBusy[w] += time.Since(start)
@@ -540,7 +586,7 @@ func (e *PyG) slice(idx int, seeds []int32, m *mfg.MFG) *Batch {
 	}
 	if err != nil {
 		e.pool.Put(buf)
-		return &Batch{Index: idx, Seeds: seeds, MFG: m, Err: err}
+		return &Batch{Index: idx, GlobalIndex: e.opts.globalIndex(idx), Seeds: seeds, MFG: m, Err: err}
 	}
-	return &Batch{Index: idx, Seeds: seeds, MFG: m, Buf: buf, pool: e.pool}
+	return &Batch{Index: idx, GlobalIndex: e.opts.globalIndex(idx), Seeds: seeds, MFG: m, Buf: buf, pool: e.pool}
 }

@@ -460,3 +460,128 @@ func TestWorkerStatsAccounting(t *testing.T) {
 		}
 	}
 }
+
+// capturedBatch is a deep copy of a delivered batch's content, taken before
+// Release recycles the pinned buffer.
+type capturedBatch struct {
+	global  int
+	seeds   []int32
+	nodeIDs []int32
+	feat    []uint16
+	labels  []int32
+}
+
+func capture(t testing.TB, s *Stream) map[int]capturedBatch {
+	t.Helper()
+	out := make(map[int]capturedBatch)
+	for b := range s.C {
+		if b.Err != nil {
+			t.Fatalf("batch %d errored: %v", b.Index, b.Err)
+		}
+		feat := make([]uint16, b.Buf.Rows*b.Buf.Dim)
+		for i, f := range b.Buf.Feat[:len(feat)] {
+			feat[i] = uint16(f)
+		}
+		out[b.GlobalIndex] = capturedBatch{
+			global:  b.GlobalIndex,
+			seeds:   append([]int32(nil), b.Seeds...),
+			nodeIDs: append([]int32(nil), b.MFG.NodeIDs...),
+			feat:    feat,
+			labels:  append([]int32(nil), b.Buf.Labels[:len(b.Seeds)]...),
+		}
+		b.Release()
+	}
+	s.Wait()
+	return out
+}
+
+// TestStripedExecutorsReproduceGlobalBatches: R executors striped as
+// (base=r, stride=R) over FixedOrder shards of one epoch permutation must
+// prepare exactly the batches a sole executor prepares for the whole epoch
+// — seeds, sampled MFG, staged features, and labels all bit-identical.
+// This is the preparation-side invariant the data-parallel trainer
+// (internal/ddp) is built on.
+func TestStripedExecutorsReproduceGlobalBatches(t *testing.T) {
+	ds := testDataset(t)
+	const epochSeed = 42
+	const R = 3
+	base := Options{
+		Workers:   2,
+		BatchSize: 48,
+		Fanouts:   []int{5, 3},
+		Sampler:   sampler.FastConfig(),
+		Ordered:   true,
+	}
+
+	ref, err := NewSalient(ds, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := capture(t, ref.Run(ds.Train, epochSeed))
+
+	perm := EpochPerm(ds.Train, epochSeed)
+	nb := NumBatches(len(perm), base.BatchSize)
+	got := make(map[int]capturedBatch)
+	for r := 0; r < R; r++ {
+		var shard []int32
+		for c := r; c < nb; c += R {
+			lo, hi := c*base.BatchSize, (c+1)*base.BatchSize
+			if hi > len(perm) {
+				hi = len(perm)
+			}
+			shard = append(shard, perm[lo:hi]...)
+		}
+		opts := base
+		opts.FixedOrder = true
+		opts.IndexBase = r
+		opts.IndexStride = R
+		ex, err := NewSalient(ds, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for g, cb := range capture(t, ex.Run(shard, epochSeed)) {
+			if g%R != r {
+				t.Fatalf("replica %d produced global index %d", r, g)
+			}
+			got[g] = cb
+		}
+	}
+
+	if len(got) != len(want) {
+		t.Fatalf("striped executors produced %d batches, sole executor %d", len(got), len(want))
+	}
+	for g, w := range want {
+		s, ok := got[g]
+		if !ok {
+			t.Fatalf("global batch %d missing from striped executors", g)
+		}
+		eqI32 := func(a, b []int32) bool {
+			if len(a) != len(b) {
+				return false
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					return false
+				}
+			}
+			return true
+		}
+		if !eqI32(w.seeds, s.seeds) {
+			t.Fatalf("global batch %d: seeds differ", g)
+		}
+		if !eqI32(w.nodeIDs, s.nodeIDs) {
+			t.Fatalf("global batch %d: sampled MFG differs", g)
+		}
+		if !eqI32(w.labels, s.labels) {
+			t.Fatalf("global batch %d: labels differ", g)
+		}
+		if len(w.feat) != len(s.feat) {
+			t.Fatalf("global batch %d: staged %d vs %d feature halves", g, len(s.feat), len(w.feat))
+		}
+		for i := range w.feat {
+			if w.feat[i] != s.feat[i] {
+				t.Fatalf("global batch %d: staged features differ at %d", g, i)
+			}
+		}
+	}
+}

@@ -1,0 +1,80 @@
+package train
+
+import (
+	"salient/internal/nn"
+	"salient/internal/prep"
+	"salient/internal/slicing"
+	"salient/internal/tensor"
+)
+
+// EpochSeed derives the per-epoch shuffling/sampling seed from the training
+// seed — one definition shared by the single-replica Trainer and the
+// executing data-parallel trainer (internal/ddp), so both walk the same
+// epoch permutations.
+func EpochSeed(seed uint64, epoch int) uint64 {
+	return seed*0x9e3779b97f4a7c15 + uint64(epoch) + 1
+}
+
+// DropoutSeed derives the per-batch dropout RNG key for models implementing
+// nn.DropoutReseeder. Keying dropout by (epoch seed, global batch index) —
+// with a multiplier distinct from prep.BatchRNG's, so dropout and sampling
+// draws stay uncorrelated — makes a batch's stochastic masks independent of
+// which replica executes it and in which order, the property behind the
+// data-parallel bit-reproducibility guarantee.
+func DropoutSeed(epochSeed uint64, globalIndex int) uint64 {
+	return epochSeed ^ (uint64(globalIndex)+1)*0xd1342543de82ef95
+}
+
+// Decoder owns the reusable float32 tensor that staged half-precision
+// batches are widened into (the GPU-side conversion in the paper). Each
+// consumer goroutine owns one Decoder; it is not safe for concurrent use.
+type Decoder struct {
+	features *tensor.Dense
+}
+
+// Decode widens buf into the decoder's reusable tensor and returns it. The
+// tensor is valid until the next Decode call.
+func (d *Decoder) Decode(buf *slicing.Pinned) *tensor.Dense {
+	if d.features == nil || d.features.Rows != buf.Rows || d.features.Cols != buf.Dim {
+		d.features = tensor.New(buf.Rows, buf.Dim)
+	}
+	slicing.DecodeFeatures(d.features, buf)
+	return d.features
+}
+
+// StepStats summarizes one replica step: one batch's forward/backward.
+type StepStats struct {
+	Loss    float64 // mean NLL over the batch's seed rows
+	Correct int     // correctly predicted seed rows
+	Rows    int     // seed rows in the batch
+	Nodes   int     // expanded-neighborhood rows processed
+	Edges   int
+}
+
+// ReplicaStep is the epoch body of mini-batch training — decode the staged
+// batch, re-key dropout by (epochSeed, batch.GlobalIndex), forward, NLL
+// loss, backward — factored out of the single-replica loop so data-parallel
+// replicas (internal/ddp) run the identical computation. Gradients are
+// zeroed and then left accumulated in the model's parameters; the caller
+// owns the update policy (an immediate optimizer step for single-replica
+// training, cross-replica averaging first for DDP). pred is caller-provided
+// argmax scratch with capacity for at least the batch's seed rows.
+func ReplicaStep(model nn.Model, dec *Decoder, b *prep.Batch, epochSeed uint64, pred []int32) StepStats {
+	if rs, ok := model.(nn.DropoutReseeder); ok {
+		rs.ReseedDropout(DropoutSeed(epochSeed, b.GlobalIndex))
+	}
+	x := dec.Decode(b.Buf)
+	logp := model.Forward(x, b.MFG, true)
+	grad := tensor.New(logp.Rows, logp.Cols)
+	st := StepStats{Rows: logp.Rows, Nodes: b.MFG.TotalNodes(), Edges: b.MFG.TotalEdges()}
+	st.Loss = tensor.NLLLoss(logp, b.Buf.Labels, grad)
+	logp.ArgmaxRows(pred[:logp.Rows])
+	for i := 0; i < logp.Rows; i++ {
+		if pred[i] == b.Buf.Labels[i] {
+			st.Correct++
+		}
+	}
+	nn.ZeroGrad(model.Params())
+	model.Backward(grad)
+	return st
+}

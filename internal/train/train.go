@@ -16,9 +16,7 @@ import (
 	"salient/internal/nn"
 	"salient/internal/prep"
 	"salient/internal/sampler"
-	"salient/internal/slicing"
 	"salient/internal/store"
-	"salient/internal/tensor"
 )
 
 // ExecutorKind selects the batch-preparation data path.
@@ -123,11 +121,11 @@ type Trainer struct {
 	Model nn.Model
 	Cfg   Config
 
-	opt      *nn.Adam
-	store    store.FeatureStore
-	salient  *prep.Salient
-	pyg      *prep.PyG
-	features *tensor.Dense // reusable decode target
+	opt     *nn.Adam
+	store   store.FeatureStore
+	salient *prep.Salient
+	pyg     *prep.PyG
+	dec     Decoder // reusable decode target
 }
 
 // FeatureStore returns the store the trainer reads features through, for
@@ -191,7 +189,7 @@ func (t *Trainer) run(seeds []int32, epochSeed uint64) *prep.Stream {
 
 // epochSeed derives the per-epoch shuffling/sampling seed.
 func (t *Trainer) epochSeed(epoch int) uint64 {
-	return t.Cfg.Seed*0x9e3779b97f4a7c15 + uint64(epoch) + 1
+	return EpochSeed(t.Cfg.Seed, epoch)
 }
 
 // TrainEpoch runs one epoch of mini-batch SGD over the training split. A
@@ -203,7 +201,8 @@ func (t *Trainer) TrainEpoch(epoch int) (EpochStats, error) {
 		t.opt.SetLRFactor(t.Cfg.Schedule(epoch))
 	}
 	start := time.Now()
-	stream := t.run(t.DS.Train, t.epochSeed(epoch))
+	epochSeed := t.epochSeed(epoch)
+	stream := t.run(t.DS.Train, epochSeed)
 
 	var firstErr error
 	var correct, total int
@@ -224,27 +223,18 @@ func (t *Trainer) TrainEpoch(epoch int) (EpochStats, error) {
 		}
 
 		cStart := time.Now()
-		x := t.decode(b.Buf)
-		logp := t.Model.Forward(x, b.MFG, true)
-		grad := tensor.New(logp.Rows, logp.Cols)
-		st.Loss += tensor.NLLLoss(logp, b.Buf.Labels, grad)
-		logp.ArgmaxRows(pred[:logp.Rows])
-		for i := 0; i < logp.Rows; i++ {
-			if pred[i] == b.Buf.Labels[i] {
-				correct++
-			}
-		}
-		total += logp.Rows
-		nn.ZeroGrad(t.Model.Params())
-		t.Model.Backward(grad)
+		res := ReplicaStep(t.Model, &t.dec, b, epochSeed, pred)
+		st.Loss += res.Loss
+		correct += res.Correct
+		total += res.Rows
 		if t.Cfg.ClipNorm > 0 {
 			nn.ClipGradNorm(t.Model.Params(), t.Cfg.ClipNorm)
 		}
 		t.opt.Step(t.Model.Params())
 
 		st.Batches++
-		st.NodesSeen += b.MFG.TotalNodes()
-		st.EdgesSeen += b.MFG.TotalEdges()
+		st.NodesSeen += res.Nodes
+		st.EdgesSeen += res.Edges
 		st.Compute += time.Since(cStart)
 		b.Release()
 	}
@@ -260,16 +250,6 @@ func (t *Trainer) TrainEpoch(epoch int) (EpochStats, error) {
 		st.Acc = float64(correct) / float64(total)
 	}
 	return st, firstErr
-}
-
-// decode widens a staged half-precision batch into the reusable float32
-// tensor (the GPU-side conversion in the paper).
-func (t *Trainer) decode(buf *slicing.Pinned) *tensor.Dense {
-	if t.features == nil || t.features.Rows != buf.Rows || t.features.Cols != buf.Dim {
-		t.features = tensor.New(buf.Rows, buf.Dim)
-	}
-	slicing.DecodeFeatures(t.features, buf)
-	return t.features
 }
 
 // Fit trains for n epochs and returns per-epoch stats, stopping at the
@@ -311,7 +291,7 @@ func (t *Trainer) Evaluate(nodes []int32, fanouts []int, seed uint64) (float64, 
 			b.Release()
 			continue
 		}
-		x := t.decode(b.Buf)
+		x := t.dec.Decode(b.Buf)
 		logp := t.Model.Forward(x, b.MFG, false)
 		logp.ArgmaxRows(pred[:logp.Rows])
 		for i := 0; i < logp.Rows; i++ {
