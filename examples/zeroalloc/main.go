@@ -1,0 +1,165 @@
+// Zeroalloc: watch the arena-backed batch pipeline eliminate steady-state
+// heap allocation.
+//
+// SALIENT's core argument (§4.1 reuse axis, §4.2 recycled batch slots) is
+// that batch preparation must be cheap enough to never stall compute — and
+// per-batch allocation plus the GC pressure it induces is exactly the kind
+// of cost that scales with batch count. This example prepares the same
+// epoch of batches two ways and prints what the Go heap saw:
+//
+//   - fresh: the conventional path — every batch allocates its sampler
+//     working set, clones the MFG out of scratch, and stages features into
+//     a brand-new pinned buffer;
+//   - pooled: the arena path — SampleInto writes the MFG straight into one
+//     recycled buffer set and the store gathers into one recycled pinned
+//     buffer, so after warm-up a batch allocates nothing at all.
+//
+// Batch contents are bit-identical across the two modes (same RNG keying);
+// only the allocation policy differs. The prep.Salient executor runs the
+// pooled kernels inside a bounded pool of batch arenas, one per in-flight
+// batch, recycled by Batch.Release.
+package main
+
+import (
+	"fmt"
+	"log"
+	"runtime"
+	"time"
+
+	"salient/internal/dataset"
+	"salient/internal/mfg"
+	"salient/internal/prep"
+	"salient/internal/rng"
+	"salient/internal/sampler"
+	"salient/internal/slicing"
+	"salient/internal/store"
+)
+
+const (
+	batchSize = 256
+	epochs    = 3
+)
+
+var fanouts = []int{10, 5}
+
+// report runs prepare (returning its batch count) bracketed by memory
+// statistics and prints per-batch heap traffic and GC activity.
+func report(name string, prepare func() int) {
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	batches := prepare()
+	wall := time.Since(start)
+	runtime.ReadMemStats(&after)
+	fmt.Printf("%-22s %5d batches  %7.1f us/batch  %8.1f KB/batch  %7.2f allocs/batch  %2d GC cycles (%.2f ms pause)\n",
+		name, batches,
+		float64(wall.Microseconds())/float64(batches),
+		float64(after.TotalAlloc-before.TotalAlloc)/float64(batches)/1024,
+		float64(after.Mallocs-before.Mallocs)/float64(batches),
+		after.NumGC-before.NumGC,
+		float64(after.PauseTotalNs-before.PauseTotalNs)/1e6)
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("zeroalloc: ")
+
+	ds, err := dataset.Load(dataset.Arxiv, 0.2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := store.NewFlat(ds)
+	nb := prep.NumBatches(len(ds.Train), batchSize)
+	seedsOf := func(i int) []int32 {
+		lo, hi := i*batchSize, (i+1)*batchSize
+		if hi > len(ds.Train) {
+			hi = len(ds.Train)
+		}
+		return ds.Train[lo:hi]
+	}
+	fmt.Printf("dataset %s: %d nodes, %d train seeds, %d batches/epoch, %d epochs per mode\n\n",
+		ds.Name, ds.G.N, len(ds.Train), nb, epochs)
+
+	// Mode 1: fresh allocation per batch (the conventional data path).
+	freshCfg := sampler.FastConfig()
+	freshCfg.Reuse = sampler.ReuseFresh
+	freshSampler := sampler.New(ds.G, fanouts, freshCfg)
+	report("fresh per-batch", func() int {
+		n := 0
+		for e := 0; e < epochs; e++ {
+			for i := 0; i < nb; i++ {
+				seeds := seedsOf(i)
+				m := freshSampler.Sample(prep.BatchRNG(1, i), seeds).Clone()
+				buf := slicing.NewPinned(len(m.NodeIDs), ds.FeatDim, len(seeds))
+				if err := st.Gather(buf, m.NodeIDs, len(seeds)); err != nil {
+					log.Fatal(err)
+				}
+				n++
+			}
+		}
+		return n
+	})
+
+	// Mode 2: pooled arena kernels — one MFG, one pinned buffer, one RNG,
+	// recycled.
+	pooledSampler := sampler.New(ds.G, fanouts, sampler.FastConfig())
+	var m mfg.MFG
+	buf := slicing.NewPinned(0, ds.FeatDim, batchSize)
+	r := rng.New(0)
+	warm := func() int {
+		n := 0
+		for e := 0; e < epochs; e++ {
+			for i := 0; i < nb; i++ {
+				seeds := seedsOf(i)
+				r.Reseed(prep.BatchSeed(1, i))
+				if err := pooledSampler.SampleInto(r, seeds, &m); err != nil {
+					log.Fatal(err)
+				}
+				if err := st.Gather(buf, m.NodeIDs, len(seeds)); err != nil {
+					log.Fatal(err)
+				}
+				n++
+			}
+		}
+		return n
+	}
+	warm() // grow buffers to the epoch's high-water mark once
+	report("pooled arena kernels", warm)
+
+	// Mode 3: the real executor — concurrent workers, each batch prepared
+	// inside a recycled arena that Batch.Release returns to the pool.
+	ex, err := prep.NewSalient(ds, prep.Options{
+		Workers:   2,
+		BatchSize: batchSize,
+		Fanouts:   fanouts,
+		Sampler:   sampler.FastConfig(),
+		Ordered:   true,
+		Store:     st,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	runEpochs := func() int {
+		n := 0
+		for e := 0; e < epochs; e++ {
+			s := ex.Run(ds.Train, uint64(e+1))
+			for b := range s.C {
+				if b.Err != nil {
+					log.Fatal(b.Err)
+				}
+				n++
+				b.Release()
+			}
+			s.Wait()
+		}
+		return n
+	}
+	runEpochs() // warm the arena pool
+	report("salient executor", runEpochs)
+
+	fmt.Println("\nThe pooled rows stay at ~0 allocs/batch because every buffer a batch")
+	fmt.Println("needs — MFG blocks, node IDs, sampler scratch, pinned staging — lives in")
+	fmt.Println("a recycled arena; the executor binds one arena per in-flight batch and")
+	fmt.Println("Batch.Release returns it. See README \"Memory & allocation\".")
+}

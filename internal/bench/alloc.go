@@ -1,0 +1,226 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"salient/internal/dataset"
+	"salient/internal/mfg"
+	"salient/internal/prep"
+	"salient/internal/rng"
+	"salient/internal/sampler"
+	"salient/internal/slicing"
+	"salient/internal/store"
+)
+
+// TimingOpts configures the executed batch-preparation timing and allocation
+// sweep (the `timing` registry experiment).
+type TimingOpts struct {
+	Scale     float64 // arxiv stand-in scale
+	BatchSize int
+	Fanouts   []int
+	Workers   int // executor workers
+	Epochs    int // measured passes over the training set (one warm-up pass extra)
+	Seed      uint64
+}
+
+func (o *TimingOpts) defaults() {
+	if o.Scale == 0 {
+		o.Scale = 0.1
+	}
+	if o.BatchSize == 0 {
+		o.BatchSize = 256
+	}
+	if len(o.Fanouts) == 0 {
+		o.Fanouts = []int{10, 5}
+	}
+	if o.Workers == 0 {
+		o.Workers = 2
+	}
+	if o.Epochs == 0 {
+		o.Epochs = 2
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+}
+
+// memRow is one measured preparation mode: wall time and heap traffic per
+// prepared batch, plus the GC activity the mode induced.
+type memRow struct {
+	batches   int
+	usPerB    float64 // wall microseconds per batch
+	bytesPerB float64 // heap bytes allocated per batch
+	allocsPer float64 // heap objects allocated per batch
+	gcCycles  uint32
+	gcPauseMs float64
+}
+
+// measureRow runs f (which returns the number of batches it prepared) under
+// runtime.ReadMemStats bracketing. A forced GC first settles the heap so the
+// deltas belong to f alone.
+func measureRow(f func() int) memRow {
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	batches := f()
+	wall := time.Since(start)
+	runtime.ReadMemStats(&after)
+	r := memRow{batches: batches, gcCycles: after.NumGC - before.NumGC}
+	r.gcPauseMs = float64(after.PauseTotalNs-before.PauseTotalNs) / 1e6
+	if batches > 0 {
+		r.usPerB = float64(wall.Microseconds()) / float64(batches)
+		r.bytesPerB = float64(after.TotalAlloc-before.TotalAlloc) / float64(batches)
+		r.allocsPer = float64(after.Mallocs-before.Mallocs) / float64(batches)
+	}
+	return r
+}
+
+// TimingSweep executes real batch preparation three ways and reports wall
+// time and heap traffic per batch:
+//
+//   - fresh: the pre-arena per-batch-allocation data path — every batch
+//     allocates its sampler working set (Reuse=fresh), clones the MFG out of
+//     scratch, and stages into a freshly allocated pinned buffer;
+//   - pooled: the arena kernels — SampleInto straight into one recycled MFG
+//     and one recycled pinned buffer (zero steady-state allocations);
+//   - executor: the full concurrent Salient executor, whose workers run the
+//     pooled kernels inside recycled batch arenas.
+//
+// Sampling RNG, seed schedule, and store are identical across modes, so
+// batch contents match and the rows differ only in allocation policy — the
+// measured form of SALIENT's buffer-reuse argument (§4.1's reuse axis and
+// §4.2's recycled batch slots).
+func TimingSweep(o TimingOpts) (Table, error) {
+	o.defaults()
+	t := Table{
+		ID:     "timing",
+		Title:  "Executed batch preparation: per-batch wall time and heap traffic",
+		Header: []string{"Path", "Batches", "us/batch", "KB/batch", "Allocs/batch", "GC", "GCPause(ms)"},
+	}
+	ds, err := dataset.Load(dataset.Arxiv, o.Scale)
+	if err != nil {
+		return t, err
+	}
+	st := store.NewFlat(ds)
+	nb := prep.NumBatches(len(ds.Train), o.BatchSize)
+	maxRows := prep.MaxRowsEstimate(o.BatchSize, o.Fanouts, int(ds.G.N))
+	batchSeeds := func(i int) []int32 {
+		lo := i * o.BatchSize
+		hi := lo + o.BatchSize
+		if hi > len(ds.Train) {
+			hi = len(ds.Train)
+		}
+		return ds.Train[lo:hi]
+	}
+
+	freshPass := func() int {
+		cfg := sampler.FastConfig()
+		cfg.Reuse = sampler.ReuseFresh
+		sm := sampler.New(ds.G, o.Fanouts, cfg)
+		n := 0
+		for e := 0; e < o.Epochs; e++ {
+			for i := 0; i < nb; i++ {
+				seeds := batchSeeds(i)
+				m := sm.Sample(prep.BatchRNG(o.Seed, i), seeds).Clone()
+				buf := slicing.NewPinned(len(m.NodeIDs), ds.FeatDim, len(seeds))
+				if err := st.Gather(buf, m.NodeIDs, len(seeds)); err != nil {
+					panic(err)
+				}
+				n++
+			}
+		}
+		return n
+	}
+
+	pooledSampler := sampler.New(ds.G, o.Fanouts, sampler.FastConfig())
+	var pooledMFG mfg.MFG
+	pooledBuf := slicing.NewPinned(maxRows, ds.FeatDim, o.BatchSize)
+	pooledRNG := rng.New(0)
+	pooledPass := func() int {
+		n := 0
+		for e := 0; e < o.Epochs; e++ {
+			for i := 0; i < nb; i++ {
+				seeds := batchSeeds(i)
+				pooledRNG.Reseed(prep.BatchSeed(o.Seed, i))
+				if err := pooledSampler.SampleInto(pooledRNG, seeds, &pooledMFG); err != nil {
+					panic(err)
+				}
+				if err := st.Gather(pooledBuf, pooledMFG.NodeIDs, len(seeds)); err != nil {
+					panic(err)
+				}
+				n++
+			}
+		}
+		return n
+	}
+
+	ex, err := prep.NewSalient(ds, prep.Options{
+		Workers:   o.Workers,
+		BatchSize: o.BatchSize,
+		Fanouts:   o.Fanouts,
+		Sampler:   sampler.FastConfig(),
+		Ordered:   true,
+		Store:     st,
+		// FixedOrder + the kernels' epoch seed: the executor prepares
+		// exactly the batches the fresh and pooled rows prepare (same seed
+		// chunks, same BatchSeed keying), so the rows differ only in
+		// allocation policy and concurrency.
+		FixedOrder: true,
+	})
+	if err != nil {
+		return t, err
+	}
+	executorPass := func() int {
+		n := 0
+		for e := 0; e < o.Epochs; e++ {
+			s := ex.Run(ds.Train, o.Seed)
+			for b := range s.C {
+				if b.Err != nil {
+					panic(b.Err)
+				}
+				n++
+				b.Release()
+			}
+			s.Wait()
+		}
+		return n
+	}
+
+	modes := []struct {
+		name string
+		pass func() int
+	}{
+		{"fresh (per-batch alloc)", freshPass},
+		{"pooled (arena kernels)", pooledPass},
+		{"executor (arenas)", executorPass},
+	}
+	var fresh, pooled memRow
+	for i, mode := range modes {
+		mode.pass() // warm-up pass: buffer growth stays out of the measurement
+		row := measureRow(mode.pass)
+		switch i {
+		case 0:
+			fresh = row
+		case 1:
+			pooled = row
+		}
+		t.AddRow(mode.name,
+			fmt.Sprintf("%d", row.batches),
+			fmt.Sprintf("%.1f", row.usPerB),
+			fmt.Sprintf("%.1f", row.bytesPerB/1024),
+			fmt.Sprintf("%.2f", row.allocsPer),
+			fmt.Sprintf("%d", row.gcCycles),
+			fmt.Sprintf("%.2f", row.gcPauseMs),
+		)
+	}
+	if fresh.usPerB > 0 && pooled.usPerB > 0 {
+		t.AddNote("pooled kernels vs fresh: %.0f -> %.2f allocs/batch, %.0f -> %.2f KB/batch, %.2fx wall time per batch",
+			fresh.allocsPer, pooled.allocsPer, fresh.bytesPerB/1024, pooled.bytesPerB/1024, fresh.usPerB/pooled.usPerB)
+	}
+	t.AddNote("scale %g arxiv stand-in, batch %d, fanouts %v, %d executor workers; identical RNG and seed schedule across modes, so batch contents match and rows differ only in allocation policy", o.Scale, o.BatchSize, o.Fanouts, o.Workers)
+	t.AddNote("fresh = pre-arena path (Reuse=fresh sampling + MFG clone + new pinned buffer per batch); pooled/executor recycle one arena footprint per in-flight batch")
+	return t, nil
+}

@@ -1,0 +1,41 @@
+package bench
+
+import (
+	"strconv"
+	"testing"
+
+	"salient/internal/race"
+)
+
+// TestTimingSweepShowsAllocWin executes the timing sweep at reduced scale
+// and asserts the property it exists to demonstrate: the pooled arena
+// kernels allocate far less per batch than the fresh per-batch path.
+func TestTimingSweepShowsAllocWin(t *testing.T) {
+	tb, err := TimingSweep(smallTiming())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 3 {
+		t.Fatalf("want 3 rows (fresh, pooled, executor), got %d", len(tb.Rows))
+	}
+	parse := func(row int, col int) float64 {
+		v, err := strconv.ParseFloat(tb.Rows[row][col], 64)
+		if err != nil {
+			t.Fatalf("row %d col %d %q: %v", row, col, tb.Rows[row][col], err)
+		}
+		return v
+	}
+	const allocsCol = 4
+	fresh, pooled, executor := parse(0, allocsCol), parse(1, allocsCol), parse(2, allocsCol)
+	if race.Enabled {
+		t.Logf("allocs/batch fresh=%v pooled=%v executor=%v (not asserted under -race)", fresh, pooled, executor)
+		return
+	}
+	if fresh < 100 {
+		t.Fatalf("fresh path reports %.1f allocs/batch; expected the per-batch-allocation baseline to be large", fresh)
+	}
+	if pooled > fresh/20 || executor > fresh/20 {
+		t.Fatalf("pooled paths not ~allocation-free: fresh=%.1f pooled=%.1f executor=%.1f allocs/batch",
+			fresh, pooled, executor)
+	}
+}

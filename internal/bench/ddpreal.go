@@ -58,6 +58,8 @@ type ddpRealRow struct {
 	syncFrac   float64 // barrier wait fraction, slowest replica
 	loss       float64
 	acc        float64
+	allocsPB   float64 // heap objects allocated per batch, whole training step
+	gcPauseMs  float64 // total stop-the-world pause over the run
 	simSecs    float64 // SimulateEpoch at the paper's full-scale calibration
 	simSpeedup float64
 }
@@ -94,9 +96,21 @@ func ddpRealResults(o DDPRealOpts) ([]ddpRealRow, error) {
 		if err != nil {
 			return nil, fmt.Errorf("ddpreal: R=%d: %w", R, err)
 		}
-		stats, err := tr.Fit(o.Epochs)
-		if err != nil {
-			return nil, fmt.Errorf("ddpreal: R=%d: %w", R, err)
+		// measureRow brackets the run with the same forced-GC + MemStats
+		// protocol the timing sweep uses, so the Allocs/b columns of the two
+		// sweeps stay comparable.
+		var stats []ddp.TrainStats
+		var fitErr error
+		mem := measureRow(func() int {
+			stats, fitErr = tr.Fit(o.Epochs)
+			total := 0
+			for _, s := range stats {
+				total += s.Batches
+			}
+			return total
+		})
+		if fitErr != nil {
+			return nil, fmt.Errorf("ddpreal: R=%d: %w", R, fitErr)
 		}
 		last := stats[len(stats)-1]
 		sim := ddp.SimulateEpoch(pr, cal, R, 2, o.Seed)
@@ -111,6 +125,8 @@ func ddpRealResults(o DDPRealOpts) ([]ddpRealRow, error) {
 			syncFrac:   last.SyncFraction(),
 			loss:       last.Loss,
 			acc:        last.Acc,
+			allocsPB:   mem.allocsPer,
+			gcPauseMs:  mem.gcPauseMs,
 			simSecs:    sim.Epoch,
 			simSpeedup: simBaseSecs / sim.Epoch,
 		}
@@ -134,7 +150,7 @@ func DDPRealSweep(o DDPRealOpts) (Table, error) {
 	t := Table{
 		ID:     "ddpreal",
 		Title:  "Executed data-parallel training vs simulated scaling (§6 extension)",
-		Header: []string{"Replicas", "Steps", "Epoch", "Speedup", "Effcy", "Sync", "Loss", "Acc", "SimEpoch", "SimSpeedup"},
+		Header: []string{"Replicas", "Steps", "Epoch", "Speedup", "Effcy", "Sync", "Loss", "Acc", "Allocs/b", "GCPause", "SimEpoch", "SimSpeedup"},
 	}
 	rows, err := ddpRealResults(o)
 	if err != nil {
@@ -150,11 +166,14 @@ func DDPRealSweep(o DDPRealOpts) (Table, error) {
 			pct(r.syncFrac),
 			fmt.Sprintf("%.4f", r.loss),
 			fmt.Sprintf("%.4f", r.acc),
+			fmt.Sprintf("%.0f", r.allocsPB),
+			fmt.Sprintf("%.1fms", r.gcPauseMs),
 			secs(r.simSecs),
 			fmt.Sprintf("%.2fx", r.simSpeedup),
 		)
 	}
 	t.AddNote("executed: real replicas in goroutines on one host (scale %g arxiv stand-in, batch %d/replica, %d prep workers/replica); replicas contend for the same cores, so Effcy reflects host parallelism, not the paper's multi-GPU hardware", o.Scale, o.BatchSize, o.Workers)
+	t.AddNote("Allocs/b counts heap objects per batch over the WHOLE training step (batch preparation runs allocation-free in steady state; the remainder is model forward/backward compute); GCPause is the run's total stop-the-world time")
 	t.AddNote("simulated: SimulateEpoch at the paper's full-scale arxiv calibration (2 GPUs/machine) — the Figure 5 prediction the executed path is converging toward")
 	t.AddNote("R-replica runs are bit-identical to single-replica training on the union batch schedule (see internal/ddp tests)")
 	return t, nil

@@ -9,8 +9,9 @@ import (
 // sub-benchmark per ID. CI runs this with -benchtime=1x as a smoke gate so
 // registry sweeps cannot silently rot; the training-backed accuracy
 // experiments (table6, fig3, strategies, batching, cache, partition,
-// memory, serving, fig6) are covered by the quick-preset unit tests and
-// skipped here to keep the smoke run fast.
+// memory, serving, fig6) are covered by the quick-preset unit tests, and
+// the executed ddpreal/timing sweeps by their dedicated small-preset
+// benchmarks below, keeping the smoke run fast.
 func BenchmarkRegistrySmoke(b *testing.B) {
 	opts := DefaultOptions()
 	for _, id := range []string{"fig1", "table1", "table2", "table3", "table7", "fig4", "fig5", "sensitivity"} {
@@ -47,6 +48,23 @@ func smallDDPReal() DDPRealOpts {
 func BenchmarkDDPRealSweep(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := DDPRealSweep(smallDDPReal()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// smallTiming is the quick timing-sweep preset for the smoke run: one
+// measured pass at reduced scale, enough to keep the fresh-vs-pooled
+// allocation comparison in every per-commit bench artifact.
+func smallTiming() TimingOpts {
+	return TimingOpts{Scale: 0.05, BatchSize: 128, Epochs: 1}
+}
+
+// BenchmarkTimingSweep keeps the executed batch-preparation allocation sweep
+// in the CI bench-smoke run.
+func BenchmarkTimingSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := TimingSweep(smallTiming()); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -83,7 +83,7 @@ func Sampled(m nn.Model, ds *dataset.Dataset, nodes []int32, opts Options) ([]in
 			b.Release()
 			continue
 		}
-		x = decodeInto(x, b.Buf)
+		x = slicing.DecodeInto(x, b.Buf)
 		logp := m.Forward(x, b.MFG, false)
 		logp.ArgmaxRows(rowPred[:logp.Rows])
 		for i := 0; i < logp.Rows; i++ {
@@ -96,14 +96,6 @@ func Sampled(m nn.Model, ds *dataset.Dataset, nodes []int32, opts Options) ([]in
 		return nil, firstErr
 	}
 	return pred, nil
-}
-
-func decodeInto(x *tensor.Dense, buf *slicing.Pinned) *tensor.Dense {
-	if x == nil || x.Rows != buf.Rows || x.Cols != buf.Dim {
-		x = tensor.New(buf.Rows, buf.Dim)
-	}
-	slicing.DecodeFeatures(x, buf)
-	return x
 }
 
 // Full runs layer-wise full-neighborhood inference over the whole graph and
@@ -137,8 +129,7 @@ func FullThrough(m nn.Model, ds *dataset.Dataset, nodes []int32, st store.Featur
 		if err := st.Gather(buf, ids, 0); err != nil {
 			return nil, err
 		}
-		x = tensor.New(buf.Rows, buf.Dim)
-		slicing.DecodeFeatures(x, buf)
+		x = slicing.DecodeInto(nil, buf)
 	}
 
 	logp := m.InferFull(ds.G, x)

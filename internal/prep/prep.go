@@ -6,11 +6,13 @@
 // Two executors are provided:
 //
 //   - Salient: SALIENT's shared-memory design. Worker goroutines prepare
-//     whole batches end-to-end — sampling with the fast sampler, then
-//     serially slicing features straight into pinned staging buffers — and
-//     balance load dynamically through a lock-free MPMC queue. Nothing is
-//     copied between workers and the consumer; the pinned buffer itself is
-//     handed over.
+//     whole batches end-to-end — sampling with the fast sampler straight
+//     into a recycled batch arena, then serially slicing features into the
+//     arena's pinned staging buffer — and balance load dynamically through a
+//     lock-free MPMC queue. Nothing is copied between workers and the
+//     consumer; the arena itself is handed over, and Batch.Release recycles
+//     it, so steady-state preparation performs (near-)zero heap allocations
+//     even with many batches in flight.
 //
 //   - PyG: the PyTorch DataLoader model. Workers are statically assigned
 //     batches round-robin (batch i goes to worker i mod P) and perform only
@@ -35,6 +37,7 @@ package prep
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"salient/internal/dataset"
@@ -48,8 +51,13 @@ import (
 
 // Batch is one prepared mini-batch: the sampled message-flow graph plus the
 // staged (pinned) feature and label slices. The consumer must call Release
-// when the batch's buffers are no longer needed so the pinned slot returns
-// to the pool.
+// when it is done with the batch.
+//
+// Ownership: a SALIENT batch's MFG and Buf live in a recycled arena. Release
+// returns the whole arena to the executor's bounded pool, after which the
+// batch's MFG and buffer contents belong to whichever batch next occupies
+// the arena — consume (or copy) everything a batch references before
+// releasing it. Release is idempotent on the same Batch.
 type Batch struct {
 	Index int // position within this executor's epoch (delivery order key)
 	// GlobalIndex is the batch's position in the global epoch schedule
@@ -59,31 +67,41 @@ type Batch struct {
 	// interleave into one global sequence.
 	GlobalIndex int
 	Seeds       []int32  // global seed node IDs (label rows are in Buf.Labels)
-	MFG         *mfg.MFG // owned by the batch (not aliased to sampler scratch)
+	MFG         *mfg.MFG // arena-backed (Salient: nil after Release) or batch-owned (PyG)
 	Buf         *slicing.Pinned
 
-	// Err reports a preparation failure for this batch (a feature-store
-	// gather rejection). An errored batch carries no staged buffer; it still
-	// occupies its epoch index so ordered delivery never stalls, and the
-	// consumer must still Release it. The stream records the first such
-	// error (Stream.Err).
+	// Err reports a preparation failure for this batch: a seed set the
+	// sampler rejects (sampler.SeedError — then MFG is nil too) or a
+	// feature-store gather rejection. An errored batch carries no staged
+	// buffer; it still occupies its epoch index so ordered delivery never
+	// stalls, and the consumer must still Release it. The stream records the
+	// first such error (Stream.Err).
 	Err error
 
-	pool   *slicing.Pool
-	credit chan<- struct{}
+	ar    *arena     // Salient: the batch's whole recycled footprint
+	owner *arenaPool // pool ar returns to on Release
+
+	pool *slicing.Pool // PyG: pinned-staging-only recycling
 }
 
-// Release returns the pinned staging buffer (if any) to the executor's pool
-// and the buffer credit to the epoch. It is idempotent.
+// Release returns the batch's arena (its MFG buffers and pinned staging
+// slot) to the executor's pool — or, for PyG batches, just the pinned
+// buffer. It is idempotent; releasing also serves as the epoch's in-flight
+// credit, so holding InFlight or more unreleased batches stalls the stream.
 func (b *Batch) Release() {
 	if b.pool != nil && b.Buf != nil {
 		b.pool.Put(b.Buf)
 	}
-	b.Buf = nil
 	b.pool = nil
-	if b.credit != nil {
-		b.credit <- struct{}{}
-		b.credit = nil
+	b.Buf = nil
+	if b.ar != nil {
+		a, p := b.ar, b.owner
+		b.ar, b.owner = nil, nil
+		// Nil the MFG too: the arena may be re-filled by a worker the
+		// moment it is back in the pool, so a post-Release read should fail
+		// fast on nil rather than silently observe the next occupant.
+		b.MFG = nil
+		p.put(a)
 	}
 }
 
@@ -94,9 +112,11 @@ func (b *Batch) TransferBytes() int64 {
 	if b.Buf != nil {
 		n += b.Buf.Bytes()
 	}
-	for i := range b.MFG.Blocks {
-		blk := &b.MFG.Blocks[i]
-		n += int64(len(blk.Src))*4 + int64(len(blk.DstPtr))*4
+	if b.MFG != nil {
+		for i := range b.MFG.Blocks {
+			blk := &b.MFG.Blocks[i]
+			n += int64(len(blk.Src))*4 + int64(len(blk.DstPtr))*4
+		}
 	}
 	return n
 }
@@ -106,8 +126,8 @@ type Options struct {
 	// Workers is the number of preparation workers (goroutines standing in
 	// for SALIENT's C++ threads or PyG's DataLoader processes). Default 1.
 	Workers int
-	// InFlight bounds the number of simultaneously staged batches (pinned
-	// buffer slots). Default 2×Workers.
+	// InFlight bounds the number of simultaneously staged batches (recycled
+	// batch arenas: pinned staging plus MFG buffers). Default 2×Workers.
 	InFlight int
 	// BatchSize is the number of seed nodes per mini-batch. Required.
 	BatchSize int
@@ -251,6 +271,14 @@ func EpochPerm(seeds []int32, epochSeed uint64) []int32 {
 	return perm
 }
 
+// BatchSeed derives the deterministic sampling-RNG seed for a given
+// (epoch, batch) pair. Allocation-free callers on the hot path (the Salient
+// workers, the serving layer) Reseed a recycled rng.Rand with it; BatchRNG
+// wraps it for one-shot use.
+func BatchSeed(epochSeed uint64, index int) uint64 {
+	return epochSeed*0x9e3779b97f4a7c15 + uint64(index)*0xbf58476d1ce4e5b9 + 1
+}
+
 // BatchRNG returns the deterministic RNG for a given (epoch, batch) pair.
 // It is the executors' sampling-RNG derivation, exported so other consumers
 // of the data path (the online serving layer) can reproduce exactly the
@@ -258,7 +286,7 @@ func EpochPerm(seeds []int32, epochSeed uint64) []int32 {
 // BatchRNG(seed, 0), the RNG of a singleton epoch, making each prediction
 // identical to one-shot infer.Sampled on that node alone.
 func BatchRNG(epochSeed uint64, index int) *rng.Rand {
-	return rng.New(epochSeed*0x9e3779b97f4a7c15 + uint64(index)*0xbf58476d1ce4e5b9 + 1)
+	return rng.New(BatchSeed(epochSeed, index))
 }
 
 // NumBatches returns the number of mini-batches an epoch over n seeds makes.
@@ -267,8 +295,9 @@ func NumBatches(n, batchSize int) int {
 }
 
 // cloneMFG copies an MFG out of sampler scratch space into one contiguous
-// allocation owned by the batch. SALIENT pins this block alongside the
-// features; PyG additionally pays this copy a second time for IPC.
+// allocation owned by the batch. Only the PyG executor pays it (twice: once
+// out of scratch, once more to model worker→main IPC); the SALIENT executor
+// samples directly into its recycled batch arenas and never copies.
 func cloneMFG(m *mfg.MFG) *mfg.MFG { return m.Clone() }
 
 // storeFor resolves the configured feature store, defaulting to the flat
@@ -284,8 +313,12 @@ func storeFor(ds *dataset.Dataset, opts Options) (store.FeatureStore, error) {
 	return st, nil
 }
 
-// maxRowsEstimate sizes pinned buffers: batch × Π(fanout+1), capped at N.
-func maxRowsEstimate(batch int, fanouts []int, n int) int {
+// MaxRowsEstimate bounds the expanded-neighborhood row count of one batch:
+// batch × Π(fanout+1), capped at the graph size n. It is how the executors
+// pre-size their pinned staging buffers, exported so other consumers of the
+// kernels (benchmarks, examples) pre-size identically instead of copying
+// the formula.
+func MaxRowsEstimate(batch int, fanouts []int, n int) int {
 	est := batch
 	for _, f := range fanouts {
 		if est >= n {
@@ -301,28 +334,40 @@ func maxRowsEstimate(batch int, fanouts []int, n int) int {
 
 // Salient is the shared-memory batch-preparation executor.
 //
-// Pinned staging buffers are a bounded resource: the consumer must Release
-// batches as it finishes with them and must not hold InFlight or more
-// unreleased batches while waiting for another, or the epoch stalls (the
-// same contract SALIENT's recycled batch slots impose on the training loop).
+// Batch arenas are a bounded resource: the consumer must Release batches as
+// it finishes with them and must not hold InFlight or more unreleased
+// batches while waiting for another, or the epoch stalls (the same contract
+// SALIENT's recycled batch slots impose on the training loop).
+//
+// An executor runs one epoch at a time: samplers and arenas persist across
+// Run calls (that persistence is what makes steady-state preparation
+// allocation-free), so do not start a new epoch until the previous stream is
+// fully drained.
 type Salient struct {
 	ds    *dataset.Dataset
 	opts  Options
 	store store.FeatureStore
-	pool  *slicing.Pool
-	// credits gates buffer acquisition: a worker takes one credit before
-	// claiming a batch index (and hence before taking a pinned buffer), and
-	// the credit is returned when the consumer Releases the batch. A held
-	// credit guarantees a free buffer (outstanding credits never exceed the
-	// pool size), and because the credit is taken before the FIFO index
-	// pop, the credited worker always claims the lowest remaining index —
-	// so ordered delivery cannot starve the emission cursor's batch, as
-	// long as the consumer holds fewer than InFlight unreleased batches.
-	credits chan struct{}
+	// arenas bounds in-flight batches and recycles their whole footprint: a
+	// worker takes one arena before claiming a batch index, and the arena is
+	// returned when the consumer Releases the batch. Because the arena is
+	// taken before the FIFO index pop, the arena-holding worker always
+	// claims the lowest remaining index — so ordered delivery cannot starve
+	// the emission cursor's batch as long as the consumer holds fewer than
+	// InFlight unreleased batches. (This unifies the pinned-buffer pool and
+	// the credit channel earlier revisions kept separately.)
+	arenas *arenaPool
+	// samplers[w] is worker w's private fast sampler, persistent across
+	// epochs so its ID map, dedup scratch, and phase buffers stay warm.
+	samplers []*sampler.Sampler
+	// running guards the one-epoch-at-a-time contract: overlapping Run
+	// calls would race on the persistent samplers, so they fail fast here
+	// instead of corrupting batches silently.
+	running atomic.Bool
 }
 
-// NewSalient builds a SALIENT executor over ds. The pinned buffer pool is
-// allocated once and reused across epochs.
+// NewSalient builds a SALIENT executor over ds. The arena pool (pinned
+// staging plus MFG buffers) and the per-worker samplers are allocated once
+// and recycled across batches and epochs.
 func NewSalient(ds *dataset.Dataset, opts Options) (*Salient, error) {
 	if err := opts.normalize(int(ds.G.N)); err != nil {
 		return nil, err
@@ -331,16 +376,16 @@ func NewSalient(ds *dataset.Dataset, opts Options) (*Salient, error) {
 	if err != nil {
 		return nil, err
 	}
-	rows := maxRowsEstimate(opts.BatchSize, opts.Fanouts, int(ds.G.N))
+	rows := MaxRowsEstimate(opts.BatchSize, opts.Fanouts, int(ds.G.N))
 	e := &Salient{
-		ds:      ds,
-		opts:    opts,
-		store:   st,
-		pool:    slicing.NewPool(opts.InFlight, rows, ds.FeatDim, opts.BatchSize),
-		credits: make(chan struct{}, opts.InFlight),
+		ds:       ds,
+		opts:     opts,
+		store:    st,
+		arenas:   newArenaPool(opts.InFlight, rows, ds.FeatDim, opts.BatchSize),
+		samplers: make([]*sampler.Sampler, opts.Workers),
 	}
-	for i := 0; i < opts.InFlight; i++ {
-		e.credits <- struct{}{}
+	for w := range e.samplers {
+		e.samplers[w] = sampler.New(ds.G, opts.Fanouts, opts.Sampler)
 	}
 	return e, nil
 }
@@ -349,6 +394,9 @@ func NewSalient(ds *dataset.Dataset, opts Options) (*Salient, error) {
 // prepared batches. Each worker owns a private fast sampler; batch indices
 // are balanced dynamically through a lock-free queue.
 func (e *Salient) Run(seeds []int32, epochSeed uint64) *Stream {
+	if !e.running.CompareAndSwap(false, true) {
+		panic("prep: Run called while a previous epoch is still preparing (drain the stream first)")
+	}
 	perm := e.opts.epochPerm(seeds, epochSeed)
 	nb := NumBatches(len(perm), e.opts.BatchSize)
 
@@ -376,20 +424,21 @@ func (e *Salient) Run(seeds []int32, epochSeed uint64) *Stream {
 		go func(w int) {
 			defer workers.Done()
 			defer s.wg.Done()
-			sm := sampler.New(e.ds.G, e.opts.Fanouts, e.opts.Sampler)
+			sm := e.samplers[w]
+			r := rng.New(0) // reseeded per batch (BatchSeed), never reallocated
 			for {
-				// Acquire a buffer credit BEFORE claiming a batch index:
-				// the credited worker then pops the lowest remaining index,
+				// Acquire an arena BEFORE claiming a batch index: the
+				// arena-holding worker then pops the lowest remaining index,
 				// so the emission cursor's batch is never starved of a
-				// buffer by higher-index batches (see the credits field).
-				<-e.credits
+				// buffer by higher-index batches (see the arenas field).
+				ar := e.arenas.get()
 				idx, ok := work.Pop()
 				if !ok {
-					e.credits <- struct{}{}
+					e.arenas.put(ar)
 					return
 				}
 				start := time.Now()
-				b := e.prepare(sm, perm, epochSeed, idx)
+				b := e.prepare(sm, r, ar, perm, epochSeed, idx)
 				if b.Err != nil {
 					s.setErr(b.Err)
 				}
@@ -403,25 +452,36 @@ func (e *Salient) Run(seeds []int32, epochSeed uint64) *Stream {
 	go func() {
 		defer s.wg.Done()
 		workers.Wait()
+		// The persistent samplers are idle again once every worker has
+		// exited; only then may the next epoch start.
+		e.running.Store(false)
 		close(raw)
 	}()
 	return s
 }
 
-// prepare builds batch idx end-to-end: sample, clone the MFG out of sampler
-// scratch, and gather features and labels through the store into a pinned
-// buffer. A gather rejection comes back as an errored batch (still indexed,
-// still creditable) rather than a worker panic.
-func (e *Salient) prepare(sm *sampler.Sampler, perm []int32, epochSeed uint64, idx int) *Batch {
+// prepare builds batch idx end-to-end inside arena ar: sample straight into
+// the arena's MFG buffers (no clone — the arena, not the sampler, owns the
+// output), then gather features and labels through the store into the
+// arena's pinned buffer. A seed rejection or gather rejection comes back as
+// an errored batch (still indexed, still carrying its arena for Release)
+// rather than a worker panic.
+func (e *Salient) prepare(sm *sampler.Sampler, r *rng.Rand, ar *arena, perm []int32, epochSeed uint64, idx int) *Batch {
 	seeds := batchSeeds(perm, e.opts.BatchSize, idx)
 	gidx := e.opts.globalIndex(idx)
-	m := cloneMFG(sm.Sample(BatchRNG(epochSeed, gidx), seeds))
-	buf := e.pool.Get()
-	if err := e.store.Gather(buf, m.NodeIDs, len(seeds)); err != nil {
-		e.pool.Put(buf)
-		return &Batch{Index: idx, GlobalIndex: gidx, Seeds: seeds, MFG: m, Err: err, credit: e.credits}
+	b := &Batch{Index: idx, GlobalIndex: gidx, Seeds: seeds, ar: ar, owner: e.arenas}
+	r.Reseed(BatchSeed(epochSeed, gidx))
+	if err := sm.SampleInto(r, seeds, &ar.mfg); err != nil {
+		b.Err = err
+		return b
 	}
-	return &Batch{Index: idx, GlobalIndex: gidx, Seeds: seeds, MFG: m, Buf: buf, pool: e.pool, credit: e.credits}
+	b.MFG = &ar.mfg
+	if err := e.store.Gather(ar.buf, ar.mfg.NodeIDs, len(seeds)); err != nil {
+		b.Err = err
+		return b
+	}
+	b.Buf = ar.buf
+	return b
 }
 
 // reorder re-sequences an unordered batch stream into index order using a
@@ -475,7 +535,7 @@ func NewPyG(ds *dataset.Dataset, opts Options) (*PyG, error) {
 	if err != nil {
 		return nil, err
 	}
-	rows := maxRowsEstimate(opts.BatchSize, opts.Fanouts, int(ds.G.N))
+	rows := MaxRowsEstimate(opts.BatchSize, opts.Fanouts, int(ds.G.N))
 	return &PyG{
 		ds:    ds,
 		opts:  opts,

@@ -40,13 +40,12 @@ func TestSalientDeliversAllBatches(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got := drain(t, ex.Run(ds.Train, 7))
-	want := NumBatches(len(ds.Train), 64)
-	if len(got) != want {
-		t.Fatalf("got %d batches, want %d", len(got), want)
-	}
+	s := ex.Run(ds.Train, 7)
 	seen := make(map[int]bool)
-	for _, b := range got {
+	got := 0
+	for b := range s.C {
+		// Inspect before Release: afterwards the MFG belongs to the arena's
+		// next occupant (and is nil on the released batch).
 		if seen[b.Index] {
 			t.Fatalf("duplicate batch index %d", b.Index)
 		}
@@ -54,6 +53,15 @@ func TestSalientDeliversAllBatches(t *testing.T) {
 		if err := b.MFG.Validate(); err != nil {
 			t.Fatalf("batch %d invalid MFG: %v", b.Index, err)
 		}
+		b.Release()
+		if b.MFG != nil {
+			t.Fatalf("batch %d still exposes an MFG after Release", b.Index)
+		}
+		got++
+	}
+	s.Wait()
+	if want := NumBatches(len(ds.Train), 64); got != want {
+		t.Fatalf("got %d batches, want %d", got, want)
 	}
 }
 

@@ -1,0 +1,10 @@
+//go:build race
+
+// Package race reports whether the race detector is compiled in, so
+// allocation-exact tests (testing.AllocsPerRun budgets) can skip their
+// strict assertions under -race: the detector instruments allocations and
+// makes exact counts meaningless. Mirrors the stdlib's internal/race.
+package race
+
+// Enabled is true when the binary was built with -race.
+const Enabled = true

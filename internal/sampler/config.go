@@ -25,6 +25,13 @@
 // production configuration (FastConfig) is flat map + array scan + fused +
 // pooled-everything; the baseline (BaselineConfig) models PyG's sampler:
 // stdlib hash map + hash set + two-phase + fresh allocations.
+//
+// The Reuse axis governs Sample, the design-sweep entry point, which owns
+// (or allocates) its output buffers per the selected policy. The production
+// data path goes further: SampleInto appends the MFG into buffers the
+// CALLER owns — one slot of a recycled batch arena in internal/prep — and
+// always pools the sampler's internal scratch, so steady-state sampling
+// performs zero heap allocations regardless of the configured Reuse kind.
 package sampler
 
 import "fmt"

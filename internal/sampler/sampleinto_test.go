@@ -1,0 +1,133 @@
+package sampler
+
+import (
+	"errors"
+	"testing"
+
+	"salient/internal/mfg"
+	"salient/internal/race"
+	"salient/internal/rng"
+)
+
+// mfgEqual compares two MFGs field by field.
+func mfgEqual(a, b *mfg.MFG) bool {
+	if a.Batch != b.Batch || len(a.Blocks) != len(b.Blocks) || len(a.NodeIDs) != len(b.NodeIDs) {
+		return false
+	}
+	for i := range a.NodeIDs {
+		if a.NodeIDs[i] != b.NodeIDs[i] {
+			return false
+		}
+	}
+	for i := range a.Blocks {
+		x, y := &a.Blocks[i], &b.Blocks[i]
+		if x.NumDst != y.NumDst || x.NumSrc != y.NumSrc ||
+			len(x.DstPtr) != len(y.DstPtr) || len(x.Src) != len(y.Src) {
+			return false
+		}
+		for j := range x.DstPtr {
+			if x.DstPtr[j] != y.DstPtr[j] {
+				return false
+			}
+		}
+		for j := range x.Src {
+			if x.Src[j] != y.Src[j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestSampleIntoMatchesSampleAllConfigs pins the oracle the arena pipeline
+// rests on: for every design-space configuration, SampleInto draws the
+// identical RNG sequence as Sample and produces a bit-identical MFG — and
+// buffer reuse across calls leaves no trace of the previous occupant.
+func TestSampleIntoMatchesSampleAllConfigs(t *testing.T) {
+	g := testGraph(t)
+	fanouts := []int{5, 3, 2}
+	batches := [][]int32{seeds(32, 7), seeds(16, 11), seeds(48, 5)}
+	for _, cfg := range Enumerate() {
+		ref := New(g, fanouts, cfg)
+		got := New(g, fanouts, cfg)
+		rRef, rGot := rng.New(99), rng.New(99)
+		var out mfg.MFG // one recycled output across all rounds
+		for round, sds := range batches {
+			want := ref.Sample(rRef, sds)
+			if err := got.SampleInto(rGot, sds, &out); err != nil {
+				t.Fatalf("%v round %d: SampleInto: %v", cfg, round, err)
+			}
+			if err := out.Validate(); err != nil {
+				t.Fatalf("%v round %d: invalid MFG: %v", cfg, round, err)
+			}
+			if !mfgEqual(want, &out) {
+				t.Fatalf("%v round %d: SampleInto differs from Sample", cfg, round)
+			}
+		}
+	}
+}
+
+// TestSampleIntoSeedErrors: invalid seed sets come back as *SeedError with
+// the offending seed identified, instead of the panic Sample raises.
+func TestSampleIntoSeedErrors(t *testing.T) {
+	g := testGraph(t)
+	s := New(g, []int{4, 4}, FastConfig())
+	var out mfg.MFG
+
+	err := s.SampleInto(rng.New(1), []int32{3, g.N + 5}, &out)
+	var se *SeedError
+	if !errors.As(err, &se) {
+		t.Fatalf("out-of-range seed: got %v, want *SeedError", err)
+	}
+	if se.Dup || se.Seed != g.N+5 || se.Index != 1 {
+		t.Fatalf("out-of-range SeedError = %+v", se)
+	}
+
+	err = s.SampleInto(rng.New(1), []int32{3, 7, 3}, &out)
+	if !errors.As(err, &se) {
+		t.Fatalf("duplicate seed: got %v, want *SeedError", err)
+	}
+	if !se.Dup || se.Seed != 3 || se.Index != 2 {
+		t.Fatalf("duplicate SeedError = %+v", se)
+	}
+
+	// The sampler must remain usable after a rejected batch.
+	if err := s.SampleInto(rng.New(2), seeds(8, 13), &out); err != nil {
+		t.Fatalf("sampler unusable after seed error: %v", err)
+	}
+	if err := out.Validate(); err != nil {
+		t.Fatalf("post-error MFG invalid: %v", err)
+	}
+}
+
+// TestSampleIntoSteadyStateAllocs pins the tentpole property at the sampler
+// level: once the output MFG's buffers have grown to the batch's
+// neighborhood, SampleInto allocates nothing.
+func TestSampleIntoSteadyStateAllocs(t *testing.T) {
+	if race.Enabled {
+		t.Skip("allocation counts are not exact under -race")
+	}
+	g := testGraph(t)
+	s := New(g, []int{10, 5}, FastConfig())
+	sds := seeds(64, 7)
+	r := rng.New(1)
+	var out mfg.MFG
+	// Warm up: grow the output and scratch buffers to this batch's footprint.
+	for i := 0; i < 5; i++ {
+		r.Reseed(uint64(i))
+		if err := s.SampleInto(r, sds, &out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Reseeding per run makes every measured iteration draw the identical
+	// sample, so buffer high-water marks cannot move mid-measurement.
+	allocs := testing.AllocsPerRun(100, func() {
+		r.Reseed(3)
+		if err := s.SampleInto(r, sds, &out); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state SampleInto allocates %.1f objects/batch, want 0", allocs)
+	}
+}

@@ -8,6 +8,25 @@ import (
 	"salient/internal/rng"
 )
 
+// SeedError reports an invalid seed set: a seed node out of graph range or a
+// duplicate within the batch. SampleInto returns it (so batch-preparation
+// executors can surface it through Batch.Err instead of crashing a worker
+// goroutine); Sample keeps the historical panic contract for the same
+// conditions.
+type SeedError struct {
+	Seed  int32 // offending global node ID
+	Index int   // position within the seed slice
+	N     int32 // graph node count
+	Dup   bool  // true: duplicate seed; false: out of range
+}
+
+func (e *SeedError) Error() string {
+	if e.Dup {
+		return fmt.Sprintf("sampler: duplicate seed %d (position %d)", e.Seed, e.Index)
+	}
+	return fmt.Sprintf("sampler: seed %d (position %d) out of range [0,%d)", e.Seed, e.Index, e.N)
+}
+
 // Sampler draws multi-hop sampled neighborhoods (MFGs) from a graph.
 //
 // A Sampler is not safe for concurrent use; SALIENT's shared-memory batch
@@ -17,8 +36,9 @@ import (
 // With Reuse == ReusePooledAll the returned MFG aliases internal buffers and
 // is invalidated by the next Sample call on the same Sampler. This mirrors
 // SALIENT's recycled batch slots; callers that need longer-lived batches use
-// one Sampler per in-flight slot (as the prep executor does) or a different
-// reuse policy.
+// one Sampler per in-flight slot, a different reuse policy, or — the
+// production path — SampleInto, which writes into an MFG the caller owns
+// (the prep executor samples straight into recycled batch arenas this way).
 type Sampler struct {
 	G       *graph.CSR
 	Fanouts []int // Fanouts[0] feeds GNN layer 1 (the outermost hop)
@@ -33,6 +53,17 @@ type Sampler struct {
 	srcBufs  [][]int32
 	phaseBuf []int32 // two-phase sampled-globals buffer
 	phaseCnt []int32 // two-phase per-destination counts
+
+	// SampleInto hot-loop state. The emit closures are bound once at
+	// construction and read/write these fields, so the per-destination inner
+	// loops create no closures and allocate nothing in steady state.
+	cur struct {
+		nodeIDs []int32 // growing local->global table of the in-progress MFG
+		src     []int32 // growing source-local edge list of the current block
+		buf     []int32 // two-phase sampled-globals scratch
+	}
+	emitMap func(int32) // fused build: map + record one sampled neighbor
+	emitBuf func(int32) // two-phase build: buffer one sampled global ID
 }
 
 // New returns a sampler over g with the given per-layer fanouts and design
@@ -57,6 +88,14 @@ func New(g *graph.CSR, fanouts []int, cfg Config) *Sampler {
 	if cfg.Reuse != ReuseFresh {
 		s.mapper = s.newMapper()
 	}
+	s.emitMap = func(g int32) {
+		l := s.mapper.GetOrAssign(g)
+		if int(l) == len(s.cur.nodeIDs) {
+			s.cur.nodeIDs = append(s.cur.nodeIDs, g)
+		}
+		s.cur.src = append(s.cur.src, l)
+	}
+	s.emitBuf = func(g int32) { s.cur.buf = append(s.cur.buf, g) }
 	return s
 }
 
@@ -94,7 +133,9 @@ func (s *Sampler) expectedNodes(batch int) int {
 }
 
 // Sample draws the MFG for the given seed nodes. Seeds must be distinct and
-// in range. Randomness comes from r, so identical (seed set, RNG state)
+// in range: violating either is a programming error and panics (callers that
+// take seeds from untrusted input use SampleInto, which returns a *SeedError
+// instead). Randomness comes from r, so identical (seed set, RNG state)
 // pairs reproduce identical MFGs.
 func (s *Sampler) Sample(r *rng.Rand, seeds []int32) *mfg.MFG {
 	L := len(s.Fanouts)
@@ -200,6 +241,133 @@ func (s *Sampler) Sample(r *rng.Rand, seeds []int32) *mfg.MFG {
 		s.mapper = mapper
 	}
 	return &mfg.MFG{Blocks: blocks, NodeIDs: nodeIDs, Batch: int32(len(seeds))}
+}
+
+// SampleInto draws the MFG for the given seed nodes into out, reusing out's
+// buffers (Blocks, DstPtr/Src, NodeIDs) and growing them only when this
+// batch's neighborhood exceeds every previous occupant's. It draws the
+// identical RNG sequence as Sample, so the resulting MFG is bit-identical to
+// what Sample returns for the same (config, seed set, RNG state) — only the
+// ownership differs: out and everything it references belong to the caller,
+// typically one slot of a recycled batch arena (internal/prep), and stay
+// valid until the caller reuses them.
+//
+// Unlike Sample, seed validation failures (out-of-range or duplicate seeds)
+// come back as a *SeedError — out-of-range before any sampling state is
+// touched, duplicates during the seed-prefix insertion — rather than a panic
+// deep in the hot loop, so executors can surface them through Batch.Err. On
+// error out's contents are unspecified but its buffers remain reusable.
+//
+// The Config's Reuse axis governs only Sample's buffer policy (the Figure 2
+// design sweep); SampleInto always pools its internal scratch (ID map,
+// dedup structures, phase buffers) regardless, since the output buffers are
+// the caller's.
+func (s *Sampler) SampleInto(r *rng.Rand, seeds []int32, out *mfg.MFG) error {
+	L := len(s.Fanouts)
+	expected := s.expectedNodes(len(seeds))
+
+	for i, v := range seeds {
+		if v < 0 || v >= s.G.N {
+			return &SeedError{Seed: v, Index: i, N: s.G.N}
+		}
+	}
+
+	if s.mapper == nil {
+		s.mapper = s.newMapper() // ReuseFresh config: pool it here anyway
+	}
+	s.mapper.Reset(expected)
+
+	nodeIDs := out.NodeIDs[:0]
+	if cap(nodeIDs) < expected {
+		nodeIDs = make([]int32, 0, expected)
+	}
+	for i, v := range seeds {
+		l := s.mapper.GetOrAssign(v)
+		if int(l) != len(nodeIDs) {
+			return &SeedError{Seed: v, Index: i, N: s.G.N, Dup: true}
+		}
+		nodeIDs = append(nodeIDs, v)
+	}
+
+	if cap(out.Blocks) < L {
+		out.Blocks = make([]mfg.Block, L)
+	}
+	out.Blocks = out.Blocks[:L]
+
+	s.cur.nodeIDs = nodeIDs
+	frontier := int32(len(seeds))
+
+	for hop := 0; hop < L; hop++ {
+		blockIdx := L - 1 - hop       // innermost hop fills the last block
+		fanout := s.Fanouts[blockIdx] // so hop 0 uses Fanouts[L-1]
+		numDst := frontier
+		blk := &out.Blocks[blockIdx]
+
+		dstPtr := blk.DstPtr
+		if cap(dstPtr) < int(numDst)+1 {
+			dstPtr = make([]int32, int(numDst)+1)
+		}
+		dstPtr = dstPtr[:int(numDst)+1]
+		s.cur.src = blk.Src[:0]
+
+		if s.cfg.Build == BuildFused {
+			for v := int32(0); v < numDst; v++ {
+				dstPtr[v] = int32(len(s.cur.src))
+				ns := s.G.Neighbors(s.cur.nodeIDs[v])
+				s.picker.Pick(r, ns, fanout, s.emitMap)
+			}
+			dstPtr[numDst] = int32(len(s.cur.src))
+		} else {
+			// Phase 1: sample global IDs into a flat buffer.
+			s.cur.buf = s.phaseBuf[:0]
+			cnt := s.grabCnt(int(numDst))
+			for v := int32(0); v < numDst; v++ {
+				before := len(s.cur.buf)
+				ns := s.G.Neighbors(s.cur.nodeIDs[v])
+				s.picker.Pick(r, ns, fanout, s.emitBuf)
+				cnt[v] = int32(len(s.cur.buf) - before)
+			}
+			// Phase 2: map globals to locals and build the block.
+			pos := 0
+			for v := int32(0); v < numDst; v++ {
+				dstPtr[v] = int32(len(s.cur.src))
+				for e := int32(0); e < cnt[v]; e++ {
+					g := s.cur.buf[pos]
+					pos++
+					l := s.mapper.GetOrAssign(g)
+					if int(l) == len(s.cur.nodeIDs) {
+						s.cur.nodeIDs = append(s.cur.nodeIDs, g)
+					}
+					s.cur.src = append(s.cur.src, l)
+				}
+			}
+			dstPtr[numDst] = int32(len(s.cur.src))
+			s.phaseBuf = s.cur.buf
+		}
+
+		frontier = s.mapper.Len()
+		*blk = mfg.Block{
+			DstPtr: dstPtr,
+			Src:    s.cur.src,
+			NumDst: numDst,
+			NumSrc: frontier,
+		}
+	}
+
+	out.NodeIDs = s.cur.nodeIDs
+	out.Batch = int32(len(seeds))
+	s.cur.nodeIDs, s.cur.src, s.cur.buf = nil, nil, nil
+	return nil
+}
+
+// grabCnt returns the always-pooled per-destination count scratch used by
+// SampleInto's two-phase build.
+func (s *Sampler) grabCnt(n int) []int32 {
+	if cap(s.phaseCnt) < n {
+		s.phaseCnt = make([]int32, n)
+	}
+	s.phaseCnt = s.phaseCnt[:n]
+	return s.phaseCnt
 }
 
 func (s *Sampler) grabDstPtr(hop, n int) []int32 {

@@ -8,10 +8,13 @@
 // request and coalesce whatever else has arrived — up to MaxBatch requests
 // or until MaxDelay has elapsed since the micro-batch opened — then run one
 // fused prepare-and-forward over the coalesced set: per-request neighborhood
-// sampling, a block-diagonal MFG merge (mfg.Merge), one gather through the
-// feature store (internal/store) into a pinned staging buffer, and one
-// model forward. Transfer and cache accounting live in the store; the
-// server just snapshots them into its Stats.
+// sampling straight into the worker's recycled MFG slots (SampleInto — no
+// per-request copies), a block-diagonal MFG merge (mfg.Merge), one gather
+// through the feature store (internal/store) into a pinned staging buffer,
+// and one model forward. All of that scratch is released for reuse as soon
+// as the micro-batch's responses are delivered. Transfer and cache
+// accounting live in the store; the server just snapshots them into its
+// Stats.
 //
 // Determinism: each request is sampled independently with the RNG a
 // singleton inference epoch would use (prep.BatchRNG(seed, 0)), and the
@@ -38,6 +41,7 @@ import (
 	"salient/internal/nn"
 	"salient/internal/prep"
 	"salient/internal/queue"
+	"salient/internal/rng"
 	"salient/internal/sampler"
 	"salient/internal/slicing"
 	"salient/internal/store"
@@ -323,14 +327,30 @@ func (s *Server) Stats() Stats {
 // Cached wrapper when Options.CacheRows > 0).
 func (s *Server) FeatureStore() store.FeatureStore { return s.store }
 
+// workerState is one batching worker's recycled scratch: its private
+// sampler, the per-request MFG slots requests are sampled into (recycled
+// across micro-batches, the serving counterpart of prep's batch arenas), the
+// merge pointer list, a single-seed buffer, the decode tensor, and the
+// argmax output. Everything here is released for reuse as soon as the
+// micro-batch's responses are delivered, so a steady-state worker allocates
+// only what mfg.Merge needs for multi-request batches.
+type workerState struct {
+	sm    *sampler.Sampler
+	r     *rng.Rand  // reseeded per request, never reallocated
+	slots []mfg.MFG  // slots[i] holds request i's sampled MFG
+	ptrs  []*mfg.MFG // merge argument scratch
+	seed  [1]int32
+	x     *tensor.Dense
+	pred  []int32
+}
+
 // worker pulls one request, coalesces a deadline-bounded micro-batch behind
 // it, and executes the batch end-to-end on the SALIENT data path. Between
 // micro-batches it parks on the doorbell, so idle servers consume no CPU.
 func (s *Server) worker() {
 	defer s.wg.Done()
-	sm := sampler.New(s.ds.G, s.opts.Fanouts, sampler.FastConfig())
+	ws := &workerState{sm: sampler.New(s.ds.G, s.opts.Fanouts, sampler.FastConfig()), r: rng.New(0)}
 	batch := make([]*request, 0, s.opts.MaxBatch)
-	var x *tensor.Dense // reused decode buffer, as infer.Sampled does
 	for {
 		first, ok := s.ring.TryPop()
 		if !ok {
@@ -368,39 +388,55 @@ func (s *Server) worker() {
 			// yield briefly rather than spinning hot on TryPop.
 			time.Sleep(10 * time.Microsecond)
 		}
-		x = s.execute(sm, x, batch)
+		s.execute(ws, batch)
 	}
 }
 
 // execute answers one coalesced micro-batch: sample each request
-// independently, merge, slice, forward once, and deliver per-request rows.
-// x is the worker's reusable decode tensor; the (possibly reallocated)
-// buffer is returned for the next batch.
-func (s *Server) execute(sm *sampler.Sampler, x *tensor.Dense, batch []*request) *tensor.Dense {
-	mfgs := make([]*mfg.MFG, len(batch))
+// independently into the worker's recycled MFG slots, merge (bypassed for a
+// single request — the slot is used directly), slice, forward once, and
+// deliver per-request rows. Every buffer execute touches is released for
+// reuse the moment the micro-batch's responses are delivered.
+func (s *Server) execute(ws *workerState, batch []*request) {
+	for len(ws.slots) < len(batch) {
+		ws.slots = append(ws.slots, mfg.MFG{})
+	}
 	for i, req := range batch {
 		// Singleton-epoch RNG: this exact draw is what infer.Sampled performs
 		// for a one-node request, which pins per-request determinism no
 		// matter how requests coalesce.
-		r := prep.BatchRNG(s.opts.Seed, 0)
-		mfgs[i] = sm.Sample(r, []int32{req.node}).Clone()
+		ws.r.Reseed(prep.BatchSeed(s.opts.Seed, 0))
+		ws.seed[0] = req.node
+		if err := ws.sm.SampleInto(ws.r, ws.seed[:], &ws.slots[i]); err != nil {
+			// Unreachable in practice — Submit range-checks the node and a
+			// single seed cannot duplicate — but fail the batch over panicking.
+			s.deliverError(batch, err)
+			return
+		}
 	}
-	merged := mfg.Merge(mfgs)
+	merged := &ws.slots[0]
+	if len(batch) > 1 {
+		ws.ptrs = ws.ptrs[:0]
+		for i := range batch {
+			ws.ptrs = append(ws.ptrs, &ws.slots[i])
+		}
+		merged = mfg.Merge(ws.ptrs)
+	}
 
 	buf := s.pool.Get()
 	if err := s.store.Gather(buf, merged.NodeIDs, int(merged.Batch)); err != nil {
 		s.pool.Put(buf)
 		s.deliverError(batch, err)
-		return x
+		return
 	}
-	if x == nil || x.Rows != buf.Rows || x.Cols != buf.Dim {
-		x = tensor.New(buf.Rows, buf.Dim)
-	}
-	slicing.DecodeFeatures(x, buf)
+	ws.x = slicing.DecodeInto(ws.x, buf)
 
 	s.modelMu.Lock()
-	logp := s.model.Forward(x, merged, false)
-	pred := make([]int32, logp.Rows)
+	logp := s.model.Forward(ws.x, merged, false)
+	if cap(ws.pred) < logp.Rows {
+		ws.pred = make([]int32, logp.Rows)
+	}
+	pred := ws.pred[:logp.Rows]
 	logp.ArgmaxRows(pred)
 	s.modelMu.Unlock()
 	s.pool.Put(buf)
@@ -419,7 +455,6 @@ func (s *Server) execute(sm *sampler.Sampler, x *tensor.Dense, batch []*request)
 	for i, req := range batch {
 		req.done <- result{label: pred[i]}
 	}
-	return x
 }
 
 // deliverError fails every request of a micro-batch with the same error.

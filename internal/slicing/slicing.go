@@ -174,6 +174,17 @@ func DecodeFeatures(dst *tensor.Dense, p *Pinned) {
 	half.DecodeSlice(dst.Data, p.Feat)
 }
 
+// DecodeInto widens p into x, recycling x's backing array across batches
+// (tensor.Reshape) so steady-state decoding allocates nothing: pass the
+// previous batch's tensor back in, nil on first use. This is the one decode
+// entry point the pipeline's consumers (training, inference, serving)
+// share.
+func DecodeInto(x *tensor.Dense, p *Pinned) *tensor.Dense {
+	x = tensor.Reshape(x, p.Rows, p.Dim)
+	DecodeFeatures(x, p)
+	return x
+}
+
 // Pool is a fixed-size recycling pool of pinned staging buffers. SALIENT
 // bounds in-flight batches by the number of slots; a worker takes a free
 // slot, fills it, hands it to the training loop, and the loop returns it

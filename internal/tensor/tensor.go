@@ -41,6 +41,21 @@ func (t *Dense) Clone() *Dense {
 	return c
 }
 
+// Reshape returns t resized to rows×cols, reusing its backing array when it
+// has the capacity and allocating a fresh matrix only when it does not (or
+// when t is nil). Contents are unspecified after a capacity-reusing reshape;
+// callers overwrite them. This is the scratch-recycling primitive the batch
+// pipeline's consumers (decode targets, gradient buffers) use to stay
+// allocation-free across batches whose row counts vary.
+func Reshape(t *Dense, rows, cols int) *Dense {
+	if t == nil || cap(t.Data) < rows*cols {
+		return New(rows, cols)
+	}
+	t.Rows, t.Cols = rows, cols
+	t.Data = t.Data[:rows*cols]
+	return t
+}
+
 // Row returns the i-th row as a slice aliasing the matrix storage.
 func (t *Dense) Row(i int) []float32 {
 	return t.Data[i*t.Cols : (i+1)*t.Cols]

@@ -26,20 +26,29 @@ func DropoutSeed(epochSeed uint64, globalIndex int) uint64 {
 }
 
 // Decoder owns the reusable float32 tensor that staged half-precision
-// batches are widened into (the GPU-side conversion in the paper). Each
-// consumer goroutine owns one Decoder; it is not safe for concurrent use.
+// batches are widened into (the GPU-side conversion in the paper), plus the
+// reusable per-batch gradient scratch. Each consumer goroutine owns one
+// Decoder; it is not safe for concurrent use.
 type Decoder struct {
 	features *tensor.Dense
+	grad     *tensor.Dense
 }
 
 // Decode widens buf into the decoder's reusable tensor and returns it. The
-// tensor is valid until the next Decode call.
+// tensor is valid until the next Decode call; its backing array is recycled
+// across batches (grown only when a batch stages more rows than any before),
+// so steady-state decoding allocates nothing.
 func (d *Decoder) Decode(buf *slicing.Pinned) *tensor.Dense {
-	if d.features == nil || d.features.Rows != buf.Rows || d.features.Cols != buf.Dim {
-		d.features = tensor.New(buf.Rows, buf.Dim)
-	}
-	slicing.DecodeFeatures(d.features, buf)
+	d.features = slicing.DecodeInto(d.features, buf)
 	return d.features
+}
+
+// Grad returns the decoder's recycled rows×cols output-gradient scratch,
+// valid until the next Grad call. Contents are unspecified; the loss
+// computation overwrites them.
+func (d *Decoder) Grad(rows, cols int) *tensor.Dense {
+	d.grad = tensor.Reshape(d.grad, rows, cols)
+	return d.grad
 }
 
 // StepStats summarizes one replica step: one batch's forward/backward.
@@ -65,7 +74,7 @@ func ReplicaStep(model nn.Model, dec *Decoder, b *prep.Batch, epochSeed uint64, 
 	}
 	x := dec.Decode(b.Buf)
 	logp := model.Forward(x, b.MFG, true)
-	grad := tensor.New(logp.Rows, logp.Cols)
+	grad := dec.Grad(logp.Rows, logp.Cols) // NLLLoss zeroes it before writing
 	st := StepStats{Rows: logp.Rows, Nodes: b.MFG.TotalNodes(), Edges: b.MFG.TotalEdges()}
 	st.Loss = tensor.NLLLoss(logp, b.Buf.Labels, grad)
 	logp.ArgmaxRows(pred[:logp.Rows])
