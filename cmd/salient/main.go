@@ -8,7 +8,8 @@
 //	salient <experiment> [flags]      run one: fig1..fig6, table1..table7,
 //	                                  or the extension studies (strategies,
 //	                                  batching, cache, partition, memory,
-//	                                  sensitivity, featurestore)
+//	                                  sensitivity, featurestore, serving,
+//	                                  ddpreal, timing, churn)
 //	salient train [flags]             train a model and report per-epoch stats
 //	salient serve [flags]             train briefly, then serve online
 //	                                  sampled-inference traffic and report
@@ -44,6 +45,12 @@
 //	-delay D       serve: micro-batch coalescing deadline (default 300µs)
 //	-cachefrac F   serve, and train with -store cached: feature cache size
 //	               as a fraction of N (default 0.2)
+//	-dynamic       train/serve: run over a mutable dynamic graph (snapshot-
+//	               consistent views of the dataset graph; with zero churn,
+//	               results are bit-identical to the static baseline)
+//	-churn F       train/serve with -dynamic: stream F random edge
+//	               updates/sec into the graph while training epochs or
+//	               serving traffic run (default 0)
 //
 // Bad flag values exit with status 2 and a usage message instead of running
 // with silently substituted defaults.
@@ -60,6 +67,7 @@ import (
 	"salient/internal/cache"
 	"salient/internal/dataset"
 	"salient/internal/ddp"
+	"salient/internal/graph"
 	"salient/internal/serve"
 	"salient/internal/store"
 	"salient/internal/train"
@@ -87,6 +95,8 @@ type cliFlags struct {
 	maxBatch    int
 	delay       time.Duration
 	cacheFrac   float64
+	dynamic     bool
+	churn       float64
 }
 
 func main() {
@@ -116,6 +126,8 @@ func main() {
 	fs.IntVar(&f.maxBatch, "maxbatch", 32, "serve: micro-batch cap")
 	fs.DurationVar(&f.delay, "delay", 300*time.Microsecond, "serve: coalescing deadline")
 	fs.Float64Var(&f.cacheFrac, "cachefrac", 0.2, "feature cache fraction of N")
+	fs.BoolVar(&f.dynamic, "dynamic", false, "train/serve over a mutable dynamic graph")
+	fs.Float64Var(&f.churn, "churn", 0, "with -dynamic: edge updates/sec streamed during the run")
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(2)
 	}
@@ -222,6 +234,12 @@ func (f *cliFlags) validate(cmd string) error {
 		if oneOf(f.storeKind, "cached", "sharded+cached") && f.cacheFrac == 0 {
 			return fmt.Errorf("-store %s requires -cachefrac > 0", f.storeKind)
 		}
+		if f.churn < 0 {
+			return fmt.Errorf("-churn must be >= 0, got %g", f.churn)
+		}
+		if f.churn > 0 && !f.dynamic {
+			return fmt.Errorf("-churn %g requires -dynamic", f.churn)
+		}
 	}
 	if cmd == "train" {
 		if !oneOf(f.executor, "salient", "pyg") {
@@ -309,6 +327,65 @@ func writeTraces(prefix string, seed uint64) error {
 	return nil
 }
 
+// churnRun bundles the dynamic-graph scaffolding the train subcommands
+// share: the mode banner, the background update stream (the shared
+// serve.DriveChurn pacing), the per-epoch version suffix, and the final
+// applied/version/compactions report. The zero value (static run) renders
+// nothing and streams nothing.
+type churnRun struct {
+	dyn  *graph.Dynamic
+	rate float64
+	stop func() int64
+}
+
+// newChurnRun starts the update stream for a dynamic run (dyn may be nil
+// for a static one; rate 0 streams nothing).
+func newChurnRun(dyn *graph.Dynamic, n int32, rate float64, seed uint64) *churnRun {
+	c := &churnRun{dyn: dyn, rate: rate}
+	if dyn == nil || rate <= 0 {
+		return c
+	}
+	done := make(chan struct{})
+	finished := make(chan int64, 1)
+	go func() {
+		finished <- serve.DriveChurn(dyn.AddEdges, n, rate, seed, done)
+	}()
+	c.stop = func() int64 {
+		close(done)
+		return <-finished
+	}
+	return c
+}
+
+// mode describes the run for the training banner.
+func (c *churnRun) mode() string {
+	if c.dyn == nil {
+		return "static graph"
+	}
+	return fmt.Sprintf("dynamic graph (%.0f updates/s)", c.rate)
+}
+
+// epochSuffix is the per-epoch graph-version annotation.
+func (c *churnRun) epochSuffix() string {
+	if c.dyn == nil {
+		return ""
+	}
+	return fmt.Sprintf("  graph v%d", c.dyn.Version())
+}
+
+// finish stops the update stream and prints the dynamic-run epilogue.
+func (c *churnRun) finish() {
+	if c.dyn == nil {
+		return
+	}
+	var applied int64
+	if c.stop != nil {
+		applied = c.stop()
+	}
+	fmt.Printf("dynamic graph: %d edge updates applied, final version %d, %d compactions\n",
+		applied, c.dyn.Version(), c.dyn.Compactions())
+}
+
 func runTrain(f cliFlags) error {
 	ds, err := dataset.Load(f.dataset, f.scale)
 	if err != nil {
@@ -325,8 +402,16 @@ func runTrain(f cliFlags) error {
 		Seed:    f.seed,
 		Store:   st,
 	}
+	var dyn *graph.Dynamic
+	if f.dynamic {
+		if dyn, err = graph.NewDynamic(ds.G, graph.DynamicOptions{}); err != nil {
+			return err
+		}
+		cfg.Graph = dyn
+	}
+	churn := newChurnRun(dyn, ds.G.N, f.churn, f.seed+77)
 	if f.replicas > 1 {
-		return runTrainDDP(ds, cfg, f)
+		return runTrainDDP(ds, cfg, f, churn)
 	}
 	switch f.executor {
 	case "salient":
@@ -338,16 +423,17 @@ func runTrain(f cliFlags) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("training %s on %s (N=%d, train=%d) with the %s executor, %s store\n",
-		f.arch, ds.Name, ds.G.N, len(ds.Train), f.executor, f.storeKind)
+	fmt.Printf("training %s on %s (N=%d, train=%d) with the %s executor, %s store, %s\n",
+		f.arch, ds.Name, ds.G.N, len(ds.Train), f.executor, f.storeKind, churn.mode())
 	for e := 0; e < f.epochs; e++ {
 		s, err := tr.TrainEpoch(e)
 		if err != nil {
 			return err
 		}
-		fmt.Printf("epoch %2d  loss %.4f  train-acc %.4f  wall %v (prep-wait %v, compute %v)\n",
-			s.Epoch, s.Loss, s.Acc, s.Wall.Round(1e6), s.PrepWait.Round(1e6), s.Compute.Round(1e6))
+		fmt.Printf("epoch %2d  loss %.4f  train-acc %.4f  wall %v (prep-wait %v, compute %v)%s\n",
+			s.Epoch, s.Loss, s.Acc, s.Wall.Round(1e6), s.PrepWait.Round(1e6), s.Compute.Round(1e6), churn.epochSuffix())
 	}
+	churn.finish()
 	printStoreStats(tr.FeatureStore())
 	return nil
 }
@@ -356,22 +442,23 @@ func runTrain(f cliFlags) error {
 // concurrent goroutines over one shared feature store, synchronized per
 // step by gradient averaging. BatchSize is per replica, so the effective
 // batch grows with R (the paper's §6 scaling regime).
-func runTrainDDP(ds *dataset.Dataset, cfg train.Config, f cliFlags) error {
+func runTrainDDP(ds *dataset.Dataset, cfg train.Config, f cliFlags, churn *churnRun) error {
 	tr, err := ddp.NewTrainer(ds, ddp.TrainConfig{Config: cfg, Replicas: f.replicas})
 	if err != nil {
 		return err
 	}
-	fmt.Printf("training %s on %s (N=%d, train=%d) with %d data-parallel replicas, %s store\n",
-		f.arch, ds.Name, ds.G.N, len(ds.Train), f.replicas, f.storeKind)
+	fmt.Printf("training %s on %s (N=%d, train=%d) with %d data-parallel replicas, %s store, %s\n",
+		f.arch, ds.Name, ds.G.N, len(ds.Train), f.replicas, f.storeKind, churn.mode())
 	for e := 0; e < f.epochs; e++ {
 		s, err := tr.TrainEpoch(e)
 		if err != nil {
 			return err
 		}
-		fmt.Printf("epoch %2d  loss %.4f  train-acc %.4f  wall %v (%d steps, sync %.0f%%, prep-wait %v, compute %v)\n",
+		fmt.Printf("epoch %2d  loss %.4f  train-acc %.4f  wall %v (%d steps, sync %.0f%%, prep-wait %v, compute %v)%s\n",
 			s.Epoch, s.Loss, s.Acc, s.Wall.Round(1e6), s.Steps,
-			100*s.SyncFraction(), s.PrepWait.Round(1e6), s.Compute.Round(1e6))
+			100*s.SyncFraction(), s.PrepWait.Round(1e6), s.Compute.Round(1e6), churn.epochSuffix())
 	}
+	churn.finish()
 	printStoreStats(tr.FeatureStore(0))
 	return nil
 }
@@ -419,14 +506,24 @@ func runServe(f cliFlags) error {
 	if err != nil {
 		return err
 	}
-	srv, err := serve.New(tr.Model, ds, serve.Options{
+	var dyn *graph.Dynamic
+	if f.dynamic {
+		if dyn, err = graph.NewDynamic(ds.G, graph.DynamicOptions{}); err != nil {
+			return err
+		}
+	}
+	sopts := serve.Options{
 		Fanouts:  fanouts,
 		Workers:  f.workers,
 		MaxBatch: f.maxBatch,
 		MaxDelay: f.delay,
 		Seed:     f.seed,
 		Store:    fstore,
-	})
+	}
+	if dyn != nil {
+		sopts.Graph = dyn
+	}
+	srv, err := serve.New(tr.Model, ds, sopts)
 	if err != nil {
 		return err
 	}
@@ -436,11 +533,16 @@ func runServe(f cliFlags) error {
 	}
 	fmt.Printf("serving %d requests over %d test nodes, %s...\n", f.requests, len(ds.Test), mode)
 
+	churn := newChurnRun(dyn, ds.G.N, f.churn, f.seed+77)
 	var wall time.Duration
 	if f.rate > 0 {
 		wall = serve.DriveOpenLoop(srv, ds.Test, f.rate, f.requests)
 	} else {
 		wall = serve.DriveClosedLoop(srv, ds.Test, 16, f.requests)
+	}
+	var churnApplied int64
+	if churn.stop != nil {
+		churnApplied = churn.stop()
 	}
 	srv.Close()
 
@@ -451,6 +553,10 @@ func runServe(f cliFlags) error {
 		st.Batches, st.Occupancy.Mean, st.Occupancy.P95)
 	fmt.Printf("latency    p50 %.2fms  p95 %.2fms  p99 %.2fms  max %.2fms\n",
 		st.Latency.P50*1e3, st.Latency.P95*1e3, st.Latency.P99*1e3, st.Latency.Max*1e3)
+	if dyn != nil {
+		fmt.Printf("graph      %d edge updates applied, final version %d, %d compactions\n",
+			churnApplied, st.GraphVersion, st.Compactions)
+	}
 	printStoreStats(srv.FeatureStore())
 	return nil
 }

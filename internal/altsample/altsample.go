@@ -36,7 +36,7 @@ import (
 // LayerWise samples a per-layer budget of nodes from the union neighborhood
 // of the frontier (paper §2.2, layer-wise family).
 type LayerWise struct {
-	G *graph.CSR
+	G graph.Topology
 	// Budgets[ℓ] is the maximum number of NEW nodes added for GNN layer
 	// ℓ+1's block (Budgets[0] feeds layer 1, the outermost hop).
 	Budgets []int
@@ -46,7 +46,7 @@ type LayerWise struct {
 }
 
 // NewLayerWise validates the configuration.
-func NewLayerWise(g *graph.CSR, budgets []int, weighted bool) (*LayerWise, error) {
+func NewLayerWise(g graph.Topology, budgets []int, weighted bool) (*LayerWise, error) {
 	if len(budgets) == 0 {
 		return nil, fmt.Errorf("altsample: no layer budgets")
 	}
@@ -73,7 +73,7 @@ func (s *LayerWise) Sample(r *rng.Rand, seeds []int32) *mfg.MFG {
 		return l
 	}
 	for _, v := range seeds {
-		if v < 0 || v >= s.G.N {
+		if v < 0 || v >= s.G.NumNodes() {
 			panic(fmt.Sprintf("altsample: seed %d out of range", v))
 		}
 		if int(assign(v)) != len(nodeIDs)-1 {
@@ -183,14 +183,14 @@ func samplePool(r *rng.Rand, pool []int32, weights []float64, k int) []int32 {
 // (GraphSAINT's RW sampler) and emits the induced subgraph as an MFG whose
 // final destinations are the roots.
 type SAINT struct {
-	G        *graph.CSR
+	G        graph.Topology
 	WalkLen  int // steps per walk
 	NumWalks int // walks per root
 	Layers   int // GNN depth (number of MFG blocks)
 }
 
 // NewSAINT validates the configuration.
-func NewSAINT(g *graph.CSR, walkLen, numWalks, layers int) (*SAINT, error) {
+func NewSAINT(g graph.Topology, walkLen, numWalks, layers int) (*SAINT, error) {
 	if walkLen < 1 || numWalks < 1 || layers < 1 {
 		return nil, fmt.Errorf("altsample: invalid SAINT config (walkLen=%d numWalks=%d layers=%d)",
 			walkLen, numWalks, layers)
@@ -212,7 +212,7 @@ func (s *SAINT) Sample(r *rng.Rand, roots []int32) *mfg.MFG {
 		return l
 	}
 	for _, v := range roots {
-		if v < 0 || v >= s.G.N {
+		if v < 0 || v >= s.G.NumNodes() {
 			panic(fmt.Sprintf("altsample: root %d out of range", v))
 		}
 		if int(assign(v)) != len(nodeIDs)-1 {
@@ -239,19 +239,19 @@ func (s *SAINT) Sample(r *rng.Rand, roots []int32) *mfg.MFG {
 // (Cluster-GCN). Batches are the labeled nodes of one cluster; message
 // passing is restricted to the cluster's induced subgraph.
 type Cluster struct {
-	G      *graph.CSR
+	G      graph.Topology
 	Layers int
 
 	members [][]int32 // nodes per cluster
 }
 
 // NewCluster groups nodes by their partition assignment.
-func NewCluster(g *graph.CSR, part []int32, parts, layers int) (*Cluster, error) {
+func NewCluster(g graph.Topology, part []int32, parts, layers int) (*Cluster, error) {
 	if layers < 1 {
 		return nil, fmt.Errorf("altsample: layers %d < 1", layers)
 	}
-	if int32(len(part)) != g.N {
-		return nil, fmt.Errorf("altsample: assignment covers %d of %d nodes", len(part), g.N)
+	if int32(len(part)) != g.NumNodes() {
+		return nil, fmt.Errorf("altsample: assignment covers %d of %d nodes", len(part), g.NumNodes())
 	}
 	c := &Cluster{G: g, Layers: layers, members: make([][]int32, parts)}
 	for v, p := range part {
@@ -298,7 +298,7 @@ func (c *Cluster) Batch(cluster int, labeled func(int32) bool) *mfg.MFG {
 // inducedMFG builds an L-block MFG over the induced subgraph of nodeIDs:
 // inner blocks span the whole subgraph; the last block narrows to the
 // labeled/seed prefix of size batch.
-func inducedMFG(g *graph.CSR, nodeIDs []int32, local map[int32]int32, batch int32, layers int) *mfg.MFG {
+func inducedMFG(g graph.Topology, nodeIDs []int32, local map[int32]int32, batch int32, layers int) *mfg.MFG {
 	n := int32(len(nodeIDs))
 	full := inducedBlock(g, nodeIDs, local, n)
 	blocks := make([]mfg.Block, layers)
@@ -311,7 +311,7 @@ func inducedMFG(g *graph.CSR, nodeIDs []int32, local map[int32]int32, batch int3
 
 // inducedBlock builds a bipartite block whose destinations are the first
 // numDst subgraph nodes and whose sources are the whole subgraph.
-func inducedBlock(g *graph.CSR, nodeIDs []int32, local map[int32]int32, numDst int32) mfg.Block {
+func inducedBlock(g graph.Topology, nodeIDs []int32, local map[int32]int32, numDst int32) mfg.Block {
 	dstPtr := make([]int32, numDst+1)
 	var src []int32
 	for v := int32(0); v < numDst; v++ {
@@ -331,7 +331,7 @@ func inducedBlock(g *graph.CSR, nodeIDs []int32, local map[int32]int32, numDst i
 // Sample is node-wise sampling restricted to the cached subgraph, with
 // global node IDs in the returned MFG.
 type GNS struct {
-	G       *graph.CSR
+	G       graph.Topology
 	Fanouts []int
 
 	cacheNodes []int32 // global IDs of cached nodes
@@ -342,7 +342,7 @@ type GNS struct {
 }
 
 // NewGNS builds an (empty) GNS sampler; call Refresh before Sample.
-func NewGNS(g *graph.CSR, fanouts []int) (*GNS, error) {
+func NewGNS(g graph.Topology, fanouts []int) (*GNS, error) {
 	if len(fanouts) == 0 {
 		return nil, fmt.Errorf("altsample: no fanouts")
 	}
@@ -360,14 +360,14 @@ func (s *GNS) Refresh(r *rng.Rand, size int, mustInclude []int32) error {
 			nodes = append(nodes, v)
 		}
 	}
-	for len(nodes) < size+len(mustInclude) && len(nodes) < int(s.G.N) {
-		v := int32(r.Intn(int(s.G.N)))
+	for len(nodes) < size+len(mustInclude) && len(nodes) < int(s.G.NumNodes()) {
+		v := int32(r.Intn(int(s.G.NumNodes())))
 		if _, dup := seen[v]; !dup {
 			seen[v] = struct{}{}
 			nodes = append(nodes, v)
 		}
 	}
-	sub, err := s.G.Induced(nodes)
+	sub, err := graph.Induced(s.G, nodes)
 	if err != nil {
 		return err
 	}
@@ -413,14 +413,14 @@ func (s *GNS) Sample(r *rng.Rand, seeds []int32) *mfg.MFG {
 // so the loss can be restricted to them. This is the batching scheme of the
 // full-batch systems the paper compares against in §7 (NeuGraph, Roc,
 // DeepGalois); one forward/backward per epoch over the whole graph.
-func FullGraph(g *graph.CSR, labeled []int32, layers int) (*mfg.MFG, error) {
+func FullGraph(g graph.Topology, labeled []int32, layers int) (*mfg.MFG, error) {
 	if layers < 1 {
 		return nil, fmt.Errorf("altsample: layers %d < 1", layers)
 	}
 	isLabeled := make(map[int32]struct{}, len(labeled))
-	ordered := make([]int32, 0, g.N)
+	ordered := make([]int32, 0, g.NumNodes())
 	for _, v := range labeled {
-		if v < 0 || v >= g.N {
+		if v < 0 || v >= g.NumNodes() {
 			return nil, fmt.Errorf("altsample: labeled node %d out of range", v)
 		}
 		if _, dup := isLabeled[v]; dup {
@@ -429,7 +429,7 @@ func FullGraph(g *graph.CSR, labeled []int32, layers int) (*mfg.MFG, error) {
 		isLabeled[v] = struct{}{}
 		ordered = append(ordered, v)
 	}
-	for v := int32(0); v < g.N; v++ {
+	for v := int32(0); v < g.NumNodes(); v++ {
 		if _, ok := isLabeled[v]; !ok {
 			ordered = append(ordered, v)
 		}

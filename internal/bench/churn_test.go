@@ -1,0 +1,38 @@
+package bench
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestChurnSweepShape runs the churn sweep at the quick preset and checks
+// its acceptance properties: one row per update level, the zero-churn
+// baseline ends at graph version 0 with no compactions, and churned levels
+// actually applied updates (non-zero applied count and final version).
+func TestChurnSweepShape(t *testing.T) {
+	tb, err := ChurnSweep(smallChurn())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := len(smallChurn().UpdateRates)
+	if len(tb.Rows) != want {
+		t.Fatalf("%d rows for %d update levels", len(tb.Rows), want)
+	}
+	base := tb.Rows[0]
+	if base[0] != "0" {
+		t.Fatalf("first row should be the zero-churn baseline, got %v", base)
+	}
+	if base[6] != "v0" || base[7] != "0" {
+		t.Fatalf("zero-churn baseline reports version %s, compactions %s", base[6], base[7])
+	}
+	for _, row := range tb.Rows[1:] {
+		applied, err := strconv.Atoi(row[1])
+		if err != nil || applied <= 0 {
+			t.Fatalf("churned level applied %q updates", row[1])
+		}
+		if !strings.HasPrefix(row[6], "v") || row[6] == "v0" {
+			t.Fatalf("churned level reports version %q", row[6])
+		}
+	}
+}

@@ -105,6 +105,10 @@ func Experiments() map[string]Experiment {
 			t, err := BatchingStudy(o.Accuracy)
 			return []Table{t}, err
 		}},
+		{ID: "churn", Paper: "§8 extension (dynamic graphs)", Run: func(o Options) ([]Table, error) {
+			t, err := ChurnSweep(ChurnOpts{Seed: o.Seed})
+			return []Table{t}, err
+		}},
 	}
 	out := make(map[string]Experiment, len(exps))
 	for _, e := range exps {

@@ -69,3 +69,28 @@ func BenchmarkTimingSweep(b *testing.B) {
 		}
 	}
 }
+
+// smallChurn is the quick churn-sweep preset for the smoke run: two churn
+// levels (static-equivalent and heavy) at reduced scale and request count,
+// enough to exercise live update+serve traffic per commit without
+// dominating the bench-smoke budget.
+func smallChurn() ChurnOpts {
+	return ChurnOpts{
+		Scale:       0.05,
+		Epochs:      1,
+		Requests:    400,
+		Rate:        3000,
+		UpdateRates: []float64{0, 20000},
+	}
+}
+
+// BenchmarkChurnSweep keeps the dynamic-graph churn sweep in the CI
+// bench-smoke run (its output lands in the per-commit perf artifact
+// alongside the other sweeps).
+func BenchmarkChurnSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := ChurnSweep(smallChurn()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -76,36 +76,83 @@ type lruNode struct {
 	prev, next *lruNode
 }
 
-// New builds a cache of the given row capacity over graph g.
-func New(g *graph.CSR, capacity int, policy Policy) (*Cache, error) {
+// New builds a cache of the given row capacity over topology g.
+func New(g graph.Topology, capacity int, policy Policy) (*Cache, error) {
 	if capacity < 0 {
 		return nil, fmt.Errorf("cache: negative capacity %d", capacity)
 	}
-	if capacity > int(g.N) {
-		capacity = int(g.N)
+	if capacity > int(g.NumNodes()) {
+		capacity = int(g.NumNodes())
 	}
 	c := &Cache{
 		policy:   policy,
 		capacity: capacity,
 		resident: make(map[int32]*lruNode, capacity),
 	}
-	if policy == StaticDegree && capacity > 0 {
-		ids := topKByDegree(g, capacity)
-		for _, v := range ids {
-			c.resident[v] = nil
-		}
-	}
+	c.Rebuild(g)
 	return c, nil
 }
 
-// topKByDegree returns the capacity highest-degree node IDs.
-func topKByDegree(g *graph.CSR, k int) []int32 {
-	ids := make([]int32, g.N)
+// Rebuild recomputes the cache placement for a (possibly new) topology —
+// how a static degree cache follows a dynamic graph: each pinned snapshot
+// re-ranks nodes by degree, so edge churn that promotes a node into the
+// top-K makes its row resident at the next refresh. Under StaticDegree the
+// resident set is replaced wholesale (capacity capped at the node count);
+// under LRU residency is recency state, not placement, so Rebuild leaves it
+// untouched. Statistics survive either way.
+//
+// Rebuild = Adopt(Plan(g)); callers that guard the cache with their own
+// lock (store.Cached) run the expensive Plan outside it and only the cheap
+// Adopt swap inside.
+func (c *Cache) Rebuild(g graph.Topology) {
+	c.Adopt(c.Plan(g))
+}
+
+// Plan computes the placement for topology g without touching cache state:
+// the top-capacity node IDs by degree for StaticDegree, nil for recency
+// policies (whose residency is history, not placement). It reads only the
+// cache's immutable configuration, so it needs no synchronization and can
+// run outside whatever lock guards the cache.
+func (c *Cache) Plan(g graph.Topology) []int32 {
+	if c.policy != StaticDegree {
+		return nil
+	}
+	capacity := c.capacity
+	if capacity > int(g.NumNodes()) {
+		capacity = int(g.NumNodes())
+	}
+	if capacity <= 0 {
+		return []int32{}
+	}
+	return topKByDegree(g, capacity)
+}
+
+// Adopt replaces the resident set with a planned placement (no-op for nil,
+// the recency-policy plan). Statistics survive. Callers synchronize.
+func (c *Cache) Adopt(ids []int32) {
+	if ids == nil {
+		return
+	}
+	for v := range c.resident {
+		delete(c.resident, v)
+	}
+	for _, v := range ids {
+		c.resident[v] = nil
+	}
+}
+
+// topKByDegree returns the k highest-degree node IDs of g. Degrees are
+// materialized once up front so the sort comparator is two array reads, not
+// two Topology calls (snapshot Degree is a map probe on churned overlays).
+func topKByDegree(g graph.Topology, k int) []int32 {
+	deg := make([]int32, g.NumNodes())
+	ids := make([]int32, g.NumNodes())
 	for i := range ids {
 		ids[i] = int32(i)
+		deg[i] = g.Degree(int32(i))
 	}
 	sort.Slice(ids, func(a, b int) bool {
-		da, db := g.Degree(ids[a]), g.Degree(ids[b])
+		da, db := deg[ids[a]], deg[ids[b]]
 		if da != db {
 			return da > db
 		}

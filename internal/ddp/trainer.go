@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"salient/internal/dataset"
+	"salient/internal/graph"
 	"salient/internal/nn"
 	"salient/internal/prep"
 	"salient/internal/sampler"
@@ -126,6 +127,38 @@ type Trainer struct {
 	Cfg TrainConfig
 
 	reps []*replica
+	// pin re-pins Cfg.Graph once per epoch and hands every replica's
+	// executor the SAME snapshot: R striped executors over one epoch must
+	// sample one topology version or their union would diverge from the
+	// serial oracle. Nil when training the static dataset graph.
+	pin *epochPin
+}
+
+// epochPin is a Snapshotter that freezes its source's latest snapshot at
+// explicit re-pin points (epoch starts) instead of on every Snapshot call.
+type epochPin struct {
+	mu  sync.Mutex
+	src graph.Snapshotter
+	cur *graph.Snapshot
+}
+
+func newEpochPin(src graph.Snapshotter) *epochPin {
+	return &epochPin{src: src, cur: src.Snapshot()}
+}
+
+// Snapshot returns the currently pinned snapshot (NOT the source's latest).
+func (p *epochPin) Snapshot() *graph.Snapshot {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.cur
+}
+
+// repin adopts the source's latest snapshot for the next epoch.
+func (p *epochPin) repin() {
+	snap := p.src.Snapshot()
+	p.mu.Lock()
+	p.cur = snap
+	p.mu.Unlock()
 }
 
 // validate normalizes cfg and rejects inconsistent settings.
@@ -146,7 +179,7 @@ func (cfg *TrainConfig) validate() error {
 // newReplica builds replica r: an identically initialized model (same seed,
 // same init RNG), its own optimizer, and a prep executor striped so its
 // local batches land on global epoch indices r, r+R, r+2R, …
-func newReplica(ds *dataset.Dataset, cfg TrainConfig, r int) (*replica, error) {
+func newReplica(ds *dataset.Dataset, cfg TrainConfig, pin graph.Snapshotter, r int) (*replica, error) {
 	st := cfg.Store
 	if cfg.Stores != nil {
 		st = cfg.Stores[r]
@@ -172,6 +205,7 @@ func newReplica(ds *dataset.Dataset, cfg TrainConfig, r int) (*replica, error) {
 		Sampler:     sampler.FastConfig(),
 		Ordered:     true,
 		Store:       st,
+		Graph:       pin,
 		FixedOrder:  true,
 		IndexBase:   r,
 		IndexStride: cfg.Replicas,
@@ -202,8 +236,13 @@ func NewTrainer(ds *dataset.Dataset, cfg TrainConfig) (*Trainer, error) {
 		cfg.Store = store.NewFlat(ds) // one store shared by all replicas
 	}
 	t := &Trainer{DS: ds, Cfg: cfg}
+	var pin graph.Snapshotter
+	if cfg.Graph != nil {
+		t.pin = newEpochPin(cfg.Graph)
+		pin = t.pin
+	}
 	for r := 0; r < cfg.Replicas; r++ {
-		rep, err := newReplica(ds, cfg, r)
+		rep, err := newReplica(ds, cfg, pin, r)
 		if err != nil {
 			return nil, err
 		}
@@ -273,6 +312,10 @@ func drainStream(s *prep.Stream) {
 // replica cleanly (streams drained, buffers released) and is returned.
 func (t *Trainer) TrainEpoch(epoch int) (TrainStats, error) {
 	R := len(t.reps)
+	if t.pin != nil {
+		// Adopt the dynamic graph's latest state once for all R replicas.
+		t.pin.repin()
+	}
 	epochSeed := train.EpochSeed(t.Cfg.Seed, epoch)
 	perm := prep.EpochPerm(t.DS.Train, epochSeed)
 	nb := prep.NumBatches(len(perm), t.Cfg.BatchSize)
@@ -496,6 +539,7 @@ func NewUnion(ds *dataset.Dataset, cfg TrainConfig) (*Union, error) {
 		Sampler:   sampler.FastConfig(),
 		Ordered:   true,
 		Store:     cfg.Store,
+		Graph:     cfg.Graph,
 	})
 	if err != nil {
 		return nil, err

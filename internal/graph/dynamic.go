@@ -1,0 +1,288 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// DynamicOptions configures a Dynamic graph.
+type DynamicOptions struct {
+	// CompactThreshold is the number of accumulated delta adjacency entries
+	// at which Snapshot compacts the deltas back into a fresh base CSR
+	// (bounding overlay size and restoring pure-CSR read speed). Zero
+	// selects max(1024, baseEdges/8); negative disables compaction.
+	CompactThreshold int64
+}
+
+// Dynamic is a mutable graph: an immutable base CSR plus per-node delta
+// adjacency accumulated by AddEdges/AddNodes. Mutators are safe for
+// concurrent use. Readers never touch a Dynamic directly — they pin an
+// immutable Snapshot (epoch-pinned in training, per-micro-batch in serving)
+// whose version number identifies exactly which mutations it reflects.
+//
+// Snapshots are cheap: the overlay is materialized once per version (cost
+// proportional to the nodes the deltas touched, not the graph), the snapshot
+// for the current version is cached, and when accumulated deltas cross
+// DynamicOptions.CompactThreshold the snapshot compacts them back into CSR
+// form, so sustained churn amortizes into the same flat representation the
+// static system reads.
+//
+// Unlike FromEdgeList (which keeps duplicate pairs, producing a
+// multigraph), AddEdges enforces SET semantics: an edge already present in
+// the base or the deltas is silently dropped and reported in the applied
+// count. This maintains the invariant every sampling-path consumer relies
+// on — Topology.Neighbors returns distinct entries — which the rejection
+// pickers (internal/sampler dedup strategies) need to terminate: they draw
+// until k distinct VALUES are chosen, so a duplicate-carrying list of
+// length > k with fewer than k distinct values would spin forever. Datasets
+// get the same guarantee from Undirected(); Dynamic preserves it online.
+// Callers modeling undirected graphs insert both directions.
+type Dynamic struct {
+	mu      sync.Mutex
+	base    *CSR
+	n       atomic.Int32      // current node count, >= base.N (lock-free reads)
+	delta   map[int32][]int32 // post-base adjacency appended per node
+	deltaE  int64             // total delta adjacency entries
+	version uint64            // bumped once per successful mutation call
+	opts    DynamicOptions
+
+	// baseSorted records (once per base adoption) whether every base
+	// adjacency list is ascending, so the per-insert dedup check can binary
+	// search without re-probing sortedness on each call. Undirected()
+	// datasets are sorted; compacted bases (base order + append-order
+	// deltas) are not.
+	baseSorted bool
+
+	snap        *Snapshot // cached view of the current version
+	compactions int64
+}
+
+// NewDynamic builds a mutable graph over base. The base is adopted as
+// immutable storage and must not be mutated by the caller afterwards; the
+// zero-delta snapshot aliases it directly, which is what makes a Dynamic
+// with no applied updates bit-identical (and equally fast) to reading the
+// CSR itself.
+func NewDynamic(base *CSR, opts DynamicOptions) (*Dynamic, error) {
+	if err := base.Validate(); err != nil {
+		return nil, fmt.Errorf("graph: dynamic base: %w", err)
+	}
+	if opts.CompactThreshold == 0 {
+		opts.CompactThreshold = base.NumEdges() / 8
+		if opts.CompactThreshold < 1024 {
+			opts.CompactThreshold = 1024
+		}
+	}
+	d := &Dynamic{
+		base:       base,
+		delta:      make(map[int32][]int32),
+		opts:       opts,
+		baseSorted: adjacencySorted(base),
+	}
+	d.n.Store(base.N)
+	return d, nil
+}
+
+// adjacencySorted reports whether every adjacency list of g is ascending —
+// computed once per adopted base so edge dedup can binary search.
+func adjacencySorted(g *CSR) bool {
+	for v := int32(0); v < g.N; v++ {
+		ns := g.Neighbors(v)
+		for i := 1; i < len(ns); i++ {
+			if ns[i] < ns[i-1] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// NumNodes returns the live node count (the next AddNodes ID). It is
+// lock-free, so request admission paths (serve's range check) can read it
+// per call without contending with snapshot builds or compactions.
+func (d *Dynamic) NumNodes() int32 {
+	return d.n.Load()
+}
+
+// NumEdges returns the live directed-edge count.
+func (d *Dynamic) NumEdges() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.base.NumEdges() + d.deltaE
+}
+
+// Version returns the current mutation count. A Snapshot carrying this
+// version reflects every mutation applied so far.
+func (d *Dynamic) Version() uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.version
+}
+
+// Compactions returns how many times snapshots have folded deltas back into
+// a fresh base CSR.
+func (d *Dynamic) Compactions() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.compactions
+}
+
+// AddNodes appends count isolated nodes and returns the ID of the first new
+// node (new IDs are contiguous). Feature rows for the new nodes are the
+// caller's responsibility — the integration layer (serve.Server.AddNode)
+// appends them through store.Appendable in the same critical section so
+// graph IDs and feature-row indices stay aligned.
+func (d *Dynamic) AddNodes(count int) (int32, error) {
+	if count < 1 {
+		return 0, fmt.Errorf("graph: AddNodes count %d < 1", count)
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	n := d.n.Load()
+	if int64(n)+int64(count) > int64(1)<<31-1 {
+		return 0, fmt.Errorf("graph: AddNodes(%d) overflows int32 node IDs at n=%d", count, n)
+	}
+	d.n.Store(n + int32(count))
+	d.version++
+	return n, nil
+}
+
+// AddEdges inserts the directed edges src[i] -> dst[i] into the delta
+// adjacency and returns how many were actually applied: edges already
+// present (in the base or the deltas, including earlier entries of the same
+// call) are dropped, keeping adjacency lists duplicate-free — the invariant
+// the sampling pickers terminate on. All endpoints must be in range of the
+// current node count; on error nothing is applied. The version advances
+// only when at least one edge was applied.
+func (d *Dynamic) AddEdges(src, dst []int32) (int, error) {
+	if len(src) != len(dst) {
+		return 0, fmt.Errorf("graph: src/dst length mismatch %d vs %d", len(src), len(dst))
+	}
+	if len(src) == 0 {
+		return 0, nil
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	n := d.n.Load()
+	for i, s := range src {
+		if s < 0 || s >= n || dst[i] < 0 || dst[i] >= n {
+			return 0, fmt.Errorf("graph: edge (%d,%d) out of range [0,%d)", s, dst[i], n)
+		}
+	}
+	applied := 0
+	for i, s := range src {
+		if d.hasEdgeLocked(s, dst[i]) {
+			continue
+		}
+		d.delta[s] = append(d.delta[s], dst[i])
+		applied++
+	}
+	if applied > 0 {
+		d.deltaE += int64(applied)
+		d.version++
+	}
+	return applied, nil
+}
+
+// hasEdgeLocked reports whether (u,v) already exists in the base or the
+// deltas: binary search on sorted bases (Undirected datasets), linear scan
+// otherwise (compacted bases), with sortedness decided once per base —
+// never re-probed per insert.
+func (d *Dynamic) hasEdgeLocked(u, v int32) bool {
+	if u < d.base.N {
+		ns := d.base.Neighbors(u)
+		if d.baseSorted {
+			i := sort.Search(len(ns), func(i int) bool { return ns[i] >= v })
+			if i < len(ns) && ns[i] == v {
+				return true
+			}
+		} else {
+			for _, w := range ns {
+				if w == v {
+					return true
+				}
+			}
+		}
+	}
+	for _, w := range d.delta[u] {
+		if w == v {
+			return true
+		}
+	}
+	return false
+}
+
+// Snapshot returns the immutable view of the current version. The view is
+// cached per version (repeated calls between mutations return the same
+// pointer and allocate nothing — per-micro-batch pinning in the serving
+// layer is free at steady state), and when accumulated deltas have crossed
+// the compaction threshold it is backed by a freshly compacted CSR.
+func (d *Dynamic) Snapshot() *Snapshot {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.snap != nil && d.snap.version == d.version {
+		return d.snap
+	}
+	if d.opts.CompactThreshold > 0 && d.deltaE >= d.opts.CompactThreshold {
+		d.compactLocked()
+	}
+	d.snap = d.buildSnapshotLocked()
+	return d.snap
+}
+
+// buildSnapshotLocked materializes the view of the current state: base
+// shared as-is, plus one merged adjacency slice per delta-touched node.
+func (d *Dynamic) buildSnapshotLocked() *Snapshot {
+	s := &Snapshot{
+		version: d.version,
+		n:       d.n.Load(),
+		edges:   d.base.NumEdges() + d.deltaE,
+		base:    d.base,
+	}
+	if len(d.delta) == 0 {
+		return s
+	}
+	s.overlay = make(map[int32][]int32, len(d.delta))
+	for v, extra := range d.delta {
+		var baseNs []int32
+		if v < d.base.N {
+			baseNs = d.base.Neighbors(v)
+		}
+		merged := make([]int32, 0, len(baseNs)+len(extra))
+		merged = append(merged, baseNs...)
+		merged = append(merged, extra...)
+		s.overlay[v] = merged
+	}
+	return s
+}
+
+// compactLocked folds the accumulated deltas into a fresh base CSR covering
+// all current nodes. Base adjacency keeps its order and delta entries append
+// after it in insertion order, so compaction is invisible to adjacency-set
+// (and adjacency-sequence) readers: only the representation changes, never
+// the version.
+func (d *Dynamic) compactLocked() {
+	n := d.n.Load()
+	ptr := make([]int64, n+1)
+	for v := int32(0); v < n; v++ {
+		deg := int64(len(d.delta[v]))
+		if v < d.base.N {
+			deg += int64(d.base.Degree(v))
+		}
+		ptr[v+1] = ptr[v] + deg
+	}
+	adj := make([]int32, ptr[n])
+	for v := int32(0); v < n; v++ {
+		at := ptr[v]
+		if v < d.base.N {
+			at += int64(copy(adj[at:], d.base.Neighbors(v)))
+		}
+		copy(adj[at:], d.delta[v])
+	}
+	d.base = &CSR{N: n, Ptr: ptr, Adj: adj}
+	d.baseSorted = false // delta entries append after base order
+	d.delta = make(map[int32][]int32)
+	d.deltaE = 0
+	d.compactions++
+}

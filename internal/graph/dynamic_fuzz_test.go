@@ -1,0 +1,68 @@
+package graph
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzDynamicRoundTrip is the native-fuzzing twin of
+// TestDynamicRoundTripProperty: a byte string decodes to an edge list over a
+// small node set plus a split point and compaction threshold, and the
+// Dynamic built from (base prefix, delta suffix) must match FromEdgeList
+// over the whole list — before and after forced compaction. The seed corpus
+// runs as a regular test under `go test`; `go test -fuzz=FuzzDynamicRoundTrip
+// ./internal/graph` explores further.
+func FuzzDynamicRoundTrip(f *testing.F) {
+	f.Add([]byte{7, 3, 2, 0, 1, 1, 2, 2, 0, 0, 0})
+	f.Add([]byte{2, 0, 0})
+	f.Add([]byte{16, 200, 50, 1, 1, 2, 3, 5, 8, 13, 13, 13, 0, 15, 15, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 3 {
+			return
+		}
+		n := int32(data[0]%31) + 1
+		split := int(data[1])
+		threshold := int64(data[2]%8) - 1 // -1 (never) .. 6 (eager)
+		payload := data[3:]
+		m := len(payload) / 2
+		src := make([]int32, m)
+		dst := make([]int32, m)
+		for i := 0; i < m; i++ {
+			src[i] = int32(payload[2*i]) % n
+			dst[i] = int32(payload[2*i+1]) % n
+		}
+		if split > m {
+			split %= m + 1
+		}
+		ref, err := FromEdgeList(n, src, dst)
+		if err != nil {
+			t.Fatalf("in-range edge list rejected: %v", err)
+		}
+		want := adjSetsUnique(ref)
+
+		base, err := FromEdgeList(n, src[:split], dst[:split])
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := NewDynamic(base, DynamicOptions{CompactThreshold: threshold})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := d.AddEdges(src[split:], dst[split:]); err != nil {
+			t.Fatal(err)
+		}
+		s := d.Snapshot()
+		if err := s.Validate(); err != nil {
+			t.Fatalf("snapshot invalid: %v", err)
+		}
+		if got := adjSetsUnique(s); !reflect.DeepEqual(got, want) {
+			t.Fatalf("snapshot adjacency %v, want %v", got, want)
+		}
+		d.mu.Lock()
+		d.compactLocked()
+		d.mu.Unlock()
+		if got := adjSetsUnique(d.Snapshot()); !reflect.DeepEqual(got, want) {
+			t.Fatalf("post-compaction adjacency %v, want %v", got, want)
+		}
+	})
+}

@@ -35,7 +35,18 @@ func (g *CSR) Neighbors(v int32) []int32 {
 
 // FromEdgeList builds a CSR with n nodes from directed edge pairs
 // (src[i] -> dst[i] becomes an entry in src's adjacency list).
+//
+// Duplicate pairs are kept verbatim: listing (u,v) k times yields v k times
+// in u's adjacency (a multigraph), and self-loops are kept too; use
+// Undirected to symmetrize, deduplicate, and drop self-loops. Note the
+// deliberate contrast with Dynamic.AddEdges, which DROPS already-present
+// edges: online deltas feed the samplers directly, and the rejection-based
+// neighbor pickers terminate only on duplicate-free adjacency (the
+// invariant Undirected gives static datasets).
 func FromEdgeList(n int32, src, dst []int32) (*CSR, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("graph: negative node count %d", n)
+	}
 	if len(src) != len(dst) {
 		return nil, fmt.Errorf("graph: src/dst length mismatch %d vs %d", len(src), len(dst))
 	}
@@ -156,9 +167,14 @@ func (g *CSR) DegreeHistogram() []int64 {
 }
 
 // Validate checks structural invariants and returns an error describing the
-// first violation found.
+// first violation found: a negative node count, a Ptr slice of the wrong
+// length, a non-monotone (or non-zero-based) Ptr, a Ptr/Adj length
+// disagreement, or an out-of-range Adj entry.
 func (g *CSR) Validate() error {
-	if int32(len(g.Ptr)) != g.N+1 {
+	if g.N < 0 {
+		return fmt.Errorf("graph: negative node count %d", g.N)
+	}
+	if int64(len(g.Ptr)) != int64(g.N)+1 {
 		return fmt.Errorf("graph: len(Ptr)=%d want %d", len(g.Ptr), g.N+1)
 	}
 	if g.Ptr[0] != 0 {
@@ -166,7 +182,7 @@ func (g *CSR) Validate() error {
 	}
 	for i := int32(0); i < g.N; i++ {
 		if g.Ptr[i+1] < g.Ptr[i] {
-			return fmt.Errorf("graph: Ptr not monotone at %d", i)
+			return fmt.Errorf("graph: Ptr not monotone at %d (%d -> %d)", i, g.Ptr[i], g.Ptr[i+1])
 		}
 	}
 	if g.Ptr[g.N] != int64(len(g.Adj)) {
@@ -203,24 +219,5 @@ func (g *CSR) HasEdge(u, v int32) bool {
 // edges are retained only when both endpoints are in the set. Duplicate
 // entries in nodes are rejected.
 func (g *CSR) Induced(nodes []int32) (*CSR, error) {
-	local := make(map[int32]int32, len(nodes))
-	for i, v := range nodes {
-		if v < 0 || v >= g.N {
-			return nil, fmt.Errorf("graph: induced node %d out of range", v)
-		}
-		if _, dup := local[v]; dup {
-			return nil, fmt.Errorf("graph: duplicate node %d in induced set", v)
-		}
-		local[v] = int32(i)
-	}
-	sub := &CSR{N: int32(len(nodes)), Ptr: make([]int64, len(nodes)+1)}
-	for i, v := range nodes {
-		for _, u := range g.Neighbors(v) {
-			if lu, ok := local[u]; ok {
-				sub.Adj = append(sub.Adj, lu)
-			}
-		}
-		sub.Ptr[i+1] = int64(len(sub.Adj))
-	}
-	return sub, nil
+	return Induced(g, nodes)
 }

@@ -140,15 +140,65 @@ func TestDegreeHistogram(t *testing.T) {
 }
 
 func TestValidateCatchesCorruption(t *testing.T) {
-	g, _ := FromEdgeList(3, []int32{0, 1}, []int32{1, 2})
-	g.Adj[0] = 99
-	if g.Validate() == nil {
-		t.Fatal("corrupt Adj passed validation")
+	fresh := func() *CSR {
+		g, _ := FromEdgeList(3, []int32{0, 1}, []int32{1, 2})
+		return g
 	}
-	g2, _ := FromEdgeList(3, []int32{0, 1}, []int32{1, 2})
-	g2.Ptr[1] = 5
-	if g2.Validate() == nil {
-		t.Fatal("non-monotone Ptr passed validation")
+	cases := []struct {
+		name    string
+		corrupt func(*CSR)
+	}{
+		{"out-of-range Adj", func(g *CSR) { g.Adj[0] = 99 }},
+		{"negative Adj", func(g *CSR) { g.Adj[1] = -1 }},
+		{"non-monotone Ptr", func(g *CSR) { g.Ptr[1] = 5 }},
+		{"decreasing Ptr", func(g *CSR) { g.Ptr[1], g.Ptr[2] = 2, 1 }},
+		{"non-zero Ptr[0]", func(g *CSR) { g.Ptr[0] = 1 }},
+		{"wrong Ptr length", func(g *CSR) { g.Ptr = g.Ptr[:2] }},
+		{"Ptr/Adj disagreement", func(g *CSR) { g.Ptr[g.N] = 1 }},
+		{"negative node count", func(g *CSR) { g.N = -1; g.Ptr = []int64{0} }},
+		{"truncated Adj", func(g *CSR) { g.Adj = g.Adj[:1] }},
+	}
+	for _, tc := range cases {
+		g := fresh()
+		tc.corrupt(g)
+		if g.Validate() == nil {
+			t.Fatalf("%s passed validation", tc.name)
+		}
+	}
+	if err := fresh().Validate(); err != nil {
+		t.Fatalf("healthy graph failed validation: %v", err)
+	}
+}
+
+// TestFromEdgeListKeepsDuplicatesAndSelfLoops pins the documented contract:
+// duplicate pairs and self-loops are kept verbatim (multigraph semantics),
+// and Undirected is the dedup/symmetrize step.
+func TestFromEdgeListKeepsDuplicatesAndSelfLoops(t *testing.T) {
+	g, err := FromEdgeList(3, []int32{0, 0, 0, 1}, []int32{1, 1, 0, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Degree(0) != 3 {
+		t.Fatalf("degree(0) = %d, want 3 (duplicates and self-loop kept)", g.Degree(0))
+	}
+	dupes := 0
+	for _, v := range g.Neighbors(0) {
+		if v == 1 {
+			dupes++
+		}
+	}
+	if dupes != 2 {
+		t.Fatalf("duplicate edge (0,1) stored %d times, want 2", dupes)
+	}
+	if !g.HasEdge(0, 0) {
+		t.Fatal("self-loop (0,0) dropped")
+	}
+	u := g.Undirected()
+	if u.Degree(0) != 1 || u.HasEdge(0, 0) {
+		t.Fatalf("Undirected kept duplicates or self-loops: deg(0)=%d", u.Degree(0))
+	}
+	if _, err := FromEdgeList(-1, nil, nil); err == nil {
+		t.Fatal("negative node count accepted")
 	}
 }
 

@@ -35,6 +35,10 @@ type Options struct {
 	// Store is the feature-access layer inference reads through. Nil
 	// selects the flat store over the dataset.
 	Store store.FeatureStore
+	// Graph is the topology source sampling reads adjacency through. Nil
+	// infers over the dataset's static graph; a snapshotter (e.g. a
+	// *graph.Dynamic) pins its latest snapshot for the whole run.
+	Graph graph.Snapshotter
 }
 
 func (o *Options) defaults() {
@@ -60,6 +64,7 @@ func Sampled(m nn.Model, ds *dataset.Dataset, nodes []int32, opts Options) ([]in
 		Fanouts:   opts.Fanouts,
 		Sampler:   sampler.FastConfig(),
 		Store:     opts.Store,
+		Graph:     opts.Graph,
 	})
 	if err != nil {
 		return nil, err
@@ -167,7 +172,7 @@ type DegreeBin struct {
 
 // AccuracyByDegree bins the given nodes by degree (geometric bins, factor 2)
 // and returns per-bin accuracy and node mass. Empty bins are omitted.
-func AccuracyByDegree(g *graph.CSR, pred []int32, labels []int32, nodes []int32) []DegreeBin {
+func AccuracyByDegree(g graph.Topology, pred []int32, labels []int32, nodes []int32) []DegreeBin {
 	if len(nodes) == 0 {
 		return nil
 	}

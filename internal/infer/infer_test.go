@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"salient/internal/dataset"
+	"salient/internal/graph"
 	"salient/internal/store"
 	"salient/internal/train"
 )
@@ -169,5 +170,37 @@ func TestBinOfBoundaries(t *testing.T) {
 		if got := binOf(d); got != want {
 			t.Fatalf("binOf(%d) = %d, want %d", d, got, want)
 		}
+	}
+}
+
+// TestSampledDynamicZeroDeltaBitIdentical: sampled inference through a
+// Dynamic graph with no applied updates predicts exactly what the static
+// path predicts — the inference leg of the tentpole bit-identity oracle.
+// Full-neighborhood inference over a zero-delta snapshot agrees too (the
+// seam's InferFull now takes any Topology).
+func TestSampledDynamicZeroDeltaBitIdentical(t *testing.T) {
+	ds, tr := fitted(t)
+	nodes := ds.Test
+	want, err := Sampled(tr.Model, ds, nodes, Options{Fanouts: []int{10, 5}, Workers: 2, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dyn, err := graph.NewDynamic(ds.G, graph.DynamicOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Sampled(tr.Model, ds, nodes, Options{Fanouts: []int{10, 5}, Workers: 2, Seed: 5, Graph: dyn})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("node %d: static %d, dynamic(0 deltas) %d", nodes[i], want[i], got[i])
+		}
+	}
+	full := tr.Model.InferFull(ds.G, ds.Feat.Clone())
+	fullSnap := tr.Model.InferFull(dyn.Snapshot(), ds.Feat.Clone())
+	if d := full.MaxAbsDiff(fullSnap); d != 0 {
+		t.Fatalf("full inference diverges on a zero-delta snapshot by %v", d)
 	}
 }

@@ -81,9 +81,9 @@ func aggregateSumBlockBackward(dx, dAgg *tensor.Dense, blk *mfg.Block) {
 // aggregateMeanFull computes the full-neighborhood mean aggregation over the
 // whole graph (layer-wise inference path, §5): out[v] = mean over all
 // neighbors of v in g.
-func aggregateMeanFull(x *tensor.Dense, g *graph.CSR) *tensor.Dense {
-	out := tensor.New(int(g.N), x.Cols)
-	for v := int32(0); v < g.N; v++ {
+func aggregateMeanFull(x *tensor.Dense, g graph.Topology) *tensor.Dense {
+	out := tensor.New(int(g.NumNodes()), x.Cols)
+	for v := int32(0); v < g.NumNodes(); v++ {
 		ns := g.Neighbors(v)
 		if len(ns) == 0 {
 			continue
@@ -104,9 +104,9 @@ func aggregateMeanFull(x *tensor.Dense, g *graph.CSR) *tensor.Dense {
 }
 
 // aggregateSumFull is the full-graph sum aggregation.
-func aggregateSumFull(x *tensor.Dense, g *graph.CSR) *tensor.Dense {
-	out := tensor.New(int(g.N), x.Cols)
-	for v := int32(0); v < g.N; v++ {
+func aggregateSumFull(x *tensor.Dense, g graph.Topology) *tensor.Dense {
+	out := tensor.New(int(g.NumNodes()), x.Cols)
+	for v := int32(0); v < g.NumNodes(); v++ {
 		orow := out.Row(int(v))
 		for _, u := range g.Neighbors(v) {
 			xrow := x.Row(int(u))

@@ -232,7 +232,7 @@ func (c *GATConv) Backward(dy *tensor.Dense) *tensor.Dense {
 
 // FullForward applies the attention convolution over the whole graph with
 // full neighborhoods plus self-edges (layer-wise inference).
-func (c *GATConv) FullForward(g *graph.CSR, x *tensor.Dense) *tensor.Dense {
+func (c *GATConv) FullForward(g graph.Topology, x *tensor.Dense) *tensor.Dense {
 	out := c.W.W.Cols
 	z := tensor.New(x.Rows, out)
 	tensor.MatMul(z, x, c.W.W)
@@ -242,8 +242,8 @@ func (c *GATConv) FullForward(g *graph.CSR, x *tensor.Dense) *tensor.Dense {
 		attnSrc[i] = dot(z.Row(i), c.ASrc.W.Data)
 		attnDst[i] = dot(z.Row(i), c.ADst.W.Data)
 	}
-	y := tensor.New(int(g.N), out)
-	for v := int32(0); v < g.N; v++ {
+	y := tensor.New(int(g.NumNodes()), out)
+	for v := int32(0); v < g.NumNodes(); v++ {
 		ns := g.Neighbors(v)
 		maxL := leaky(attnSrc[v] + attnDst[v])
 		for _, u := range ns {

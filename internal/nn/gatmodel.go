@@ -82,7 +82,7 @@ func (m *GATModel) Backward(dLogp *tensor.Dense) {
 func (m *GATModel) Params() []*Param { return collectParams(m.convs) }
 
 // InferFull implements Model.
-func (m *GATModel) InferFull(g *graph.CSR, x *tensor.Dense) *tensor.Dense {
+func (m *GATModel) InferFull(g graph.Topology, x *tensor.Dense) *tensor.Dense {
 	L := len(m.convs)
 	for i := 0; i < L; i++ {
 		x = m.convs[i].FullForward(g, x)

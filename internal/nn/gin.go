@@ -96,7 +96,7 @@ func (c *GINConv) Backward(dy *tensor.Dense) *tensor.Dense {
 
 // FullForward applies the convolution with full neighborhoods (eval mode
 // batch norm).
-func (c *GINConv) FullForward(g *graph.CSR, x *tensor.Dense) *tensor.Dense {
+func (c *GINConv) FullForward(g graph.Topology, x *tensor.Dense) *tensor.Dense {
 	h := aggregateSumFull(x, g)
 	h.Add(x)
 	h = c.Lin1.Apply(h)

@@ -96,7 +96,7 @@ func (m *GINModel) StatBuffers() [][]float32 {
 }
 
 // InferFull implements Model.
-func (m *GINModel) InferFull(g *graph.CSR, x *tensor.Dense) *tensor.Dense {
+func (m *GINModel) InferFull(g graph.Topology, x *tensor.Dense) *tensor.Dense {
 	for i := range m.convs {
 		x = m.convs[i].FullForward(g, x)
 	}

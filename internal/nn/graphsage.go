@@ -90,7 +90,7 @@ func (m *GraphSAGE) Backward(dLogp *tensor.Dense) {
 func (m *GraphSAGE) Params() []*Param { return collectParams(m.convs) }
 
 // InferFull implements Model: layer-wise full-neighborhood evaluation.
-func (m *GraphSAGE) InferFull(g *graph.CSR, x *tensor.Dense) *tensor.Dense {
+func (m *GraphSAGE) InferFull(g graph.Topology, x *tensor.Dense) *tensor.Dense {
 	L := len(m.convs)
 	for i := 0; i < L; i++ {
 		x = m.convs[i].FullForward(g, x)

@@ -21,7 +21,7 @@ type Model interface {
 	// InferFull evaluates the model layer-wise over the whole graph with
 	// full neighborhoods (paper §5's non-sampling inference baseline) and
 	// returns log-probabilities for every node.
-	InferFull(g *graph.CSR, x *tensor.Dense) *tensor.Dense
+	InferFull(g graph.Topology, x *tensor.Dense) *tensor.Dense
 }
 
 // DropoutReseeder is implemented by models whose stochastic layers
@@ -52,7 +52,7 @@ type BufferModel interface {
 type conv interface {
 	Forward(x *tensor.Dense, blk *mfg.Block, train bool) *tensor.Dense
 	Backward(dy *tensor.Dense) *tensor.Dense
-	FullForward(g *graph.CSR, x *tensor.Dense) *tensor.Dense
+	FullForward(g graph.Topology, x *tensor.Dense) *tensor.Dense
 	Params() []*Param
 }
 

@@ -83,11 +83,11 @@ func (c *SAGEConv) Backward(dy *tensor.Dense) *tensor.Dense {
 
 // FullForward applies the convolution over the whole graph with full
 // neighborhoods (layer-wise inference).
-func (c *SAGEConv) FullForward(g *graph.CSR, x *tensor.Dense) *tensor.Dense {
+func (c *SAGEConv) FullForward(g graph.Topology, x *tensor.Dense) *tensor.Dense {
 	agg := aggregateMeanFull(x, g)
-	y := tensor.New(int(g.N), c.WNeigh.W.Cols)
+	y := tensor.New(int(g.NumNodes()), c.WNeigh.W.Cols)
 	tensor.MatMul(y, agg, c.WNeigh.W)
-	root := tensor.New(int(g.N), c.WRoot.W.Cols)
+	root := tensor.New(int(g.NumNodes()), c.WRoot.W.Cols)
 	tensor.MatMul(root, x, c.WRoot.W)
 	y.Add(root)
 	return y

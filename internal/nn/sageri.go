@@ -232,9 +232,9 @@ func (m *SAGERI) StatBuffers() [][]float32 {
 
 // InferFull implements Model: layer-wise full-neighborhood inference in eval
 // mode (no dropout, running batch-norm statistics).
-func (m *SAGERI) InferFull(g *graph.CSR, x *tensor.Dense) *tensor.Dense {
+func (m *SAGERI) InferFull(g graph.Topology, x *tensor.Dense) *tensor.Dense {
 	L := len(m.convs)
-	n := int(g.N)
+	n := int(g.NumNodes())
 	collect := []*tensor.Dense{x.Clone()}
 	for i := 0; i < L; i++ {
 		a := m.convs[i].FullForward(g, x)

@@ -33,12 +33,12 @@ type Assignment struct {
 }
 
 // Random assigns nodes to parts by a multiplicative hash of their ID.
-func Random(g *graph.CSR, parts int, seed uint64) (*Assignment, error) {
+func Random(g graph.Topology, parts int, seed uint64) (*Assignment, error) {
 	if err := checkParts(g, parts); err != nil {
 		return nil, err
 	}
-	a := &Assignment{Part: make([]int32, g.N), Parts: parts}
-	for v := int32(0); v < g.N; v++ {
+	a := &Assignment{Part: make([]int32, g.NumNodes()), Parts: parts}
+	for v := int32(0); v < g.NumNodes(); v++ {
 		h := (uint64(v) + seed) * 0x9e3779b97f4a7c15
 		h ^= h >> 29
 		h *= 0xbf58476d1ce4e5b9
@@ -51,25 +51,25 @@ func Random(g *graph.CSR, parts int, seed uint64) (*Assignment, error) {
 // LDG runs one streaming pass of linear deterministic greedy partitioning:
 // node v goes to the part with the most already-placed neighbors, scaled by
 // the remaining capacity (1 - size/capacity).
-func LDG(g *graph.CSR, parts int) (*Assignment, error) {
+func LDG(g graph.Topology, parts int) (*Assignment, error) {
 	if err := checkParts(g, parts); err != nil {
 		return nil, err
 	}
-	a := &Assignment{Part: make([]int32, g.N), Parts: parts}
+	a := &Assignment{Part: make([]int32, g.NumNodes()), Parts: parts}
 	for i := range a.Part {
 		a.Part[i] = -1
 	}
 	sizes := make([]int64, parts)
-	capacity := float64(g.N)/float64(parts) + 1
+	capacity := float64(g.NumNodes())/float64(parts) + 1
 	neigh := make([]float64, parts)
-	for v := int32(0); v < g.N; v++ {
+	for v := int32(0); v < g.NumNodes(); v++ {
 		place(g, a, v, sizes, capacity, neigh)
 	}
 	return a, nil
 }
 
 // LDGMultiPass runs LDG followed by `refine` re-placement passes.
-func LDGMultiPass(g *graph.CSR, parts, refine int) (*Assignment, error) {
+func LDGMultiPass(g graph.Topology, parts, refine int) (*Assignment, error) {
 	a, err := LDG(g, parts)
 	if err != nil {
 		return nil, err
@@ -78,11 +78,11 @@ func LDGMultiPass(g *graph.CSR, parts, refine int) (*Assignment, error) {
 	for _, p := range a.Part {
 		sizes[p]++
 	}
-	capacity := float64(g.N)/float64(parts) + 1
+	capacity := float64(g.NumNodes())/float64(parts) + 1
 	neigh := make([]float64, parts)
 	for pass := 0; pass < refine; pass++ {
 		moved := 0
-		for v := int32(0); v < g.N; v++ {
+		for v := int32(0); v < g.NumNodes(); v++ {
 			old := a.Part[v]
 			sizes[old]--
 			a.Part[v] = -1
@@ -99,7 +99,7 @@ func LDGMultiPass(g *graph.CSR, parts, refine int) (*Assignment, error) {
 }
 
 // place assigns v greedily and updates sizes. neigh is scratch (len parts).
-func place(g *graph.CSR, a *Assignment, v int32, sizes []int64, capacity float64, neigh []float64) {
+func place(g graph.Topology, a *Assignment, v int32, sizes []int64, capacity float64, neigh []float64) {
 	for i := range neigh {
 		neigh[i] = 0
 	}
@@ -121,12 +121,12 @@ func place(g *graph.CSR, a *Assignment, v int32, sizes []int64, capacity float64
 	sizes[best]++
 }
 
-func checkParts(g *graph.CSR, parts int) error {
+func checkParts(g graph.Topology, parts int) error {
 	if parts < 1 {
 		return fmt.Errorf("partition: need >=1 parts, got %d", parts)
 	}
-	if int64(parts) > int64(g.N) {
-		return fmt.Errorf("partition: %d parts for %d nodes", parts, g.N)
+	if int64(parts) > int64(g.NumNodes()) {
+		return fmt.Errorf("partition: %d parts for %d nodes", parts, g.NumNodes())
 	}
 	return nil
 }
@@ -142,7 +142,7 @@ type Quality struct {
 }
 
 // Evaluate computes edge cut and balance for an assignment.
-func Evaluate(g *graph.CSR, a *Assignment) Quality {
+func Evaluate(g graph.Topology, a *Assignment) Quality {
 	q := Quality{Parts: a.Parts}
 	sizes := make([]int64, a.Parts)
 	for _, p := range a.Part {
@@ -157,12 +157,12 @@ func Evaluate(g *graph.CSR, a *Assignment) Quality {
 			q.MinPart = s
 		}
 	}
-	ideal := float64(g.N) / float64(a.Parts)
+	ideal := float64(g.NumNodes()) / float64(a.Parts)
 	if ideal > 0 {
 		q.Balance = float64(q.MaxPart) / ideal
 	}
 	var cut int64
-	for v := int32(0); v < g.N; v++ {
+	for v := int32(0); v < g.NumNodes(); v++ {
 		pv := a.Part[v]
 		for _, u := range g.Neighbors(v) {
 			if a.Part[u] != pv {

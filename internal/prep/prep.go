@@ -41,6 +41,7 @@ import (
 	"time"
 
 	"salient/internal/dataset"
+	"salient/internal/graph"
 	"salient/internal/mfg"
 	"salient/internal/queue"
 	"salient/internal/rng"
@@ -151,6 +152,13 @@ type Options struct {
 	// trainer (internal/ddp) pre-shuffles the global epoch once and hands
 	// each replica its deterministic shard in schedule order.
 	FixedOrder bool
+	// Graph is the topology source epochs sample against. Nil pins the
+	// dataset's static graph; a *graph.Dynamic makes each Run pin the
+	// latest snapshot for the WHOLE epoch (batch contents stay deterministic
+	// mid-epoch no matter how the graph churns between epochs), and a pinned
+	// *graph.Snapshot freezes every epoch to that one version — which is how
+	// the data-parallel trainer keeps R striped executors on one view.
+	Graph graph.Snapshotter
 	// IndexBase and IndexStride map this executor's local batch indices
 	// onto global epoch batch indices: local batch i carries GlobalIndex
 	// IndexBase+i×IndexStride and samples with BatchRNG(epochSeed,
@@ -205,6 +213,11 @@ func (o *Options) globalIndex(i int) int { return o.IndexBase + i*o.IndexStride 
 // batch must be Released by the consumer.
 type Stream struct {
 	C <-chan *Batch
+
+	// Graph is the topology snapshot every batch of this epoch sampled
+	// against (its Version identifies the graph state; version 0 is the
+	// static case). Set before the first batch is delivered.
+	Graph *graph.Snapshot
 
 	wg sync.WaitGroup
 
@@ -301,16 +314,34 @@ func NumBatches(n, batchSize int) int {
 func cloneMFG(m *mfg.MFG) *mfg.MFG { return m.Clone() }
 
 // storeFor resolves the configured feature store, defaulting to the flat
-// layout over ds, and rejects dimensionality mismatches up front.
+// layout over ds, and rejects dimensionality mismatches up front. Under a
+// dynamic graph the store may already have grown past the dataset, so only
+// the dimensionality (and a row-count floor) is enforced; per-gather ID
+// range checks cover the rest.
 func storeFor(ds *dataset.Dataset, opts Options) (store.FeatureStore, error) {
 	st := opts.Store
 	if st == nil {
 		return store.NewFlat(ds), nil
 	}
+	if opts.Graph != nil {
+		if err := store.CheckGrown(st, ds); err != nil {
+			return nil, fmt.Errorf("prep: %w", err)
+		}
+		return st, nil
+	}
 	if err := store.Check(st, ds); err != nil {
 		return nil, fmt.Errorf("prep: %w", err)
 	}
 	return st, nil
+}
+
+// snapshotterFor resolves the configured topology source, defaulting to the
+// dataset's static graph.
+func snapshotterFor(ds *dataset.Dataset, opts Options) graph.Snapshotter {
+	if opts.Graph != nil {
+		return opts.Graph
+	}
+	return graph.Static(ds.G)
 }
 
 // MaxRowsEstimate bounds the expanded-neighborhood row count of one batch:
@@ -363,6 +394,11 @@ type Salient struct {
 	// calls would race on the persistent samplers, so they fail fast here
 	// instead of corrupting batches silently.
 	running atomic.Bool
+	// graph yields the topology; snap is the snapshot the NEXT epoch is
+	// pinned to (re-pinned at each Run), and rows the arena sizing basis.
+	graph graph.Snapshotter
+	snap  *graph.Snapshot
+	rows  int
 }
 
 // NewSalient builds a SALIENT executor over ds. The arena pool (pinned
@@ -376,16 +412,21 @@ func NewSalient(ds *dataset.Dataset, opts Options) (*Salient, error) {
 	if err != nil {
 		return nil, err
 	}
-	rows := MaxRowsEstimate(opts.BatchSize, opts.Fanouts, int(ds.G.N))
+	src := snapshotterFor(ds, opts)
+	snap := src.Snapshot()
+	rows := MaxRowsEstimate(opts.BatchSize, opts.Fanouts, int(snap.NumNodes()))
 	e := &Salient{
 		ds:       ds,
 		opts:     opts,
 		store:    st,
 		arenas:   newArenaPool(opts.InFlight, rows, ds.FeatDim, opts.BatchSize),
 		samplers: make([]*sampler.Sampler, opts.Workers),
+		graph:    src,
+		snap:     snap,
+		rows:     rows,
 	}
 	for w := range e.samplers {
-		e.samplers[w] = sampler.New(ds.G, opts.Fanouts, opts.Sampler)
+		e.samplers[w] = sampler.New(snap, opts.Fanouts, opts.Sampler)
 	}
 	return e, nil
 }
@@ -396,6 +437,23 @@ func NewSalient(ds *dataset.Dataset, opts Options) (*Salient, error) {
 func (e *Salient) Run(seeds []int32, epochSeed uint64) *Stream {
 	if !e.running.CompareAndSwap(false, true) {
 		panic("prep: Run called while a previous epoch is still preparing (drain the stream first)")
+	}
+	// Pin ONE snapshot for the whole epoch: every worker samples this exact
+	// topology version, so mid-epoch updates to a dynamic graph change
+	// nothing until the next Run — FixedOrder/DDP striping determinism is a
+	// property of the pin. The previous stream is fully drained here (the
+	// running flag), so retargeting the persistent samplers is safe, and the
+	// arena pool is only regrown (all arenas are home) when node growth
+	// raised the worst-case staged row count.
+	if snap := e.graph.Snapshot(); snap != e.snap {
+		e.snap = snap
+		for _, sm := range e.samplers {
+			sm.Retarget(snap)
+		}
+		if rows := MaxRowsEstimate(e.opts.BatchSize, e.opts.Fanouts, int(snap.NumNodes())); rows > e.rows {
+			e.arenas = newArenaPool(e.opts.InFlight, rows, e.ds.FeatDim, e.opts.BatchSize)
+			e.rows = rows
+		}
 	}
 	perm := e.opts.epochPerm(seeds, epochSeed)
 	nb := NumBatches(len(perm), e.opts.BatchSize)
@@ -408,6 +466,7 @@ func (e *Salient) Run(seeds []int32, epochSeed uint64) *Stream {
 
 	raw := make(chan *Batch, e.opts.InFlight)
 	s := &Stream{
+		Graph:         e.snap,
 		workerBusy:    make([]time.Duration, e.opts.Workers),
 		workerBatches: make([]int, e.opts.Workers),
 	}
@@ -524,6 +583,9 @@ type PyG struct {
 	opts  Options
 	store store.FeatureStore
 	pool  *slicing.Pool
+	graph graph.Snapshotter
+	snap  *graph.Snapshot
+	rows  int
 }
 
 // NewPyG builds a PyG-style executor over ds.
@@ -535,12 +597,17 @@ func NewPyG(ds *dataset.Dataset, opts Options) (*PyG, error) {
 	if err != nil {
 		return nil, err
 	}
-	rows := MaxRowsEstimate(opts.BatchSize, opts.Fanouts, int(ds.G.N))
+	src := snapshotterFor(ds, opts)
+	snap := src.Snapshot()
+	rows := MaxRowsEstimate(opts.BatchSize, opts.Fanouts, int(snap.NumNodes()))
 	return &PyG{
 		ds:    ds,
 		opts:  opts,
 		store: st,
 		pool:  slicing.NewPool(opts.InFlight, rows, ds.FeatDim, opts.BatchSize),
+		graph: src,
+		snap:  snap,
+		rows:  rows,
 	}, nil
 }
 
@@ -551,6 +618,16 @@ func NewPyG(ds *dataset.Dataset, opts Options) (*PyG, error) {
 // order with the striped-parallel kernel before emitting it, as the main
 // process does in the reference workflow (Listing 1, line 3).
 func (e *PyG) Run(seeds []int32, epochSeed uint64) *Stream {
+	// Same epoch-pinning contract as the Salient executor: one snapshot per
+	// Run, workers build their per-epoch samplers over it.
+	if snap := e.graph.Snapshot(); snap != e.snap {
+		e.snap = snap
+		if rows := MaxRowsEstimate(e.opts.BatchSize, e.opts.Fanouts, int(snap.NumNodes())); rows > e.rows {
+			e.pool = slicing.NewPool(e.opts.InFlight, rows, e.ds.FeatDim, e.opts.BatchSize)
+			e.rows = rows
+		}
+	}
+	snap := e.snap
 	perm := e.opts.epochPerm(seeds, epochSeed)
 	nb := NumBatches(len(perm), e.opts.BatchSize)
 	p := e.opts.Workers
@@ -562,6 +639,7 @@ func (e *PyG) Run(seeds []int32, epochSeed uint64) *Stream {
 	}
 	raw := make(chan sampled, e.opts.InFlight)
 	s := &Stream{
+		Graph:         snap,
 		workerBusy:    make([]time.Duration, p),
 		workerBatches: make([]int, p),
 	}
@@ -575,7 +653,7 @@ func (e *PyG) Run(seeds []int32, epochSeed uint64) *Stream {
 		go func(w int) {
 			defer workers.Done()
 			defer s.wg.Done()
-			sm := sampler.New(e.ds.G, e.opts.Fanouts, e.opts.Sampler)
+			sm := sampler.New(snap, e.opts.Fanouts, e.opts.Sampler)
 			for idx := w; idx < nb; idx += p {
 				start := time.Now()
 				sd := batchSeeds(perm, e.opts.BatchSize, idx)

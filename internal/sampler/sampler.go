@@ -40,7 +40,9 @@ func (e *SeedError) Error() string {
 // production path — SampleInto, which writes into an MFG the caller owns
 // (the prep executor samples straight into recycled batch arenas this way).
 type Sampler struct {
-	G       *graph.CSR
+	// G is the topology sampled against: a static CSR or an immutable
+	// graph.Snapshot. Swap it between batches with Retarget, never directly.
+	G       graph.Topology
 	Fanouts []int // Fanouts[0] feeds GNN layer 1 (the outermost hop)
 
 	cfg    Config
@@ -66,9 +68,10 @@ type Sampler struct {
 	emitBuf func(int32) // two-phase build: buffer one sampled global ID
 }
 
-// New returns a sampler over g with the given per-layer fanouts and design
+// New returns a sampler over topology g (a *graph.CSR or a pinned
+// *graph.Snapshot) with the given per-layer fanouts and design
 // configuration.
-func New(g *graph.CSR, fanouts []int, cfg Config) *Sampler {
+func New(g graph.Topology, fanouts []int, cfg Config) *Sampler {
 	if len(fanouts) == 0 {
 		panic("sampler: empty fanouts")
 	}
@@ -102,6 +105,23 @@ func New(g *graph.CSR, fanouts []int, cfg Config) *Sampler {
 // Config returns the design-space configuration of this sampler.
 func (s *Sampler) Config() Config { return s.cfg }
 
+// Retarget points the sampler at a new topology — how long-lived samplers
+// (the prep executors' per-worker samplers, the serving workers') follow a
+// dynamic graph across snapshots without losing their warm scratch buffers.
+// The direct ID map is the only piece of state sized by the graph; it is
+// regrown only when the node count expands past its table. Retargeting to
+// the topology already in place is a no-op, and calling it mid-Sample is a
+// caller error (samplers are single-goroutine).
+func (s *Sampler) Retarget(g graph.Topology) {
+	if g == s.G {
+		return
+	}
+	s.G = g
+	if d, ok := s.mapper.(*directMapper); ok && g.NumNodes() > d.n {
+		s.mapper = newDirectMapper(g.NumNodes())
+	}
+}
+
 func (s *Sampler) newMapper() localMapper {
 	switch s.cfg.IDMap {
 	case IDMapStd:
@@ -111,7 +131,7 @@ func (s *Sampler) newMapper() localMapper {
 	case IDMapFlatPre:
 		return &flatMapper{presize: true}
 	case IDMapDirect:
-		return newDirectMapper(s.G.N)
+		return newDirectMapper(s.G.NumNodes())
 	}
 	panic("sampler: unknown idmap kind")
 }
@@ -121,13 +141,13 @@ func (s *Sampler) newMapper() localMapper {
 func (s *Sampler) expectedNodes(batch int) int {
 	est := batch
 	for _, f := range s.Fanouts {
-		if est > int(s.G.N) {
+		if est > int(s.G.NumNodes()) {
 			break
 		}
 		est *= f + 1
 	}
-	if est > int(s.G.N) {
-		est = int(s.G.N)
+	if est > int(s.G.NumNodes()) {
+		est = int(s.G.NumNodes())
 	}
 	return est
 }
@@ -155,7 +175,7 @@ func (s *Sampler) Sample(r *rng.Rand, seeds []int32) *mfg.MFG {
 	}
 
 	for _, v := range seeds {
-		if v < 0 || v >= s.G.N {
+		if v < 0 || v >= s.G.NumNodes() {
 			panic(fmt.Sprintf("sampler: seed %d out of range", v))
 		}
 		l := mapper.GetOrAssign(v)
@@ -267,8 +287,8 @@ func (s *Sampler) SampleInto(r *rng.Rand, seeds []int32, out *mfg.MFG) error {
 	expected := s.expectedNodes(len(seeds))
 
 	for i, v := range seeds {
-		if v < 0 || v >= s.G.N {
-			return &SeedError{Seed: v, Index: i, N: s.G.N}
+		if v < 0 || v >= s.G.NumNodes() {
+			return &SeedError{Seed: v, Index: i, N: s.G.NumNodes()}
 		}
 	}
 
@@ -284,7 +304,7 @@ func (s *Sampler) SampleInto(r *rng.Rand, seeds []int32, out *mfg.MFG) error {
 	for i, v := range seeds {
 		l := s.mapper.GetOrAssign(v)
 		if int(l) != len(nodeIDs) {
-			return &SeedError{Seed: v, Index: i, N: s.G.N, Dup: true}
+			return &SeedError{Seed: v, Index: i, N: s.G.NumNodes(), Dup: true}
 		}
 		nodeIDs = append(nodeIDs, v)
 	}

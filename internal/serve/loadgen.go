@@ -4,6 +4,8 @@ import (
 	"errors"
 	"sync"
 	"time"
+
+	"salient/internal/rng"
 )
 
 // Load drivers shared by the bench sweep and the CLI: the two canonical ways
@@ -63,4 +65,54 @@ func DriveOpenLoop(s *Server, nodes []int32, rate float64, requests int) time.Du
 	}
 	wg.Wait()
 	return time.Since(start)
+}
+
+// DriveChurn streams random directed edge updates over nodes [0, n) into
+// apply at ~rate edges/second (in small fixed chunks) until stop closes,
+// and returns how many updates apply reported as actually inserted. It is
+// the update-side companion of the request drivers above, shared by the
+// churn bench sweep (applying through Server.Update) and the CLI
+// (applying straight to a graph.Dynamic). An apply error ends the drive.
+func DriveChurn(apply func(src, dst []int32) (int, error), n int32, rate float64, seed uint64, stop <-chan struct{}) int64 {
+	if rate <= 0 {
+		return 0
+	}
+	const chunk = 8
+	interval := time.Duration(float64(time.Second) * chunk / rate)
+	r := rng.New(seed)
+	src := make([]int32, chunk)
+	dst := make([]int32, chunk)
+	var applied int64
+	timer := time.NewTimer(0)
+	defer timer.Stop()
+	next := time.Now()
+	for {
+		// Pace interruptibly: a stop during the inter-chunk wait returns
+		// immediately instead of blocking for up to chunk/rate seconds
+		// (material at low rates, where the interval is whole seconds).
+		if d := time.Until(next); d > 0 {
+			timer.Reset(d)
+			select {
+			case <-stop:
+				return applied
+			case <-timer.C:
+			}
+		} else {
+			select {
+			case <-stop:
+				return applied
+			default:
+			}
+		}
+		next = next.Add(interval)
+		for i := range src {
+			src[i] = int32(r.Intn(int(n)))
+			dst[i] = int32(r.Intn(int(n)))
+		}
+		a, err := apply(src, dst)
+		if err != nil {
+			return applied
+		}
+		applied += int64(a)
+	}
 }

@@ -32,11 +32,13 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"salient/internal/cache"
 	"salient/internal/dataset"
 	"salient/internal/event"
+	"salient/internal/graph"
 	"salient/internal/mfg"
 	"salient/internal/nn"
 	"salient/internal/prep"
@@ -54,6 +56,10 @@ var ErrSaturated = errors.New("serve: server saturated, request rejected")
 
 // ErrClosed is returned by Submit after Close.
 var ErrClosed = errors.New("serve: server closed")
+
+// ErrStaticGraph is returned by the update APIs (Update, AddNode) when the
+// server was built without a dynamic graph (Options.Graph).
+var ErrStaticGraph = errors.New("serve: server has no dynamic graph (set Options.Graph)")
 
 // Options configures a Server.
 type Options struct {
@@ -89,6 +95,22 @@ type Options struct {
 	// server wraps this base store in a store.Cached; pass an already
 	// cached store with CacheRows = 0 for custom compositions.
 	Store store.FeatureStore
+	// CacheRefreshEvery rate-limits the feature cache's top-K-by-degree
+	// placement recompute under a dynamic graph: the placement is refreshed
+	// when a worker adopts a snapshot at least this many versions past the
+	// last refresh. Placement only changes transfer accounting — never
+	// predictions — so amortizing the O(N log N) recompute across versions
+	// is free correctness-wise; 1 recomputes at every adopted snapshot.
+	// Default 64. Ignored for static graphs and recency (LRU) policies.
+	CacheRefreshEvery uint64
+	// Graph is the topology source micro-batches sample against. Nil serves
+	// the dataset's static graph. A *graph.Dynamic enables the update APIs
+	// (Update, AddNode): every micro-batch pins the graph's LATEST snapshot
+	// before sampling, and each response reports the version it was computed
+	// against — so freshness is per-micro-batch while every answer is still
+	// internally consistent (one version end to end). With zero applied
+	// updates answers are bit-identical to the static server's.
+	Graph graph.Snapshotter
 }
 
 func (o *Options) normalize() error {
@@ -112,6 +134,9 @@ func (o *Options) normalize() error {
 	if o.Seed == 0 {
 		o.Seed = 1
 	}
+	if o.CacheRefreshEvery == 0 {
+		o.CacheRefreshEvery = 64
+	}
 	return nil
 }
 
@@ -123,8 +148,20 @@ type request struct {
 }
 
 type result struct {
-	label int32
-	err   error
+	label   int32
+	version uint64 // graph snapshot version the answer was computed against
+	err     error
+}
+
+// Prediction is one answered request: the predicted label plus the graph
+// snapshot version it was computed against. On a static server Version is
+// always 0; on a dynamic one it is the graph.Dynamic mutation count the
+// micro-batch pinned, letting clients reason about the freshness of an
+// answer relative to their own updates ("my edge insert returned version 7;
+// this prediction reports 9, so it saw the insert").
+type Prediction struct {
+	Label   int32
+	Version uint64
 }
 
 // Stats is a snapshot of the server's counters and distributions.
@@ -136,6 +173,12 @@ type Stats struct {
 
 	Latency   event.Summary // per-request Submit→answer latency, seconds
 	Occupancy event.Summary // requests per micro-batch
+
+	// GraphVersion is the graph's latest snapshot version at the time of
+	// the stats snapshot (0 for a static server); Compactions counts how
+	// often the dynamic graph folded deltas back into CSR form.
+	GraphVersion uint64
+	Compactions  int64
 
 	// Transfer accounting, read from the server's feature store (cache
 	// counters are zero-valued when caching is disabled). Bytes assume
@@ -180,6 +223,20 @@ type Server struct {
 	// accounting (Cached-wrapped when Options.CacheRows > 0).
 	store store.FeatureStore
 
+	// topo yields the topology snapshot each micro-batch samples against; a
+	// static server holds one pinned version-0 snapshot here. dyn is non-nil
+	// iff Options.Graph was a *graph.Dynamic, enabling the update APIs.
+	topo graph.Snapshotter
+	dyn  *graph.Dynamic
+	// refreshMu serializes feature-cache placement refreshes; refreshed
+	// (written only under it) is the newest snapshot version the top-K
+	// placement reflects. Losing workers skip rather than wait.
+	refreshMu sync.Mutex
+	refreshed atomic.Uint64
+	// updateMu orders AddNode's paired store-append + graph-grow so feature
+	// row IDs and node IDs cannot interleave out of alignment.
+	updateMu sync.Mutex
+
 	statsMu   sync.Mutex
 	submitted int64
 	rejected  int64
@@ -212,13 +269,25 @@ func New(m nn.Model, ds *dataset.Dataset, opts Options) (*Server, error) {
 		doorbell: make(chan struct{}, 1),
 		stop:     make(chan struct{}),
 	}
-	rows := maxRows(opts.MaxBatch, opts.Fanouts, int(ds.G.N))
+	if opts.Graph != nil {
+		s.topo = opts.Graph
+		if d, ok := opts.Graph.(*graph.Dynamic); ok {
+			s.dyn = d
+		}
+	} else {
+		s.topo = graph.Static(ds.G)
+	}
+	rows := maxRows(opts.MaxBatch, opts.Fanouts, int(s.topo.Snapshot().NumNodes()))
 	s.pool = slicing.NewPool(opts.Workers, rows, ds.FeatDim, opts.MaxBatch)
 	base := opts.Store
 	if base == nil {
 		base = store.NewFlat(ds)
 	}
-	if err := store.Check(base, ds); err != nil {
+	if opts.Graph != nil {
+		if err := store.CheckGrown(base, ds); err != nil {
+			return nil, fmt.Errorf("serve: %w", err)
+		}
+	} else if err := store.Check(base, ds); err != nil {
 		return nil, fmt.Errorf("serve: %w", err)
 	}
 	s.store = base
@@ -257,16 +326,24 @@ func maxRows(batch int, fanouts []int, n int) int {
 // Submit requests a prediction for node and blocks until it is answered or
 // rejected. It is safe to call from any number of goroutines. Saturation is
 // reported as ErrSaturated without blocking; a closed server reports
-// ErrClosed.
+// ErrClosed. Submit is Predict without the snapshot-version report.
 func (s *Server) Submit(node int32) (int32, error) {
-	if node < 0 || node >= int32(s.ds.G.N) {
-		return 0, fmt.Errorf("serve: node %d out of range [0,%d)", node, s.ds.G.N)
+	p, err := s.Predict(node)
+	return p.Label, err
+}
+
+// Predict requests a prediction for node and blocks until it is answered or
+// rejected, reporting the graph snapshot version the answer was computed
+// against alongside the label. Safe for any number of goroutines.
+func (s *Server) Predict(node int32) (Prediction, error) {
+	if n := s.numNodes(); node < 0 || node >= n {
+		return Prediction{}, fmt.Errorf("serve: node %d out of range [0,%d)", node, n)
 	}
 	req := &request{node: node, enq: time.Now(), done: make(chan result, 1)}
 	s.gate.RLock()
 	if s.closing {
 		s.gate.RUnlock()
-		return 0, ErrClosed
+		return Prediction{}, ErrClosed
 	}
 	pushed := s.ring.TryPush(req)
 	s.gate.RUnlock()
@@ -274,7 +351,7 @@ func (s *Server) Submit(node int32) (int32, error) {
 		s.statsMu.Lock()
 		s.rejected++
 		s.statsMu.Unlock()
-		return 0, ErrSaturated
+		return Prediction{}, ErrSaturated
 	}
 	// Ring the doorbell (one token is enough: a woken worker drains the ring
 	// before parking again, and re-rings if work remains for its peers).
@@ -286,7 +363,94 @@ func (s *Server) Submit(node int32) (int32, error) {
 	s.submitted++
 	s.statsMu.Unlock()
 	r := <-req.done
-	return r.label, r.err
+	return Prediction{Label: r.label, Version: r.version}, r.err
+}
+
+// numNodes returns the live node count without touching the dynamic
+// graph's mutex (Dynamic.NumNodes is atomic; the static pinned snapshot is
+// its own free Snapshotter), keeping request admission off the writer lock.
+func (s *Server) numNodes() int32 {
+	if s.dyn != nil {
+		return s.dyn.NumNodes()
+	}
+	return s.topo.Snapshot().NumNodes()
+}
+
+// Update submits a batch of edge insertions (directed pairs src[i] ->
+// dst[i]) to the server's dynamic graph and returns how many were applied
+// (already-present edges are dropped — graph.Dynamic keeps adjacency
+// duplicate-free) plus the resulting graph version. Micro-batches coalesced
+// after the returned version pin a snapshot that includes these edges;
+// in-flight micro-batches keep their already-pinned snapshot, so no answer
+// ever mixes versions. Updates are accepted regardless of request-ring
+// saturation — admission control sheds reads, not writes.
+func (s *Server) Update(src, dst []int32) (int, uint64, error) {
+	if s.dyn == nil {
+		return 0, 0, ErrStaticGraph
+	}
+	applied, err := s.dyn.AddEdges(src, dst)
+	if err != nil {
+		return 0, 0, err
+	}
+	return applied, s.dyn.Version(), nil
+}
+
+// AddNode grows the graph by one node carrying the given feature row
+// (float32, FeatDim wide) and label, connected undirected to the given
+// neighbor nodes (both directions inserted, matching the repo's symmetrized
+// datasets; pass none for an isolated node). The feature row is appended
+// through the server's store, which must implement store.Appendable (the
+// flat store and caches over it do); the new node is immediately
+// predictable via Submit/Predict. Returns the new node ID and the graph
+// version after the insertion.
+func (s *Server) AddNode(feat []float32, label int32, neighbors []int32) (int32, uint64, error) {
+	if s.dyn == nil {
+		return 0, 0, ErrStaticGraph
+	}
+	ap, ok := s.store.(store.Appendable)
+	if !ok {
+		return 0, 0, fmt.Errorf("serve: store %T cannot grow (need store.Appendable)", s.store)
+	}
+	s.updateMu.Lock()
+	defer s.updateMu.Unlock()
+	// Validate EVERYTHING before growing anything — a failure after the
+	// append/AddNodes would leave an orphaned row/node behind the error,
+	// and a client retry would then create a duplicate. That means the
+	// neighbor list is range-checked here, and the graph/store alignment
+	// (equal counts; a store may legitimately start larger under
+	// CheckGrown, but then it cannot grow in lockstep) is a precondition,
+	// not a post-mutation surprise.
+	n := s.dyn.NumNodes()
+	for _, v := range neighbors {
+		if v < 0 || v >= n {
+			return 0, 0, fmt.Errorf("serve: AddNode neighbor %d out of range [0,%d)", v, n)
+		}
+	}
+	if sn := s.store.NumNodes(); sn != int(n) {
+		return 0, 0, fmt.Errorf("serve: store holds %d rows but graph has %d nodes; AddNode requires lockstep growth (grow both only through the server)", sn, n)
+	}
+	row, err := ap.AppendRows(feat, []int32{label})
+	if err != nil {
+		return 0, 0, err
+	}
+	id, err := s.dyn.AddNodes(1)
+	if err != nil {
+		return 0, 0, err
+	}
+	if id != row {
+		return 0, 0, fmt.Errorf("serve: graph node %d and store row %d diverged (grow graph and store only through the server)", id, row)
+	}
+	if len(neighbors) > 0 {
+		es, ed := make([]int32, 0, 2*len(neighbors)), make([]int32, 0, 2*len(neighbors))
+		for _, v := range neighbors {
+			es = append(es, id, v)
+			ed = append(ed, v, id)
+		}
+		if _, err := s.dyn.AddEdges(es, ed); err != nil {
+			return id, 0, err
+		}
+	}
+	return id, s.dyn.Version(), nil
 }
 
 // Close stops admitting requests, drains and answers everything already
@@ -307,9 +471,21 @@ func (s *Server) Close() {
 // store with other consumers, they share the accounting too.
 func (s *Server) Stats() Stats {
 	ss := s.store.Stats()
+	// Read the version without pinning a snapshot: a monitoring call must
+	// never be the one that materializes an overlay or runs a compaction.
+	var version uint64
+	var compactions int64
+	if s.dyn != nil {
+		version = s.dyn.Version()
+		compactions = s.dyn.Compactions()
+	} else {
+		version = s.topo.Snapshot().Version()
+	}
 	s.statsMu.Lock()
 	defer s.statsMu.Unlock()
 	return Stats{
+		GraphVersion:     version,
+		Compactions:      compactions,
 		Submitted:        s.submitted,
 		Rejected:         s.rejected,
 		Served:           s.served,
@@ -336,9 +512,10 @@ func (s *Server) FeatureStore() store.FeatureStore { return s.store }
 // only what mfg.Merge needs for multi-request batches.
 type workerState struct {
 	sm    *sampler.Sampler
-	r     *rng.Rand  // reseeded per request, never reallocated
-	slots []mfg.MFG  // slots[i] holds request i's sampled MFG
-	ptrs  []*mfg.MFG // merge argument scratch
+	snap  *graph.Snapshot // topology pinned for the current micro-batch
+	r     *rng.Rand       // reseeded per request, never reallocated
+	slots []mfg.MFG       // slots[i] holds request i's sampled MFG
+	ptrs  []*mfg.MFG      // merge argument scratch
 	seed  [1]int32
 	x     *tensor.Dense
 	pred  []int32
@@ -349,7 +526,8 @@ type workerState struct {
 // micro-batches it parks on the doorbell, so idle servers consume no CPU.
 func (s *Server) worker() {
 	defer s.wg.Done()
-	ws := &workerState{sm: sampler.New(s.ds.G, s.opts.Fanouts, sampler.FastConfig()), r: rng.New(0)}
+	snap0 := s.topo.Snapshot()
+	ws := &workerState{sm: sampler.New(snap0, s.opts.Fanouts, sampler.FastConfig()), snap: snap0, r: rng.New(0)}
 	batch := make([]*request, 0, s.opts.MaxBatch)
 	for {
 		first, ok := s.ring.TryPop()
@@ -398,6 +576,16 @@ func (s *Server) worker() {
 // deliver per-request rows. Every buffer execute touches is released for
 // reuse the moment the micro-batch's responses are delivered.
 func (s *Server) execute(ws *workerState, batch []*request) {
+	// Pin the latest snapshot for this whole micro-batch: every request in
+	// it samples one topology version and reports it. The static case pins
+	// the same version-0 snapshot forever (pointer-equal, so this is free),
+	// and a Dynamic caches its snapshot per version, so steady state without
+	// churn allocates nothing here either.
+	if snap := s.topo.Snapshot(); snap != ws.snap {
+		ws.sm.Retarget(snap)
+		ws.snap = snap
+		s.refreshCache(snap)
+	}
 	for len(ws.slots) < len(batch) {
 		ws.slots = append(ws.slots, mfg.MFG{})
 	}
@@ -452,9 +640,38 @@ func (s *Server) execute(ws *workerState, batch []*request) {
 	s.statsMu.Unlock()
 
 	// Merged row i is request i's seed (mfg.Merge seed-order contract).
+	version := ws.snap.Version()
 	for i, req := range batch {
-		req.done <- result{label: pred[i]}
+		req.done <- result{label: pred[i], version: version}
 	}
+}
+
+// refreshCache recomputes the feature cache's top-K-by-degree placement for
+// a newly adopted snapshot, at most once per version (workers race through
+// the CAS; losers skip — the winner's Refresh covers them).
+func (s *Server) refreshCache(snap *graph.Snapshot) {
+	c, ok := s.store.(*store.Cached)
+	if !ok {
+		return
+	}
+	v := snap.Version()
+	cur := s.refreshed.Load()
+	if v == 0 || (cur != 0 && v < cur+s.opts.CacheRefreshEvery) {
+		return
+	}
+	// One refresher at a time, version re-checked and recorded under the
+	// same lock as the placement swap: a slow refresh of an old snapshot
+	// can never overwrite a newer one, and losers skip (the next adopted
+	// snapshot re-checks) instead of queueing behind the sort.
+	if !s.refreshMu.TryLock() {
+		return
+	}
+	defer s.refreshMu.Unlock()
+	if v <= s.refreshed.Load() {
+		return
+	}
+	c.Refresh(snap)
+	s.refreshed.Store(v)
 }
 
 // deliverError fails every request of a micro-batch with the same error.

@@ -32,10 +32,10 @@ type Cached struct {
 }
 
 // NewCached wraps inner with a cache of the given row capacity and policy
-// over graph g (the degree source for static placement).
-func NewCached(inner FeatureStore, g *graph.CSR, rows int, policy cache.Policy) (*Cached, error) {
-	if int(g.N) != inner.NumNodes() {
-		return nil, fmt.Errorf("store: cache graph has %d nodes, store holds %d", g.N, inner.NumNodes())
+// over topology g (the degree source for static placement).
+func NewCached(inner FeatureStore, g graph.Topology, rows int, policy cache.Policy) (*Cached, error) {
+	if int(g.NumNodes()) != inner.NumNodes() {
+		return nil, fmt.Errorf("store: cache graph has %d nodes, store holds %d", g.NumNodes(), inner.NumNodes())
 	}
 	c, err := cache.New(g, rows, policy)
 	if err != nil {
@@ -52,6 +52,32 @@ func (c *Cached) NumNodes() int { return c.inner.NumNodes() }
 
 // Cache exposes the wrapped cache for residency inspection.
 func (c *Cached) Cache() *cache.Cache { return c.cache }
+
+// Refresh recomputes the cache placement against a new topology snapshot —
+// the "top-K by degree recomputed per snapshot" policy of the dynamic-graph
+// path. The serving layer calls it once per adopted snapshot version. The
+// O(N log N) ranking runs OUTSIDE the settle lock so concurrent Gathers
+// never stall behind it; only the O(K) resident-set swap holds the lock.
+// No-op for recency-based policies.
+func (c *Cached) Refresh(g graph.Topology) {
+	ids := c.cache.Plan(g)
+	if ids == nil {
+		return
+	}
+	c.mu.Lock()
+	c.cache.Adopt(ids)
+	c.mu.Unlock()
+}
+
+// AppendRows implements Appendable by forwarding to the inner store when it
+// can grow; new rows start non-resident (a later Refresh may promote them).
+func (c *Cached) AppendRows(feat []float32, labels []int32) (int32, error) {
+	ap, ok := c.inner.(Appendable)
+	if !ok {
+		return 0, fmt.Errorf("store: inner store %T cannot append rows", c.inner)
+	}
+	return ap.AppendRows(feat, labels)
+}
 
 // Gather stages the batch through the inner store, then settles the
 // transfer bill against the cache: resident rows are saved bytes, misses

@@ -5,27 +5,44 @@ import (
 	"sync"
 
 	"salient/internal/dataset"
+	"salient/internal/half"
 	"salient/internal/slicing"
 )
 
 // Flat is the single-array FeatureStore: rows live in one contiguous
 // row-major half-precision matrix (the seed layout, dataset.Dataset's
 // FeatHalf), and every gathered row is charged as transferred.
+//
+// Flat is the store that grows with a dynamic graph: AppendRows extends the
+// matrix (copy-on-grow, never mutating the dataset's arrays) so nodes added
+// through graph.Dynamic get feature rows without a rebuild.
 type Flat struct {
-	src slicing.Source
 	dim int
-	n   int
+
+	// srcMu orders appends against concurrent gathers: Gather reads src/n
+	// under the read lock for the duration of the row copies, AppendRows
+	// swaps in the grown arrays under the write lock. The arrays themselves
+	// are append-only, so readers never observe a partial row.
+	srcMu  sync.RWMutex
+	src    slicing.Source
+	n      int
+	feat   []half.Float16 // aliases the dataset until the first append
+	labels []int32
 
 	mu    sync.Mutex
 	stats Stats
 }
 
 // NewFlat builds the flat store over ds's host feature matrix and labels.
+// The dataset's arrays are aliased until the first AppendRows, which copies
+// on grow — the dataset itself is never mutated.
 func NewFlat(ds *dataset.Dataset) *Flat {
 	return &Flat{
-		src: slicing.NewFlatSource(ds.FeatHalf, ds.FeatDim, ds.Labels),
-		dim: ds.FeatDim,
-		n:   int(ds.G.N),
+		src:    slicing.NewFlatSource(ds.FeatHalf, ds.FeatDim, ds.Labels),
+		dim:    ds.FeatDim,
+		n:      int(ds.G.N),
+		feat:   ds.FeatHalf,
+		labels: ds.Labels,
 	}
 }
 
@@ -33,14 +50,46 @@ func NewFlat(ds *dataset.Dataset) *Flat {
 func (f *Flat) Dim() int { return f.dim }
 
 // NumNodes returns the number of feature rows held.
-func (f *Flat) NumNodes() int { return f.n }
+func (f *Flat) NumNodes() int {
+	f.srcMu.RLock()
+	defer f.srcMu.RUnlock()
+	return f.n
+}
+
+// AppendRows implements Appendable: it appends len(labels) rows (feat is
+// row-major float32, len(labels)×Dim, stored half-precision like every
+// other row) and returns the first new row ID. Concurrent Gathers keep
+// reading the pre-append arrays until the swap completes.
+func (f *Flat) AppendRows(feat []float32, labels []int32) (int32, error) {
+	if len(labels) == 0 {
+		return 0, fmt.Errorf("store: AppendRows with no rows")
+	}
+	if len(feat) != len(labels)*f.dim {
+		return 0, fmt.Errorf("store: AppendRows feat length %d, want %d rows × dim %d = %d",
+			len(feat), len(labels), f.dim, len(labels)*f.dim)
+	}
+	enc := half.EncodeSlice(make([]half.Float16, len(feat)), feat)
+	f.srcMu.Lock()
+	defer f.srcMu.Unlock()
+	first := int32(f.n)
+	// append copies on the first grow (dataset arrays have no spare
+	// capacity), so the dataset's own FeatHalf/Labels are never written.
+	f.feat = append(f.feat, enc...)
+	f.labels = append(f.labels, labels...)
+	f.n += len(labels)
+	f.src = slicing.NewFlatSource(f.feat, f.dim, f.labels)
+	return first, nil
+}
 
 // Gather stages the batch with the SALIENT serial kernel.
 func (f *Flat) Gather(dst *slicing.Pinned, nodeIDs []int32, batch int) error {
-	if err := checkIDs(nodeIDs, f.n); err != nil {
+	f.srcMu.RLock()
+	src, n := f.src, f.n
+	f.srcMu.RUnlock()
+	if err := checkIDs(nodeIDs, n); err != nil {
 		return err
 	}
-	if err := slicing.Slice(dst, f.src, nodeIDs, batch); err != nil {
+	if err := slicing.Slice(dst, src, nodeIDs, batch); err != nil {
 		return err
 	}
 	f.account(len(nodeIDs))
@@ -50,10 +99,13 @@ func (f *Flat) Gather(dst *slicing.Pinned, nodeIDs []int32, batch int) error {
 // GatherStriped stages the batch with the statically striped parallel
 // kernel, for the PyG executor's DataLoader model.
 func (f *Flat) GatherStriped(dst *slicing.Pinned, nodeIDs []int32, batch, nWorkers int, run func(stripes []func())) error {
-	if err := checkIDs(nodeIDs, f.n); err != nil {
+	f.srcMu.RLock()
+	src, n := f.src, f.n
+	f.srcMu.RUnlock()
+	if err := checkIDs(nodeIDs, n); err != nil {
 		return err
 	}
-	if err := slicing.SliceStriped(dst, f.src, nodeIDs, batch, nWorkers, run); err != nil {
+	if err := slicing.SliceStriped(dst, src, nodeIDs, batch, nWorkers, run); err != nil {
 		return err
 	}
 	f.account(len(nodeIDs))

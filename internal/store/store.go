@@ -106,6 +106,34 @@ func Check(st FeatureStore, ds *dataset.Dataset) error {
 	return nil
 }
 
+// Appendable is implemented by stores that can grow with a dynamic graph:
+// AppendRows appends len(labels) feature rows (feat is row-major float32,
+// len(labels)×Dim, encoded to the store's half-precision host layout) and
+// returns the ID of the first appended row. New rows are immediately
+// gatherable; appends are safe against concurrent Gathers.
+//
+// The returned first-row ID is the coordination contract with
+// graph.Dynamic.AddNodes: callers growing graph and store together (the
+// serving layer's AddNode) perform both in one critical section and check
+// the IDs agree. Flat implements Appendable (and Cached forwards to an
+// appendable inner store); Sharded does not — node growth requires a
+// repartition, which is future work (see ROADMAP).
+type Appendable interface {
+	AppendRows(feat []float32, labels []int32) (int32, error)
+}
+
+// CheckGrown is Check's dynamic-graph variant: a store serving a mutable
+// graph may legitimately hold MORE rows than the dataset it started from
+// (nodes appended online), so only the dimensionality and a row-count floor
+// are enforced; per-gather ID range checks cover the rest.
+func CheckGrown(st FeatureStore, ds *dataset.Dataset) error {
+	if st.Dim() != ds.FeatDim || st.NumNodes() < int(ds.G.N) {
+		return fmt.Errorf("store holds %d×%d, dataset needs ≥%d×%d",
+			st.NumNodes(), st.Dim(), ds.G.N, ds.FeatDim)
+	}
+	return nil
+}
+
 // StripedGatherer is implemented by stores whose gather supports the
 // statically striped parallel kernel (PyTorch's OpenMP-style slicing). The
 // PyG executor uses it when available to preserve the Table 2 comparison;

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"salient/internal/dataset"
+	"salient/internal/graph"
 	"salient/internal/nn"
 	"salient/internal/prep"
 	"salient/internal/sampler"
@@ -57,6 +58,12 @@ type Config struct {
 	// through. Nil selects the flat store over the dataset; sharded and
 	// cached stores change transfer accounting, never batch contents.
 	Store store.FeatureStore
+	// Graph is the topology source training samples against. Nil trains on
+	// the dataset's static graph; a *graph.Dynamic pins the latest snapshot
+	// once per epoch (train-while-updating: updates applied mid-epoch take
+	// effect at the next epoch boundary). With zero applied deltas training
+	// is bit-identical to the static baseline.
+	Graph graph.Snapshotter
 }
 
 // Defaults fills unset fields with the paper's GraphSAGE settings.
@@ -162,6 +169,7 @@ func New(ds *dataset.Dataset, cfg Config) (*Trainer, error) {
 		Fanouts:   cfg.Fanouts,
 		Ordered:   true, // bit-reproducible training
 		Store:     tr.store,
+		Graph:     cfg.Graph,
 	}
 	switch cfg.Executor {
 	case ExecSalient:
@@ -275,6 +283,7 @@ func (t *Trainer) Evaluate(nodes []int32, fanouts []int, seed uint64) (float64, 
 		Fanouts:   fanouts,
 		Sampler:   sampler.FastConfig(),
 		Store:     t.store,
+		Graph:     t.Cfg.Graph,
 	})
 	if err != nil {
 		return 0, err
