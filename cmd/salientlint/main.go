@@ -1,0 +1,63 @@
+// Command salientlint runs the repository's custom data-path analyzers
+// (internal/analysis) over Go packages:
+//
+//	go run ./cmd/salientlint ./...
+//
+// It is a go/analysis unitchecker: `go vet` drives it one compilation unit
+// at a time via the -vettool protocol. When invoked with package patterns
+// instead (the human-facing form above), it re-executes itself through
+// `go vet -vettool=<self> <patterns>`, so both forms work offline with no
+// driver dependencies beyond the go tool itself.
+//
+// Diagnostics can be suppressed case-by-case with
+// `//lint:allow <analyzer> <reason>` and functions opt into the noalloc
+// checks with `//salient:noalloc`; see internal/analysis for the contract
+// each analyzer enforces.
+package main
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"strings"
+
+	"golang.org/x/tools/go/analysis/unitchecker"
+
+	"salient/internal/analysis"
+)
+
+func main() {
+	if invokedByGoVet(os.Args[1:]) {
+		unitchecker.Main(analysis.All...) // does not return
+	}
+
+	self, err := os.Executable()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "salientlint: cannot locate own binary: %v\n", err)
+		os.Exit(2)
+	}
+	args := append([]string{"vet", "-vettool=" + self}, os.Args[1:]...)
+	cmd := exec.Command("go", args...)
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	cmd.Stdin = os.Stdin
+	if err := cmd.Run(); err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			os.Exit(ee.ExitCode())
+		}
+		fmt.Fprintf(os.Stderr, "salientlint: %v\n", err)
+		os.Exit(2)
+	}
+}
+
+// invokedByGoVet reports whether the arguments look like the go vet
+// -vettool protocol (a *.cfg unit file, or the -V/-flags handshake) rather
+// than human-supplied package patterns.
+func invokedByGoVet(args []string) bool {
+	for _, a := range args {
+		if strings.HasSuffix(a, ".cfg") || strings.HasPrefix(a, "-V") || a == "-flags" {
+			return true
+		}
+	}
+	return false
+}

@@ -74,10 +74,10 @@ func (s *LayerWise) Sample(r *rng.Rand, seeds []int32) *mfg.MFG {
 	}
 	for _, v := range seeds {
 		if v < 0 || v >= s.G.NumNodes() {
-			panic(fmt.Sprintf("altsample: seed %d out of range", v))
+			panic(fmt.Sprintf("altsample: seed %d out of range", v)) //lint:allow panicdiscipline documented Sample contract: seeds must be valid and unique, mirroring sampler.Sample
 		}
 		if int(assign(v)) != len(nodeIDs)-1 {
-			panic(fmt.Sprintf("altsample: duplicate seed %d", v))
+			panic(fmt.Sprintf("altsample: duplicate seed %d", v)) //lint:allow panicdiscipline documented Sample contract: seeds must be valid and unique, mirroring sampler.Sample
 		}
 	}
 
@@ -213,10 +213,10 @@ func (s *SAINT) Sample(r *rng.Rand, roots []int32) *mfg.MFG {
 	}
 	for _, v := range roots {
 		if v < 0 || v >= s.G.NumNodes() {
-			panic(fmt.Sprintf("altsample: root %d out of range", v))
+			panic(fmt.Sprintf("altsample: root %d out of range", v)) //lint:allow panicdiscipline documented Walks contract: roots must be valid, mirroring sampler.Sample
 		}
 		if int(assign(v)) != len(nodeIDs)-1 {
-			panic(fmt.Sprintf("altsample: duplicate root %d", v))
+			panic(fmt.Sprintf("altsample: duplicate root %d", v)) //lint:allow panicdiscipline documented Walks contract: roots must be unique, mirroring sampler.Sample
 		}
 	}
 	for _, root := range roots {
@@ -271,7 +271,7 @@ func (c *Cluster) NumClusters() int { return len(c.members) }
 // MFG's seed prefix. Returns nil if the cluster has no labeled nodes.
 func (c *Cluster) Batch(cluster int, labeled func(int32) bool) *mfg.MFG {
 	if cluster < 0 || cluster >= len(c.members) {
-		panic(fmt.Sprintf("altsample: cluster %d out of range", cluster))
+		panic(fmt.Sprintf("altsample: cluster %d out of range", cluster)) //lint:allow panicdiscipline documented Batch contract: cluster index ranges over NumClusters
 	}
 	var ordered []int32
 	for _, v := range c.members[cluster] {
@@ -389,13 +389,13 @@ func (s *GNS) CacheSize() int { return len(s.cacheNodes) }
 // in the cache (guaranteed when passed via Refresh's mustInclude).
 func (s *GNS) Sample(r *rng.Rand, seeds []int32) *mfg.MFG {
 	if s.inner == nil {
-		panic("altsample: GNS.Sample before Refresh")
+		panic("altsample: GNS.Sample before Refresh") //lint:allow panicdiscipline documented GNS contract: Refresh must precede Sample
 	}
 	localSeeds := make([]int32, len(seeds))
 	for i, v := range seeds {
 		l, ok := s.localOf[v]
 		if !ok {
-			panic(fmt.Sprintf("altsample: seed %d not in GNS cache", v))
+			panic(fmt.Sprintf("altsample: seed %d not in GNS cache", v)) //lint:allow panicdiscipline documented GNS contract: Sample seeds must come from the refreshed cache
 		}
 		localSeeds[i] = l
 	}

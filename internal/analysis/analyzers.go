@@ -1,0 +1,16 @@
+package analysis
+
+import goanalysis "golang.org/x/tools/go/analysis"
+
+// All is the salientlint suite, in the order diagnostics group most
+// usefully: representation seams first, lifecycle and allocation
+// discipline, then reproducibility and the directive syntax itself.
+var All = []*goanalysis.Analyzer{
+	TopologySeam,
+	ArenaLifecycle,
+	NoAlloc,
+	Determinism,
+	SnapshotPin,
+	PanicDiscipline,
+	Directives,
+}

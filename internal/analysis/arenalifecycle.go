@@ -1,0 +1,414 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	goanalysis "golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/cfg"
+)
+
+// ArenaLifecycle enforces the PR-4 batch ownership contract: a *prep.Batch
+// acquired from a stream (channel receive, range over the stream channel,
+// or a call returning one) must be Released on every control-flow path —
+// Release is the executor's in-flight credit, so a leaked batch stalls the
+// stream and strands an arena — and its arena-backed fields (MFG, Buf) must
+// not be read after Release, when the arena may already be refilled by the
+// next batch.
+//
+// The analysis is intra-procedural over the control-flow graph. A batch
+// that escapes — passed to a call, returned, sent on a channel, captured by
+// a closure, or stored — transfers ownership and satisfies the check;
+// paths that terminate in panic are exempt. `b, ok := <-ch` receives
+// recognize the `if !ok` guard: on the closed-channel branch no batch was
+// acquired.
+var ArenaLifecycle = &goanalysis.Analyzer{
+	Name: "arenalifecycle",
+	Doc:  "every acquired prep.Batch must be Release()d on all paths, and not used after Release",
+	Run:  runArenaLifecycle,
+}
+
+const prepPkgSuffix = "internal/prep"
+
+// isBatchPtr reports whether t is *prep.Batch.
+func isBatchPtr(t types.Type) bool {
+	p, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	n, ok := p.Elem().(*types.Named)
+	return ok && n.Obj().Name() == "Batch" && n.Obj().Pkg() != nil &&
+		strings.HasSuffix(n.Obj().Pkg().Path(), prepPkgSuffix)
+}
+
+func runArenaLifecycle(pass *goanalysis.Pass) (interface{}, error) {
+	idx := buildAllowIndex(pass)
+	for _, f := range pass.Files {
+		if isTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		// Analyze every function body — declarations and literals — each
+		// against its own CFG. A use inside a nested literal is an escape
+		// from the enclosing function's point of view (the closure owns it).
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					analyzeBatchLifecycles(pass, idx, n.Body)
+				}
+			case *ast.FuncLit:
+				analyzeBatchLifecycles(pass, idx, n.Body)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// acquisition is one point where a function takes ownership of a batch.
+type acquisition struct {
+	obj   types.Object   // the batch variable
+	ok    types.Object   // comma-ok companion for receives, or nil
+	rng   *ast.RangeStmt // range acquisition, or nil
+	node  ast.Node       // the acquiring statement (nil for range)
+	ident *ast.Ident     // where to report leaks
+}
+
+func analyzeBatchLifecycles(pass *goanalysis.Pass, idx *allowIndex, body *ast.BlockStmt) {
+	acqs := findAcquisitions(pass, body)
+	if len(acqs) == 0 {
+		return
+	}
+	mayReturn := func(c *ast.CallExpr) bool {
+		id, ok := c.Fun.(*ast.Ident)
+		return !ok || id.Name != "panic"
+	}
+	g := cfg.New(body, mayReturn)
+	for _, a := range acqs {
+		w := &lifecycleWalker{pass: pass, idx: idx, g: g, acq: a}
+		w.checkLeak()
+		w.checkUseAfterRelease()
+	}
+}
+
+// findAcquisitions scans a function body (not descending into nested
+// function literals) for points that take ownership of a *prep.Batch.
+func findAcquisitions(pass *goanalysis.Pass, body *ast.BlockStmt) []*acquisition {
+	var out []*acquisition
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false // analyzed separately
+		case *ast.RangeStmt:
+			key, ok := n.Key.(*ast.Ident)
+			if ok && key.Name != "_" && isBatchPtr(pass.TypesInfo.TypeOf(key)) {
+				if obj := pass.TypesInfo.ObjectOf(key); obj != nil {
+					out = append(out, &acquisition{obj: obj, rng: n, ident: key})
+				}
+			}
+		case *ast.AssignStmt:
+			if len(n.Rhs) != 1 {
+				return true
+			}
+			lhs, ok := n.Lhs[0].(*ast.Ident)
+			if !ok || lhs.Name == "_" || !isBatchPtr(pass.TypesInfo.TypeOf(lhs)) {
+				return true
+			}
+			obj := pass.TypesInfo.ObjectOf(lhs)
+			if obj == nil {
+				return true
+			}
+			switch rhs := n.Rhs[0].(type) {
+			case *ast.UnaryExpr: // b := <-ch  /  b, ok := <-ch
+				if rhs.Op.String() == "<-" {
+					a := &acquisition{obj: obj, node: n, ident: lhs}
+					if len(n.Lhs) == 2 {
+						if okID, isID := n.Lhs[1].(*ast.Ident); isID {
+							a.ok = pass.TypesInfo.ObjectOf(okID)
+						}
+					}
+					out = append(out, a)
+				}
+			case *ast.CallExpr: // b := nextBatch()
+				out = append(out, &acquisition{obj: obj, node: n, ident: lhs})
+			}
+		}
+		return true
+	}
+	ast.Inspect(body, walk)
+	return out
+}
+
+// useKind classifies how one CFG node touches the batch variable.
+type useKind int
+
+const (
+	useNone    useKind = iota
+	useRelease         // b.Release() called
+	useEscape          // ownership transferred (call arg, return, send, store, closure capture)
+	useRedef           // b reassigned
+)
+
+// lifecycleWalker runs the two path checks for one acquisition.
+type lifecycleWalker struct {
+	pass *goanalysis.Pass
+	idx  *allowIndex
+	g    *cfg.CFG
+	acq  *acquisition
+}
+
+// classifyNode inspects one CFG node for uses of the batch variable,
+// returning the strongest lifecycle event it contains plus any arena-field
+// reads (for the use-after-release check).
+func (w *lifecycleWalker) classifyNode(n ast.Node) (kind useKind, fieldReads []*ast.SelectorExpr) {
+	obj := w.acq.obj
+	if as, ok := n.(*ast.AssignStmt); ok {
+		for _, l := range as.Lhs {
+			if id, isID := l.(*ast.Ident); isID && w.pass.TypesInfo.ObjectOf(id) == obj {
+				kind = useRedef
+			}
+		}
+	}
+	var inspect func(node ast.Node, parent ast.Node)
+	inspect = func(node ast.Node, parent ast.Node) {
+		if node == nil {
+			return
+		}
+		if _, isLit := node.(*ast.FuncLit); isLit {
+			// Capture by a closure: the closure owns the batch now.
+			captured := false
+			ast.Inspect(node, func(inner ast.Node) bool {
+				if id, ok := inner.(*ast.Ident); ok && w.pass.TypesInfo.ObjectOf(id) == obj {
+					captured = true
+				}
+				return !captured
+			})
+			if captured {
+				kind = useEscape
+			}
+			return
+		}
+		if id, ok := node.(*ast.Ident); ok && w.pass.TypesInfo.ObjectOf(id) == obj {
+			switch p := parent.(type) {
+			case *ast.SelectorExpr:
+				if p.X == id {
+					fieldReads = append(fieldReads, p)
+					return // neutral: field/method access, judged by caller
+				}
+			case *ast.AssignStmt:
+				for _, l := range p.Lhs {
+					if l == id {
+						return // LHS occurrence, already classified as redef
+					}
+				}
+				// RHS occurrence: aliased into another variable — escape.
+			}
+			if kind != useRelease {
+				kind = useEscape
+			}
+			return
+		}
+		// Release calls: b.Release() with b being our object.
+		if call, ok := node.(*ast.CallExpr); ok {
+			if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Release" {
+				if id, ok := sel.X.(*ast.Ident); ok && w.pass.TypesInfo.ObjectOf(id) == obj {
+					kind = useRelease
+					return
+				}
+			}
+		}
+		for _, child := range childNodes(node) {
+			inspect(child, node)
+		}
+	}
+	inspect(n, nil)
+	return kind, fieldReads
+}
+
+// blockOf finds the CFG block and node index containing the given AST node.
+func (w *lifecycleWalker) blockOf(target ast.Node) (*cfg.Block, int) {
+	for _, b := range w.g.Blocks {
+		for i, n := range b.Nodes {
+			if n == target || (n.Pos() <= target.Pos() && target.End() <= n.End()) {
+				return b, i
+			}
+		}
+	}
+	return nil, 0
+}
+
+// rangeBodyBlock finds the KindRangeBody block of the acquisition's range.
+func (w *lifecycleWalker) rangeBodyBlock() *cfg.Block {
+	for _, b := range w.g.Blocks {
+		if b.Kind == cfg.KindRangeBody && b.Stmt == w.acq.rng {
+			return b
+		}
+	}
+	return nil
+}
+
+// succsFor returns the live successor edges out of block b for this
+// acquisition, dropping the branch on which a comma-ok receive reported a
+// closed channel (no batch acquired there).
+func (w *lifecycleWalker) succsFor(b *cfg.Block) []*cfg.Block {
+	if w.acq.ok == nil || len(b.Nodes) == 0 || len(b.Succs) != 2 {
+		return b.Succs
+	}
+	switch last := b.Nodes[len(b.Nodes)-1].(type) {
+	case *ast.UnaryExpr: // if !ok { ... }: then-branch has no live batch
+		if last.Op.String() == "!" {
+			if id, ok := last.X.(*ast.Ident); ok && w.pass.TypesInfo.ObjectOf(id) == w.acq.ok {
+				return b.Succs[1:]
+			}
+		}
+	case *ast.Ident: // if ok { ... }: else-branch has no live batch
+		if w.pass.TypesInfo.ObjectOf(last) == w.acq.ok {
+			return b.Succs[:1]
+		}
+	}
+	return b.Succs
+}
+
+// checkLeak reports if some path from the acquisition reaches function exit
+// (or rebinds the variable) without releasing or escaping the batch.
+func (w *lifecycleWalker) checkLeak() {
+	var start *cfg.Block
+	startIdx := 0
+	if w.acq.rng != nil {
+		start = w.rangeBodyBlock()
+	} else {
+		b, i := w.blockOf(w.acq.node)
+		start, startIdx = b, i+1
+	}
+	if start == nil {
+		return
+	}
+	visited := make(map[*cfg.Block]bool)
+	leaked := false
+	var walk func(b *cfg.Block, from int)
+	walk = func(b *cfg.Block, from int) {
+		if leaked {
+			return
+		}
+		if from == 0 {
+			if visited[b] {
+				return
+			}
+			visited[b] = true
+		}
+		for i := from; i < len(b.Nodes); i++ {
+			kind, _ := w.classifyNode(b.Nodes[i])
+			switch kind {
+			case useRelease, useEscape:
+				return // path satisfied
+			case useRedef:
+				leaked = true // rebound while still owning the old batch
+				return
+			}
+			if _, ok := b.Nodes[i].(*ast.ReturnStmt); ok {
+				leaked = true
+				return
+			}
+			if isNoReturnCall(b.Nodes[i]) {
+				return // panic path: process is going down anyway
+			}
+		}
+		succs := w.succsFor(b)
+		if len(succs) == 0 {
+			// Fell off the end of the function without Release.
+			if b.Kind != cfg.KindUnreachable {
+				leaked = true
+			}
+			return
+		}
+		for _, s := range succs {
+			walk(s, 0)
+		}
+	}
+	walk(start, startIdx)
+	if leaked {
+		report(w.pass, w.idx, w.acq.ident.Pos(),
+			"batch %s may leak: Release() it (or hand ownership off) on every path — a leaked batch strands an arena and stalls the stream", w.acq.ident.Name)
+	}
+}
+
+// checkUseAfterRelease reports reads of the arena-backed fields (MFG, Buf)
+// reachable after a Release of the same variable, before any rebinding.
+func (w *lifecycleWalker) checkUseAfterRelease() {
+	rangeBody := w.rangeBodyBlock()
+	reported := make(map[*ast.SelectorExpr]bool)
+	for _, b := range w.g.Blocks {
+		for i, n := range b.Nodes {
+			if _, isDefer := n.(*ast.DeferStmt); isDefer {
+				continue // a deferred Release runs at exit, not here
+			}
+			kind, _ := w.classifyNode(n)
+			if kind != useRelease {
+				continue
+			}
+			visited := map[*cfg.Block]bool{}
+			var walk func(blk *cfg.Block, from int)
+			walk = func(blk *cfg.Block, from int) {
+				if from == 0 {
+					if visited[blk] || blk == rangeBody {
+						return // rebound by the next range iteration
+					}
+					visited[blk] = true
+				}
+				for j := from; j < len(blk.Nodes); j++ {
+					kind, reads := w.classifyNode(blk.Nodes[j])
+					for _, sel := range reads {
+						if (sel.Sel.Name == "MFG" || sel.Sel.Name == "Buf") && !reported[sel] {
+							reported[sel] = true
+							report(w.pass, w.idx, sel.Pos(),
+								"read of %s.%s after Release: the arena may already carry the next batch", w.acq.ident.Name, sel.Sel.Name)
+						}
+					}
+					if kind == useRedef || kind == useRelease || kind == useEscape {
+						return
+					}
+				}
+				for _, s := range w.succsFor(blk) {
+					walk(s, 0)
+				}
+			}
+			walk(b, i+1)
+		}
+	}
+}
+
+// isNoReturnCall reports whether the node is a call that never returns
+// (panic), terminating the path. The CFG stores expression statements as
+// the *ast.ExprStmt wrapper, so unwrap before matching: the block holding
+// the panic keeps its original Kind and simply has no successors.
+func isNoReturnCall(n ast.Node) bool {
+	if es, ok := n.(*ast.ExprStmt); ok {
+		n = es.X
+	}
+	call, ok := n.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	return ok && id.Name == "panic"
+}
+
+// childNodes returns the direct AST children of n, a minimal substitute for
+// parent-tracked inspection.
+func childNodes(n ast.Node) []ast.Node {
+	var out []ast.Node
+	first := true
+	ast.Inspect(n, func(c ast.Node) bool {
+		if first {
+			first = false
+			return true
+		}
+		if c != nil {
+			out = append(out, c)
+		}
+		return false
+	})
+	return out
+}

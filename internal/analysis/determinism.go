@@ -1,0 +1,159 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+
+	goanalysis "golang.org/x/tools/go/analysis"
+)
+
+// determinismScope lists the packages whose execution must be a pure
+// function of (dataset, config, seed): the sampling/preparation/training
+// path, where PR 3 pinned bit-identical results across replica counts and
+// execution orders. Scoping is by package basename so the analyzer covers
+// both the real tree and its testdata replicas.
+var determinismScope = map[string]bool{
+	"sampler": true,
+	"prep":    true,
+	"train":   true,
+	"ddp":     true,
+	"nn":      true,
+}
+
+// randSafe lists math/rand package-level functions that do NOT touch the
+// process-global generator; everything else package-level does.
+var randSafe = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewPCG":     true, // math/rand/v2
+	"NewZipf":    true,
+	"NewChaCha8": true,
+}
+
+// Determinism enforces the reproducibility contract of the data path: no
+// draws from the global math/rand generator (seeded per-process, shared
+// across goroutines), no seeds derived from wall-clock time, and no map
+// iteration order feeding ordered results (appends or channel sends).
+// Randomness flows from explicit rng.Rand instances keyed by
+// (seed, epoch, global batch index).
+var Determinism = &goanalysis.Analyzer{
+	Name: "determinism",
+	Doc:  "forbid global math/rand, wall-clock seeds, and map-order-dependent results in the deterministic data path",
+	Run:  runDeterminism,
+}
+
+func runDeterminism(pass *goanalysis.Pass) (interface{}, error) {
+	if !determinismScope[pkgBase(pass.Pkg.Path())] {
+		return nil, nil
+	}
+	idx := buildAllowIndex(pass)
+	for _, f := range pass.Files {
+		if isTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				checkGlobalRand(pass, idx, n)
+				checkWallClockSeed(pass, idx, n)
+			case *ast.RangeStmt:
+				checkMapRange(pass, idx, n)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// checkGlobalRand flags selections of math/rand package-level functions
+// that draw from the process-global generator.
+func checkGlobalRand(pass *goanalysis.Pass, idx *allowIndex, sel *ast.SelectorExpr) {
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return
+	}
+	pn, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+	if !ok {
+		return
+	}
+	path := pn.Imported().Path()
+	if path != "math/rand" && path != "math/rand/v2" {
+		return
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || randSafe[fn.Name()] {
+		return // type names, and constructors taking explicit sources/seeds
+	}
+	report(pass, idx, sel.Sel.Pos(),
+		"%s.%s draws from the process-global generator: use an explicit rng seeded from (seed, epoch, batch index)", pn.Name(), fn.Name())
+}
+
+// checkWallClockSeed flags time.Now().UnixNano() and friends — integerized
+// wall-clock time, the classic nondeterministic seed. Duration timing
+// (time.Since, Sub) stays legal.
+func checkWallClockSeed(pass *goanalysis.Pass, idx *allowIndex, sel *ast.SelectorExpr) {
+	switch sel.Sel.Name {
+	case "Unix", "UnixNano", "UnixMilli", "UnixMicro":
+	default:
+		return
+	}
+	call, ok := sel.X.(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	inner, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || inner.Sel.Name != "Now" {
+		return
+	}
+	id, ok := inner.X.(*ast.Ident)
+	if !ok {
+		return
+	}
+	if pn, ok := pass.TypesInfo.Uses[id].(*types.PkgName); !ok || pn.Imported().Path() != "time" {
+		return
+	}
+	report(pass, idx, sel.Sel.Pos(),
+		"time.Now().%s() derives a value from wall-clock time: seeds in the deterministic data path must come from config", sel.Sel.Name)
+}
+
+// checkMapRange flags `range m` over a map whose body feeds an
+// order-sensitive sink: an append to a variable declared outside the loop,
+// or a channel send. Commutative aggregation (counters, max, set inserts)
+// stays legal.
+func checkMapRange(pass *goanalysis.Pass, idx *allowIndex, rng *ast.RangeStmt) {
+	if _, ok := pass.TypesInfo.TypeOf(rng.X).Underlying().(*types.Map); !ok {
+		return
+	}
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			report(pass, idx, n.Pos(), "channel send inside a map range: map iteration order would feed the receiver")
+			return true
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				call, ok := rhs.(*ast.CallExpr)
+				if !ok || !isBuiltin(pass, call.Fun, "append") || i >= len(n.Lhs) {
+					continue
+				}
+				if target, ok := n.Lhs[i].(*ast.Ident); ok {
+					obj := pass.TypesInfo.ObjectOf(target)
+					if obj != nil && rng.Body.Pos() <= obj.Pos() && obj.Pos() < rng.Body.End() {
+						continue // loop-local accumulation
+					}
+				}
+				report(pass, idx, call.Pos(), "append to an outer slice inside a map range: map iteration order would feed the result")
+			}
+		}
+		return true
+	})
+}
+
+// isBuiltin reports whether fun resolves to the named builtin.
+func isBuiltin(pass *goanalysis.Pass, fun ast.Expr, name string) bool {
+	id, ok := fun.(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, ok = pass.TypesInfo.Uses[id].(*types.Builtin)
+	return ok
+}

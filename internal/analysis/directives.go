@@ -1,0 +1,212 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strings"
+
+	goanalysis "golang.org/x/tools/go/analysis"
+)
+
+// AnalyzerNames is the set of analyzer names a //lint:allow directive may
+// reference. Kept in one place so the directives analyzer and the allow
+// index can't drift from the suite in All.
+var AnalyzerNames = []string{
+	"topologyseam",
+	"arenalifecycle",
+	"noalloc",
+	"determinism",
+	"snapshotpin",
+	"panicdiscipline",
+	"directives",
+}
+
+func knownAnalyzer(name string) bool {
+	for _, n := range AnalyzerNames {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}
+
+// allowRe matches a well-formed suppression directive:
+//
+//	//lint:allow <analyzer> <reason>
+//
+// The reason is mandatory — see the directives analyzer.
+var allowRe = regexp.MustCompile(`^//lint:allow\s+([A-Za-z0-9_]+)(?:\s+(.*))?$`)
+
+// noallocDirective is the annotation that opts a function into the noalloc
+// analyzer. It must appear in a function declaration's doc comment.
+const noallocDirective = "//salient:noalloc"
+
+// allowSite is one //lint:allow occurrence.
+type allowSite struct {
+	analyzer string
+	file     string
+	line     int
+}
+
+// allowRange covers a whole declaration (directive in a func doc comment).
+type allowRange struct {
+	analyzer string
+	pos, end token.Pos
+}
+
+// allowIndex answers "is this diagnostic suppressed?" for one package. An
+// inline directive suppresses diagnostics on its own line and on the line
+// directly below it; a directive in a function's doc comment suppresses the
+// analyzer for the whole function.
+type allowIndex struct {
+	fset  *token.FileSet
+	sites []allowSite
+	spans []allowRange
+}
+
+// buildAllowIndex scans every file in the pass for //lint:allow directives.
+func buildAllowIndex(pass *goanalysis.Pass) *allowIndex {
+	idx := &allowIndex{fset: pass.Fset}
+	for _, f := range pass.Files {
+		docs := make(map[*ast.CommentGroup]*ast.FuncDecl)
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Doc != nil {
+				docs[fd.Doc] = fd
+			}
+		}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := allowRe.FindStringSubmatch(c.Text)
+				if m == nil || strings.TrimSpace(m[2]) == "" {
+					continue // malformed; the directives analyzer reports it
+				}
+				if fd := docs[cg]; fd != nil {
+					idx.spans = append(idx.spans, allowRange{analyzer: m[1], pos: fd.Pos(), end: fd.End()})
+					continue
+				}
+				p := pass.Fset.Position(c.Pos())
+				idx.sites = append(idx.sites, allowSite{analyzer: m[1], file: p.Filename, line: p.Line})
+			}
+		}
+	}
+	return idx
+}
+
+// allowed reports whether a diagnostic from the named analyzer at pos is
+// suppressed by a //lint:allow directive.
+func (idx *allowIndex) allowed(name string, pos token.Pos) bool {
+	p := idx.fset.Position(pos)
+	for _, s := range idx.sites {
+		if s.analyzer == name && s.file == p.Filename && (s.line == p.Line || s.line == p.Line-1) {
+			return true
+		}
+	}
+	for _, r := range idx.spans {
+		if r.analyzer == name && pos >= r.pos && pos < r.end {
+			return true
+		}
+	}
+	return false
+}
+
+// report emits a diagnostic unless a //lint:allow directive covers it.
+func report(pass *goanalysis.Pass, idx *allowIndex, pos token.Pos, format string, args ...interface{}) {
+	if idx.allowed(pass.Analyzer.Name, pos) {
+		return
+	}
+	pass.Reportf(pos, format, args...)
+}
+
+// isTestFile reports whether the file containing pos is a _test.go file.
+// The data-path contracts protect production code; white-box tests may poke
+// representation internals by design.
+func isTestFile(fset *token.FileSet, pos token.Pos) bool {
+	return strings.HasSuffix(fset.Position(pos).Filename, "_test.go")
+}
+
+// pkgBase returns the last path element of the package under analysis,
+// which is how the scoped analyzers (determinism, snapshotpin) name the
+// packages they police — it matches both the real tree and the testdata
+// replicas under internal/analysis/testdata/src.
+func pkgBase(path string) string {
+	if i := strings.LastIndex(path, "/"); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}
+
+// Directives validates the suite's two comment directives: //lint:allow
+// must name a known analyzer and give a reason, and //salient:noalloc must
+// be attached to a function declaration's doc comment.
+var Directives = &goanalysis.Analyzer{
+	Name: "directives",
+	Doc:  "check that //lint:allow and //salient:noalloc directives are well-formed",
+	Run:  runDirectives,
+}
+
+var (
+	spacedAllowRe   = regexp.MustCompile(`^//\s+lint:allow\b`)
+	spacedNoallocRe = regexp.MustCompile(`^//\s+salient:noalloc\b`)
+)
+
+func runDirectives(pass *goanalysis.Pass) (interface{}, error) {
+	for _, f := range pass.Files {
+		funcDocs := make(map[*ast.CommentGroup]bool)
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Doc != nil {
+				funcDocs[fd.Doc] = true
+			}
+		}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := c.Text
+				switch {
+				case spacedAllowRe.MatchString(text):
+					pass.Reportf(c.Pos(), "malformed directive %q: write //lint:allow with no space after //", text)
+				case spacedNoallocRe.MatchString(text):
+					pass.Reportf(c.Pos(), "malformed directive %q: write //salient:noalloc with no space after //", text)
+				case strings.HasPrefix(text, "//lint:allow"):
+					m := allowRe.FindStringSubmatch(text)
+					switch {
+					case m == nil:
+						pass.Reportf(c.Pos(), "malformed //lint:allow directive %q: want //lint:allow <analyzer> <reason>", text)
+					case !knownAnalyzer(m[1]):
+						pass.Reportf(c.Pos(), "//lint:allow names unknown analyzer %q", m[1])
+					case strings.TrimSpace(m[2]) == "":
+						pass.Reportf(c.Pos(), "//lint:allow %s is missing its reason: document why the %s contract does not apply here", m[1], m[1])
+					}
+				case strings.HasPrefix(text, noallocDirective):
+					if rest := text[len(noallocDirective):]; rest != "" && !strings.HasPrefix(rest, " ") {
+						break // some other directive sharing the prefix
+					}
+					if !funcDocs[cg] {
+						pass.Reportf(c.Pos(), "//salient:noalloc must appear in a function declaration's doc comment")
+					}
+				}
+			}
+		}
+	}
+	return nil, nil
+}
+
+// noallocFuncs returns the function declarations in the pass annotated with
+// //salient:noalloc.
+func noallocFuncs(pass *goanalysis.Pass) []*ast.FuncDecl {
+	var out []*ast.FuncDecl
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Doc == nil {
+				continue
+			}
+			for _, c := range fd.Doc.List {
+				if c.Text == noallocDirective || strings.HasPrefix(c.Text, noallocDirective+" ") {
+					out = append(out, fd)
+					break
+				}
+			}
+		}
+	}
+	return out
+}

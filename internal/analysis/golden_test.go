@@ -1,0 +1,254 @@
+package analysis_test
+
+// Golden tests for the salientlint suite. The stock analysistest harness is
+// not vendored, so this is a minimal equivalent built on the unitchecker
+// protocol itself: build cmd/salientlint once, run it through
+// `go vet -json -vettool=...` over the fixture packages under
+// testdata/src/<analyzer>/..., and compare the JSON diagnostics against
+// expectation comments in the fixtures:
+//
+//	code() // want "regexp" ["regexp" ...]
+//	// want-above "regexp"      (expectation for the previous line, for
+//	                             fixtures where the line under test is
+//	                             itself a comment, e.g. directive syntax)
+//
+// Each fixture tree is checked only against its own analyzer — fixtures
+// legitimately trip other analyzers (every testdata import path contains
+// "internal/", so panics there trip panicdiscipline, for example).
+//
+// Driving the real `go vet` protocol end to end is the point: the same
+// binary and invocation CI uses must both report every seeded violation and
+// honor every //lint:allow suppression in the fixtures.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// diagnostic mirrors one entry of `go vet -json` output.
+type diagnostic struct {
+	Posn    string `json:"posn"`
+	Message string `json:"message"`
+}
+
+func TestGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and execs the vet tool")
+	}
+	root := repoRoot(t)
+	tool := buildTool(t, root)
+
+	tdRoot := filepath.Join(root, "internal", "analysis", "testdata", "src")
+	entries, err := os.ReadDir(tdRoot)
+	if err != nil {
+		t.Fatalf("reading testdata: %v", err)
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		analyzer := e.Name()
+		t.Run(analyzer, func(t *testing.T) {
+			runGolden(t, root, tool, analyzer, filepath.Join(tdRoot, analyzer))
+		})
+	}
+}
+
+func runGolden(t *testing.T, root, tool, analyzer, dir string) {
+	pkgs := packageDirs(t, root, dir)
+	if len(pkgs) == 0 {
+		t.Fatalf("no fixture packages under %s", dir)
+	}
+	diags := vetJSON(t, root, tool, pkgs)
+
+	// Actual: this analyzer's diagnostics across all fixture packages,
+	// keyed by file:line.
+	actual := make(map[string][]string)
+	for _, perAnalyzer := range diags {
+		for _, d := range perAnalyzer[analyzer] {
+			key := trimColumn(d.Posn)
+			actual[key] = append(actual[key], d.Message)
+		}
+	}
+
+	// Expected: want annotations in the fixture sources, same key.
+	expected := wantAnnotations(t, dir)
+
+	for key, msgs := range actual {
+		wants := expected[key]
+		for _, msg := range msgs {
+			matched := false
+			for i, w := range wants {
+				if w != nil && w.MatchString(msg) {
+					wants[i] = nil // consume
+					matched = true
+					break
+				}
+			}
+			if !matched {
+				t.Errorf("unexpected diagnostic at %s: %s", key, msg)
+			}
+		}
+	}
+	for key, wants := range expected {
+		for _, w := range wants {
+			if w != nil {
+				t.Errorf("missing diagnostic at %s: want match for %q", key, w)
+			}
+		}
+	}
+}
+
+// repoRoot walks up from the test's working directory to the module root.
+func repoRoot(t *testing.T) string {
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("go.mod not found above test directory")
+		}
+		dir = parent
+	}
+}
+
+// buildTool compiles cmd/salientlint into the test's temp dir.
+func buildTool(t *testing.T, root string) string {
+	tool := filepath.Join(t.TempDir(), "salientlint")
+	cmd := exec.Command("go", "build", "-o", tool, "./cmd/salientlint")
+	cmd.Dir = root
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building salientlint: %v\n%s", err, out)
+	}
+	return tool
+}
+
+// packageDirs lists the fixture package directories under dir as ./-relative
+// package patterns (testdata is invisible to ./... expansion, so each
+// package must be named explicitly).
+func packageDirs(t *testing.T, root, dir string) []string {
+	var pkgs []string
+	err := filepath.Walk(dir, func(path string, info os.FileInfo, err error) error {
+		if err != nil || !info.IsDir() {
+			return err
+		}
+		gofiles, globErr := filepath.Glob(filepath.Join(path, "*.go"))
+		if globErr != nil {
+			return globErr
+		}
+		if len(gofiles) > 0 {
+			rel, relErr := filepath.Rel(root, path)
+			if relErr != nil {
+				return relErr
+			}
+			pkgs = append(pkgs, "./"+filepath.ToSlash(rel))
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("walking %s: %v", dir, err)
+	}
+	sort.Strings(pkgs)
+	return pkgs
+}
+
+// vetJSON runs the vet tool over the packages and parses the -json output:
+// a stream of `# pkg` comment lines interleaved with one JSON object per
+// package, mapping package ID -> analyzer -> diagnostics.
+func vetJSON(t *testing.T, root, tool string, pkgs []string) map[string]map[string][]diagnostic {
+	args := append([]string{"vet", "-vettool=" + tool, "-json"}, pkgs...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = root
+	out, runErr := cmd.CombinedOutput() // vet may exit non-zero on diagnostics
+
+	merged := make(map[string]map[string][]diagnostic)
+	var jsonText bytes.Buffer
+	for _, line := range strings.Split(string(out), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		jsonText.WriteString(line)
+		jsonText.WriteString("\n")
+	}
+	dec := json.NewDecoder(&jsonText)
+	for dec.More() {
+		var unit map[string]map[string][]diagnostic
+		if err := dec.Decode(&unit); err != nil {
+			t.Fatalf("parsing vet -json output: %v\nvet error: %v\noutput:\n%s", err, runErr, out)
+		}
+		for pkg, m := range unit {
+			merged[pkg] = m
+		}
+	}
+	if len(merged) == 0 && runErr != nil {
+		t.Fatalf("go vet failed: %v\n%s", runErr, out)
+	}
+	return merged
+}
+
+var wantQuoted = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+// wantAnnotations collects // want and // want-above expectations from
+// every fixture source under dir, keyed by absolute file:line.
+func wantAnnotations(t *testing.T, dir string) map[string][]*regexp.Regexp {
+	expected := make(map[string][]*regexp.Regexp)
+	err := filepath.Walk(dir, func(path string, info os.FileInfo, err error) error {
+		if err != nil || info.IsDir() || !strings.HasSuffix(path, ".go") {
+			return err
+		}
+		data, readErr := os.ReadFile(path)
+		if readErr != nil {
+			return readErr
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			tag, above := "// want ", false
+			idx := strings.Index(line, "// want-above ")
+			if idx >= 0 {
+				tag, above = "// want-above ", true
+			} else {
+				idx = strings.Index(line, tag)
+			}
+			if idx < 0 {
+				continue
+			}
+			lineNo := i + 1
+			if above {
+				lineNo--
+			}
+			key := fmt.Sprintf("%s:%d", path, lineNo)
+			for _, m := range wantQuoted.FindAllStringSubmatch(line[idx+len(tag):], -1) {
+				re, compErr := regexp.Compile(m[1])
+				if compErr != nil {
+					t.Fatalf("%s:%d: bad want pattern %q: %v", path, i+1, m[1], compErr)
+				}
+				expected[key] = append(expected[key], re)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("scanning %s: %v", dir, err)
+	}
+	return expected
+}
+
+// trimColumn reduces "file:line:col" to "file:line".
+func trimColumn(posn string) string {
+	if i := strings.LastIndex(posn, ":"); i > 0 {
+		return posn[:i]
+	}
+	return posn
+}

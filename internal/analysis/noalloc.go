@@ -1,0 +1,334 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+
+	goanalysis "golang.org/x/tools/go/analysis"
+)
+
+// NoAlloc checks functions annotated `//salient:noalloc` — the
+// sampler→slicing→decode hot path whose 0 allocs/batch steady state the
+// AllocsPerRun CI gate measures — for constructs that allocate per call:
+//
+//   - make/new and map/slice/pointer composite literals, unless inside a
+//     growth guard (an if whose condition tests cap/len or nil), the
+//     amortized-zero grow-on-demand idiom;
+//   - append outside the self-append form `x = append(x, ...)` (self-append
+//     into a recycled arena buffer is amortized zero; append into a fresh
+//     destination allocates every call);
+//   - closures (function literals capture at creation);
+//   - fmt calls, string concatenation, and string<->[]byte/[]rune
+//     conversions;
+//   - go and defer statements.
+//
+// Failure paths are exempt: arguments of panic(...) and the entirety of
+// return statements in error-returning functions only execute when a batch
+// is rejected, which the allocation gate never measures.
+//
+// The check is intentionally non-transitive — callees are opaque — so the
+// static annotation and the dynamic AllocsPerRun gate cross-check each
+// other: the analyzer catches the construct the benchmark would only
+// surface as a regressed counter, and the benchmark catches allocating
+// callees the analyzer cannot see.
+var NoAlloc = &goanalysis.Analyzer{
+	Name: "noalloc",
+	Doc:  "forbid steady-state-allocating constructs in functions annotated //salient:noalloc",
+	Run:  runNoAlloc,
+}
+
+func runNoAlloc(pass *goanalysis.Pass) (interface{}, error) {
+	idx := buildAllowIndex(pass)
+	for _, fd := range noallocFuncs(pass) {
+		if fd.Body == nil {
+			continue
+		}
+		c := &noallocChecker{pass: pass, idx: idx, errReturn: hasErrorResult(pass, fd)}
+		c.stmt(fd.Body, false)
+	}
+	return nil, nil
+}
+
+// hasErrorResult reports whether any of the function's results implements
+// the error interface.
+func hasErrorResult(pass *goanalysis.Pass, fd *ast.FuncDecl) bool {
+	sig, ok := pass.TypesInfo.Defs[fd.Name].Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	errIface := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	for i := 0; i < sig.Results().Len(); i++ {
+		if types.Implements(sig.Results().At(i).Type(), errIface) {
+			return true
+		}
+	}
+	return false
+}
+
+type noallocChecker struct {
+	pass      *goanalysis.Pass
+	idx       *allowIndex
+	errReturn bool
+}
+
+func (c *noallocChecker) reportf(n ast.Node, format string, args ...interface{}) {
+	report(c.pass, c.idx, n.Pos(), format, args...)
+}
+
+// stmt walks a statement. guarded is true inside the body of a growth
+// guard, where one-time or amortized allocation is the point.
+func (c *noallocChecker) stmt(s ast.Stmt, guarded bool) {
+	switch s := s.(type) {
+	case nil:
+	case *ast.BlockStmt:
+		for _, st := range s.List {
+			c.stmt(st, guarded)
+		}
+	case *ast.IfStmt:
+		c.stmt(s.Init, guarded)
+		c.expr(s.Cond, guarded)
+		c.stmt(s.Body, guarded || isGrowthGuard(s.Cond))
+		c.stmt(s.Else, guarded)
+	case *ast.ForStmt:
+		c.stmt(s.Init, guarded)
+		if s.Cond != nil {
+			c.expr(s.Cond, guarded)
+		}
+		c.stmt(s.Post, guarded)
+		c.stmt(s.Body, guarded)
+	case *ast.RangeStmt:
+		c.expr(s.X, guarded)
+		c.stmt(s.Body, guarded)
+	case *ast.ReturnStmt:
+		if c.errReturn {
+			return // failure path: executes once per rejected batch, not per row
+		}
+		for _, r := range s.Results {
+			c.expr(r, guarded)
+		}
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok && isBuiltin(c.pass, call.Fun, "panic") {
+			return // failure path
+		}
+		c.expr(s.X, guarded)
+	case *ast.AssignStmt:
+		for i, rhs := range s.Rhs {
+			if call, ok := rhs.(*ast.CallExpr); ok && isBuiltin(c.pass, call.Fun, "append") &&
+				i < len(s.Lhs) && types.ExprString(s.Lhs[i]) == types.ExprString(call.Args[0]) {
+				// Self-append x = append(x, ...): amortized zero over a
+				// recycled buffer. Still check the appended operands.
+				for _, a := range call.Args[1:] {
+					c.expr(a, guarded)
+				}
+				continue
+			}
+			c.expr(rhs, guarded)
+		}
+		for _, lhs := range s.Lhs {
+			c.expr(lhs, guarded)
+		}
+	case *ast.GoStmt:
+		c.reportf(s, "go statement in //salient:noalloc function: spawning a goroutine allocates")
+	case *ast.DeferStmt:
+		c.reportf(s, "defer in //salient:noalloc function: deferred calls may allocate; restructure the hot path")
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						c.expr(v, guarded)
+					}
+				}
+			}
+		}
+	case *ast.SwitchStmt:
+		c.stmt(s.Init, guarded)
+		if s.Tag != nil {
+			c.expr(s.Tag, guarded)
+		}
+		c.stmt(s.Body, guarded)
+	case *ast.TypeSwitchStmt:
+		c.stmt(s.Init, guarded)
+		c.stmt(s.Assign, guarded)
+		c.stmt(s.Body, guarded)
+	case *ast.SelectStmt:
+		c.stmt(s.Body, guarded)
+	case *ast.CaseClause:
+		for _, e := range s.List {
+			c.expr(e, guarded)
+		}
+		for _, st := range s.Body {
+			c.stmt(st, guarded)
+		}
+	case *ast.CommClause:
+		c.stmt(s.Comm, guarded)
+		for _, st := range s.Body {
+			c.stmt(st, guarded)
+		}
+	case *ast.SendStmt:
+		c.expr(s.Chan, guarded)
+		c.expr(s.Value, guarded)
+	case *ast.LabeledStmt:
+		c.stmt(s.Stmt, guarded)
+	case *ast.IncDecStmt:
+		c.expr(s.X, guarded)
+	case *ast.BranchStmt, *ast.EmptyStmt:
+	}
+}
+
+// expr walks an expression, reporting allocating constructs.
+func (c *noallocChecker) expr(e ast.Expr, guarded bool) {
+	switch e := e.(type) {
+	case nil:
+	case *ast.CallExpr:
+		c.call(e, guarded)
+	case *ast.FuncLit:
+		c.reportf(e, "closure in //salient:noalloc function: function literals allocate at creation; pre-bind them at construction time")
+	case *ast.CompositeLit:
+		switch c.pass.TypesInfo.TypeOf(e).Underlying().(type) {
+		case *types.Map, *types.Slice:
+			if !guarded {
+				c.reportf(e, "map/slice literal allocates in //salient:noalloc function")
+			}
+		}
+		for _, el := range e.Elts {
+			c.expr(el, guarded)
+		}
+	case *ast.UnaryExpr:
+		if cl, ok := e.X.(*ast.CompositeLit); ok && e.Op.String() == "&" {
+			if !guarded {
+				c.reportf(e, "pointer composite literal allocates in //salient:noalloc function")
+			}
+			for _, el := range cl.Elts {
+				c.expr(el, guarded)
+			}
+			return
+		}
+		c.expr(e.X, guarded)
+	case *ast.BinaryExpr:
+		if e.Op.String() == "+" {
+			if t, ok := c.pass.TypesInfo.TypeOf(e).Underlying().(*types.Basic); ok && t.Info()&types.IsString != 0 {
+				c.reportf(e, "string concatenation allocates in //salient:noalloc function")
+			}
+		}
+		c.expr(e.X, guarded)
+		c.expr(e.Y, guarded)
+	case *ast.ParenExpr:
+		c.expr(e.X, guarded)
+	case *ast.StarExpr:
+		c.expr(e.X, guarded)
+	case *ast.SelectorExpr:
+		c.expr(e.X, guarded)
+	case *ast.IndexExpr:
+		c.expr(e.X, guarded)
+		c.expr(e.Index, guarded)
+	case *ast.SliceExpr:
+		c.expr(e.X, guarded)
+		c.expr(e.Low, guarded)
+		c.expr(e.High, guarded)
+		c.expr(e.Max, guarded)
+	case *ast.TypeAssertExpr:
+		c.expr(e.X, guarded)
+	case *ast.KeyValueExpr:
+		c.expr(e.Value, guarded)
+	}
+}
+
+// call handles calls: allocating builtins, conversions, and fmt.
+func (c *noallocChecker) call(call *ast.CallExpr, guarded bool) {
+	switch {
+	case isBuiltin(c.pass, call.Fun, "make"), isBuiltin(c.pass, call.Fun, "new"):
+		if !guarded {
+			c.reportf(call, "%s allocates per call in //salient:noalloc function: guard growth with a cap/len/nil check", call.Fun.(*ast.Ident).Name)
+		}
+	case isBuiltin(c.pass, call.Fun, "append"):
+		// The legal self-append form is intercepted at the AssignStmt; an
+		// append reaching here feeds a fresh destination.
+		c.reportf(call, "append outside the `x = append(x, ...)` self-append form may grow a fresh slice per call in //salient:noalloc function")
+	case c.isConversion(call):
+		c.checkConversion(call, guarded)
+	case isPkgCall(c.pass, call, "fmt"):
+		c.reportf(call, "fmt call allocates in //salient:noalloc function (outside panic/error paths)")
+	}
+	for _, a := range call.Args {
+		c.expr(a, guarded)
+	}
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		c.expr(sel.X, guarded)
+	}
+}
+
+func (c *noallocChecker) isConversion(call *ast.CallExpr) bool {
+	tv, ok := c.pass.TypesInfo.Types[call.Fun]
+	return ok && tv.IsType()
+}
+
+// checkConversion flags conversions that copy (string <-> byte/rune slices)
+// or box (concrete value into interface type).
+func (c *noallocChecker) checkConversion(call *ast.CallExpr, guarded bool) {
+	if guarded || len(call.Args) != 1 {
+		return
+	}
+	dst := c.pass.TypesInfo.TypeOf(call.Fun).Underlying()
+	src := c.pass.TypesInfo.TypeOf(call.Args[0])
+	if src == nil {
+		return
+	}
+	dstStr := isString(dst)
+	srcStr := isString(src.Underlying())
+	_, dstSlice := dst.(*types.Slice)
+	_, srcSlice := src.Underlying().(*types.Slice)
+	switch {
+	case dstStr && srcSlice, srcStr && dstSlice:
+		c.reportf(call, "string/slice conversion copies per call in //salient:noalloc function")
+	}
+	if iface, ok := dst.(*types.Interface); ok && !iface.Empty() || isAnyInterface(dst) {
+		if _, srcIface := src.Underlying().(*types.Interface); !srcIface {
+			c.reportf(call, "conversion to interface boxes its operand in //salient:noalloc function")
+		}
+	}
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isAnyInterface(t types.Type) bool {
+	iface, ok := t.(*types.Interface)
+	return ok && iface.Empty()
+}
+
+// isGrowthGuard reports whether an if condition is a growth/lazy-init
+// guard: it compares cap or len, or tests nil.
+func isGrowthGuard(cond ast.Expr) bool {
+	guard := false
+	ast.Inspect(cond, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if id, ok := n.Fun.(*ast.Ident); ok && (id.Name == "cap" || id.Name == "len") {
+				guard = true
+			}
+		case *ast.Ident:
+			if n.Name == "nil" {
+				guard = true
+			}
+		}
+		return !guard
+	})
+	return guard
+}
+
+// isPkgCall reports whether call is a selector call into the named package.
+func isPkgCall(pass *goanalysis.Pass, call *ast.CallExpr, pkg string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+	return ok && pn.Imported().Path() == pkg
+}

@@ -1,0 +1,52 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	goanalysis "golang.org/x/tools/go/analysis"
+)
+
+// PanicDiscipline makes panics in library code a deliberate, documented
+// decision: every `panic(...)` in an internal package must carry a
+// //lint:allow panicdiscipline <reason> directive explaining the contract
+// (an unrecoverable programmer error, a corruption tripwire like the arena
+// pool's double-release guard, a documented API contract like
+// sampler.Sample's). Panics on recoverable conditions — bad input, resource
+// exhaustion — must be returned errors instead, the conversion PR 2 started
+// for the prep executors and this analyzer finishes everywhere.
+var PanicDiscipline = &goanalysis.Analyzer{
+	Name: "panicdiscipline",
+	Doc:  "library panics must be documented contracts (//lint:allow panicdiscipline <reason>) or converted to returned errors",
+	Run:  runPanicDiscipline,
+}
+
+func runPanicDiscipline(pass *goanalysis.Pass) (interface{}, error) {
+	if !strings.Contains(pass.Pkg.Path(), "internal/") {
+		return nil, nil // library discipline; main packages may die loudly
+	}
+	idx := buildAllowIndex(pass)
+	for _, f := range pass.Files {
+		if isTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			id, ok := call.Fun.(*ast.Ident)
+			if !ok || id.Name != "panic" {
+				return true
+			}
+			if _, ok := pass.TypesInfo.Uses[id].(*types.Builtin); !ok {
+				return true
+			}
+			report(pass, idx, call.Pos(),
+				"panic in library code: return an error for recoverable conditions, or document the panic contract with //lint:allow panicdiscipline <reason>")
+			return true
+		})
+	}
+	return nil, nil
+}

@@ -1,0 +1,89 @@
+// Package consumer is an arenalifecycle golden-test fixture: consumers of
+// *prep.Batch must Release on every path and never read arena-backed fields
+// after Release.
+package consumer
+
+import (
+	"salient/internal/mfg"
+	"salient/internal/prep"
+)
+
+// Drain releases every batch, with a panic-terminated failure path: legal.
+func Drain(s *prep.Stream) int {
+	n := 0
+	for b := range s.C {
+		if b.Err != nil {
+			panic(b.Err) //lint:allow panicdiscipline fixture; failure paths terminate the walk
+		}
+		n++
+		b.Release()
+	}
+	return n
+}
+
+// LeakAll never releases.
+func LeakAll(s *prep.Stream) int {
+	n := 0
+	for b := range s.C { // want "batch b may leak"
+		if b.Err == nil {
+			n++
+		}
+	}
+	return n
+}
+
+// LeakOnError releases on the happy path but lets errored batches slip out
+// through continue, stalling the stream.
+func LeakOnError(s *prep.Stream) int {
+	n := 0
+	for b := range s.C { // want "batch b may leak"
+		if b.Err != nil {
+			continue
+		}
+		n++
+		b.Release()
+	}
+	return n
+}
+
+// NextOne handles the comma-ok receive: on the closed-channel branch no
+// batch was acquired, so the early return is legal.
+func NextOne(ch <-chan *prep.Batch) bool {
+	b, ok := <-ch
+	if !ok {
+		return false
+	}
+	b.Release()
+	return true
+}
+
+// UseAfterRelease reads an arena-backed field after Release, when the arena
+// may already carry the next batch.
+func UseAfterRelease(next func() *prep.Batch) *mfg.MFG {
+	b := next()
+	b.Release()
+	return b.MFG // want "read of b\.MFG after Release"
+}
+
+// ReadThenRelease consumes the batch before releasing: legal.
+func ReadThenRelease(next func() *prep.Batch) int64 {
+	b := next()
+	n := b.TransferBytes()
+	b.Release()
+	return n
+}
+
+// Handoff transfers ownership over a channel: the receiver releases.
+func Handoff(s *prep.Stream, sink chan<- *prep.Batch) {
+	for b := range s.C {
+		sink <- b
+	}
+}
+
+// HoldForever documents an intentional leak.
+func HoldForever(next func() *prep.Batch) {
+	b := next() //lint:allow arenalifecycle fixture for the suppression path; batch intentionally pinned for process lifetime
+	if b.Err != nil {
+		return
+	}
+}

@@ -1,0 +1,78 @@
+// Package sampler is a determinism golden-test fixture. Its directory
+// basename puts it in the analyzer's scope, like the real sampling package.
+package sampler
+
+import (
+	"math/rand"
+	"time"
+)
+
+// ShuffleGlobal draws from the process-global generator.
+func ShuffleGlobal(xs []int32) {
+	rand.Shuffle(len(xs), func(i, j int) { // want "draws from the process-global generator"
+		xs[i], xs[j] = xs[j], xs[i]
+	})
+}
+
+// WallSeed derives a seed from wall-clock time.
+func WallSeed() int64 {
+	return time.Now().UnixNano() // want "derives a value from wall-clock time"
+}
+
+// NewRNG builds an explicitly seeded generator: the constructors are legal.
+func NewRNG(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// Draw uses an explicit generator instance: legal.
+func Draw(r *rand.Rand, n int32) int32 {
+	return r.Int31n(n)
+}
+
+// CollectOuter appends map-ordered values to an outer slice.
+func CollectOuter(m map[int32][]int32) []int32 {
+	var out []int32
+	for _, vs := range m {
+		out = append(out, vs...) // want "map iteration order would feed the result"
+	}
+	return out
+}
+
+// SendOrdered forwards map iteration order to a receiver.
+func SendOrdered(m map[int32]int32, ch chan int32) {
+	for k := range m {
+		ch <- k // want "map iteration order would feed the receiver"
+	}
+}
+
+// MaxValue aggregates commutatively over a map: legal.
+func MaxValue(m map[int32]int32) int32 {
+	var max int32
+	for _, v := range m {
+		if v > max {
+			max = v
+		}
+	}
+	return max
+}
+
+// CountLocal appends only to a loop-local scratch slice: legal.
+func CountLocal(m map[int32][]int32) int {
+	n := 0
+	for _, vs := range m {
+		var tmp []int32
+		tmp = append(tmp, vs...)
+		n += len(tmp)
+	}
+	return n
+}
+
+// SortedKeys collects map keys with a documented suppression: the caller
+// sorts before use, so iteration order never reaches a result.
+func SortedKeys(m map[int32]int32) []int32 {
+	out := make([]int32, 0, len(m))
+	for k := range m {
+		out = append(out, k) //lint:allow determinism fixture for the suppression path; caller sorts before use
+	}
+	return out
+}

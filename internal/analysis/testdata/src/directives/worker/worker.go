@@ -1,0 +1,42 @@
+// Package worker is a directives golden-test fixture: the directive syntax
+// itself is checked, so malformed suppressions fail loudly instead of
+// silently not suppressing. Expectations use want-above because a second
+// comment cannot share a line with the directive under test.
+package worker
+
+// Spaced directives do not parse as directives at all.
+//
+// lint:allow topologyseam spaced out
+// want-above "no space after //"
+
+// Bare directives name no analyzer.
+//
+//lint:allow
+// want-above "want //lint:allow <analyzer> <reason>"
+
+// Unknown analyzers are typos waiting to un-suppress.
+//
+//lint:allow nosuchanalyzer the name is wrong
+// want-above "unknown analyzer"
+
+// Reasons are mandatory.
+//
+//lint:allow topologyseam
+// want-above "missing its reason"
+
+// Noalloc annotations must sit on a function declaration; this group is
+// deliberately detached from the declaration below.
+//
+//salient:noalloc
+// want-above "must appear in a function declaration's doc comment"
+
+var scratch []int32
+
+// Grow is well-formed on both counts: no diagnostics.
+//
+//salient:noalloc
+func Grow(n int) {
+	if cap(scratch) < n {
+		scratch = make([]int32, 0, n) //lint:allow noalloc fixture; well-formed directive under test
+	}
+}

@@ -1,0 +1,85 @@
+// Package kernels is a noalloc golden-test fixture: functions annotated
+// //salient:noalloc must not contain steady-state-allocating constructs.
+package kernels
+
+import "fmt"
+
+// Scratch is a recycled buffer in the arena style.
+type Scratch struct {
+	xs []int32
+}
+
+// Reset grows on demand behind a cap guard and reslices: legal.
+//
+//salient:noalloc
+func (s *Scratch) Reset(n int) {
+	if cap(s.xs) < n {
+		s.xs = make([]int32, 0, n)
+	}
+	s.xs = s.xs[:0]
+}
+
+// Push self-appends into the recycled buffer: legal.
+//
+//salient:noalloc
+func (s *Scratch) Push(v int32) {
+	s.xs = append(s.xs, v)
+}
+
+// Fresh allocates a new slice every call.
+//
+//salient:noalloc
+func Fresh(n int) []int32 {
+	return make([]int32, n) // want "make allocates per call"
+}
+
+// Collect appends into a fresh destination.
+//
+//salient:noalloc
+func Collect(dst, src []int32) []int32 {
+	out := append(dst, src...) // want "self-append form"
+	return out
+}
+
+// Describe allocates through fmt, a literal, and concatenation.
+//
+//salient:noalloc
+func Describe(name string, n int) string {
+	ks := []int{n}    // want "map/slice literal allocates"
+	fmt.Println(ks)   // want "fmt call allocates"
+	return name + "!" // want "string concatenation allocates"
+}
+
+// Spawn starts a goroutine per call.
+//
+//salient:noalloc
+func Spawn(ch chan int32, v int32) {
+	go func() { ch <- v }() // want "go statement"
+}
+
+// Validate may allocate on its error path, which the gate never measures:
+// legal.
+//
+//salient:noalloc
+func Validate(n int) error {
+	if n < 0 {
+		return fmt.Errorf("kernels: negative length %d", n)
+	}
+	return nil
+}
+
+// Must may allocate its panic argument: failure path, legal.
+//
+//salient:noalloc
+func Must(ok bool) {
+	if !ok {
+		panic(fmt.Sprintf("kernels: invariant violated"))
+	}
+}
+
+// Setup allocates once at construction with a documented suppression.
+//
+//salient:noalloc
+func Setup(n int) []int64 {
+	return make([]int64, n) //lint:allow noalloc fixture for the suppression path; one-time setup outside the gate
+}

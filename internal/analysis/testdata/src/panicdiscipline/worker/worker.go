@@ -1,0 +1,38 @@
+// Package worker is a panicdiscipline golden-test fixture: its import path
+// contains internal/, so library panics need an error return or a
+// documented contract.
+package worker
+
+import "errors"
+
+// ErrEmpty reports an empty work list.
+var ErrEmpty = errors.New("worker: empty work list")
+
+// First panics on bad input instead of returning an error.
+func First(xs []int32) int32 {
+	if len(xs) == 0 {
+		panic("worker: empty work list") // want "panic in library code"
+	}
+	return xs[0]
+}
+
+// FirstChecked returns the error instead: legal.
+func FirstChecked(xs []int32) (int32, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	return xs[0], nil
+}
+
+// mustIndex documents its panic as an invariant contract.
+func mustIndex(i, n int) int {
+	if i < 0 || i >= n {
+		panic("worker: index out of range") //lint:allow panicdiscipline fixture for the suppression path; documented caller contract
+	}
+	return i
+}
+
+// Pick exercises mustIndex so it is not dead code.
+func Pick(xs []int32, i int) int32 {
+	return xs[mustIndex(i, len(xs))]
+}

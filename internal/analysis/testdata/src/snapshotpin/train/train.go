@@ -1,0 +1,55 @@
+// Package train is a snapshotpin golden-test fixture. Its directory
+// basename puts it in the analyzer's scope, like the real training package.
+package train
+
+import "salient/internal/graph"
+
+// EpochRepin re-pins the graph inside the step loop: each iteration could
+// observe a different topology version.
+func EpochRepin(d graph.Snapshotter, steps int) int64 {
+	var edges int64
+	for i := 0; i < steps; i++ {
+		s := d.Snapshot() // want "re-pins the graph mid-epoch"
+		edges += s.NumEdges()
+	}
+	return edges
+}
+
+// EpochPinned pins once before the loop and passes the snapshot down: legal.
+func EpochPinned(d graph.Snapshotter, steps int) int64 {
+	s := d.Snapshot()
+	var edges int64
+	for i := 0; i < steps; i++ {
+		edges += s.NumEdges()
+	}
+	return edges
+}
+
+// RangeRepin also trips inside range loops.
+func RangeRepin(d graph.Snapshotter, epochs []int) int64 {
+	var edges int64
+	for range epochs {
+		edges += d.Snapshot().NumEdges() // want "re-pins the graph mid-epoch"
+	}
+	return edges
+}
+
+// PinnedSelf calls Snapshot on an already-pinned snapshot, which returns
+// itself and stays legal inside loops.
+func PinnedSelf(s *graph.Snapshot, steps int) int64 {
+	var edges int64
+	for i := 0; i < steps; i++ {
+		edges += s.Snapshot().NumEdges()
+	}
+	return edges
+}
+
+// WarmRepin documents an intentional per-iteration re-pin.
+func WarmRepin(d graph.Snapshotter, steps int) int64 {
+	var edges int64
+	for i := 0; i < steps; i++ {
+		s := d.Snapshot() //lint:allow snapshotpin fixture for the suppression path; warmup deliberately chases head
+		edges += s.NumEdges()
+	}
+	return edges
+}

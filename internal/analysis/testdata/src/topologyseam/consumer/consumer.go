@@ -1,0 +1,38 @@
+// Package consumer is a topologyseam golden-test fixture: it reads CSR
+// adjacency storage directly from outside internal/graph, which the seam
+// contract forbids, and shows the legal alternatives.
+package consumer
+
+import "salient/internal/graph"
+
+// SumDirect reads the representation the illegal way.
+func SumDirect(g *graph.CSR) int64 {
+	var s int64
+	for v := int32(0); v < g.N; v++ {
+		s += g.Ptr[v+1] - g.Ptr[v] // want "direct CSR\.Ptr access" "direct CSR\.Ptr access"
+	}
+	for _, u := range g.Adj { // want "direct CSR\.Adj access"
+		s += int64(u)
+	}
+	return s
+}
+
+// SumSeam reads adjacency through the Topology seam: legal.
+func SumSeam(t graph.Topology) int64 {
+	var s int64
+	for v := int32(0); v < t.NumNodes(); v++ {
+		s += int64(t.Degree(v))
+	}
+	return s
+}
+
+// Build constructs a CSR by composite literal, which stays legal: producers
+// assemble the representation, consumers must not pick it apart.
+func Build(n int32, ptr []int64, adj []int32) *graph.CSR {
+	return &graph.CSR{N: n, Ptr: ptr, Adj: adj}
+}
+
+// RawPtr is a serializer-style escape hatch with a documented suppression.
+func RawPtr(g *graph.CSR) []int64 {
+	return g.Ptr //lint:allow topologyseam fixture for the suppression path; serializers own the raw representation
+}

@@ -1,0 +1,70 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	goanalysis "golang.org/x/tools/go/analysis"
+)
+
+// graphPkgSuffix identifies the graph package wherever the module root puts
+// it; the CSR representation is private to that package.
+const graphPkgSuffix = "internal/graph"
+
+// TopologySeam enforces the PR-5 adjacency seam: outside internal/graph,
+// nothing touches the CSR representation (the Ptr/Adj arrays) directly —
+// adjacency is read through graph.Topology (NumNodes/NumEdges/Degree/
+// Neighbors), so concrete representations (static CSR, dynamic snapshot,
+// induced subgraph) can vary without touching consumers. Constructing a CSR
+// via composite literal or the graph constructors remains legal; it is the
+// field reads and writes that pierce the seam.
+var TopologySeam = &goanalysis.Analyzer{
+	Name: "topologyseam",
+	Doc:  "forbid direct CSR.Ptr/CSR.Adj access outside internal/graph; read adjacency via graph.Topology",
+	Run:  runTopologySeam,
+}
+
+func runTopologySeam(pass *goanalysis.Pass) (interface{}, error) {
+	if strings.HasSuffix(pass.Pkg.Path(), graphPkgSuffix) {
+		return nil, nil // the representation's home package
+	}
+	idx := buildAllowIndex(pass)
+	for _, f := range pass.Files {
+		if isTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			s := pass.TypesInfo.Selections[sel]
+			if s == nil || s.Kind() != types.FieldVal {
+				return true
+			}
+			field := s.Obj()
+			if field.Pkg() == nil || !strings.HasSuffix(field.Pkg().Path(), graphPkgSuffix) {
+				return true
+			}
+			if name := field.Name(); (name == "Ptr" || name == "Adj") && namedRecv(s.Recv()) == "CSR" {
+				report(pass, idx, sel.Sel.Pos(),
+					"direct CSR.%s access outside internal/graph: read adjacency through the graph.Topology seam (NumNodes/NumEdges/Degree/Neighbors)", name)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// namedRecv returns the name of the (possibly pointer-wrapped) named
+// receiver type, or "".
+func namedRecv(t types.Type) string {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return ""
+}

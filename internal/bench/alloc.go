@@ -60,13 +60,16 @@ type memRow struct {
 // measureRow runs f (which returns the number of batches it prepared) under
 // runtime.ReadMemStats bracketing. A forced GC first settles the heap so the
 // deltas belong to f alone.
-func measureRow(f func() int) memRow {
+func measureRow(f func() (int, error)) (memRow, error) {
 	runtime.GC()
 	var before, after runtime.MemStats
 	runtime.ReadMemStats(&before)
 	start := time.Now()
-	batches := f()
+	batches, err := f()
 	wall := time.Since(start)
+	if err != nil {
+		return memRow{}, err
+	}
 	runtime.ReadMemStats(&after)
 	r := memRow{batches: batches, gcCycles: after.NumGC - before.NumGC}
 	r.gcPauseMs = float64(after.PauseTotalNs-before.PauseTotalNs) / 1e6
@@ -75,7 +78,7 @@ func measureRow(f func() int) memRow {
 		r.bytesPerB = float64(after.TotalAlloc-before.TotalAlloc) / float64(batches)
 		r.allocsPer = float64(after.Mallocs-before.Mallocs) / float64(batches)
 	}
-	return r
+	return r, nil
 }
 
 // TimingSweep executes real batch preparation three ways and reports wall
@@ -116,7 +119,7 @@ func TimingSweep(o TimingOpts) (Table, error) {
 		return ds.Train[lo:hi]
 	}
 
-	freshPass := func() int {
+	freshPass := func() (int, error) {
 		cfg := sampler.FastConfig()
 		cfg.Reuse = sampler.ReuseFresh
 		sm := sampler.New(ds.G, o.Fanouts, cfg)
@@ -127,34 +130,34 @@ func TimingSweep(o TimingOpts) (Table, error) {
 				m := sm.Sample(prep.BatchRNG(o.Seed, i), seeds).Clone()
 				buf := slicing.NewPinned(len(m.NodeIDs), ds.FeatDim, len(seeds))
 				if err := st.Gather(buf, m.NodeIDs, len(seeds)); err != nil {
-					panic(err)
+					return n, err
 				}
 				n++
 			}
 		}
-		return n
+		return n, nil
 	}
 
 	pooledSampler := sampler.New(ds.G, o.Fanouts, sampler.FastConfig())
 	var pooledMFG mfg.MFG
 	pooledBuf := slicing.NewPinned(maxRows, ds.FeatDim, o.BatchSize)
 	pooledRNG := rng.New(0)
-	pooledPass := func() int {
+	pooledPass := func() (int, error) {
 		n := 0
 		for e := 0; e < o.Epochs; e++ {
 			for i := 0; i < nb; i++ {
 				seeds := batchSeeds(i)
 				pooledRNG.Reseed(prep.BatchSeed(o.Seed, i))
 				if err := pooledSampler.SampleInto(pooledRNG, seeds, &pooledMFG); err != nil {
-					panic(err)
+					return n, err
 				}
 				if err := st.Gather(pooledBuf, pooledMFG.NodeIDs, len(seeds)); err != nil {
-					panic(err)
+					return n, err
 				}
 				n++
 			}
 		}
-		return n
+		return n, nil
 	}
 
 	ex, err := prep.NewSalient(ds, prep.Options{
@@ -173,25 +176,29 @@ func TimingSweep(o TimingOpts) (Table, error) {
 	if err != nil {
 		return t, err
 	}
-	executorPass := func() int {
+	executorPass := func() (int, error) {
 		n := 0
 		for e := 0; e < o.Epochs; e++ {
 			s := ex.Run(ds.Train, o.Seed)
+			var firstErr error
 			for b := range s.C {
-				if b.Err != nil {
-					panic(b.Err)
+				if b.Err != nil && firstErr == nil {
+					firstErr = b.Err // keep draining: every batch must be released
 				}
 				n++
 				b.Release()
 			}
 			s.Wait()
+			if firstErr != nil {
+				return n, firstErr
+			}
 		}
-		return n
+		return n, nil
 	}
 
 	modes := []struct {
 		name string
-		pass func() int
+		pass func() (int, error)
 	}{
 		{"fresh (per-batch alloc)", freshPass},
 		{"pooled (arena kernels)", pooledPass},
@@ -199,8 +206,14 @@ func TimingSweep(o TimingOpts) (Table, error) {
 	}
 	var fresh, pooled memRow
 	for i, mode := range modes {
-		mode.pass() // warm-up pass: buffer growth stays out of the measurement
-		row := measureRow(mode.pass)
+		// Warm-up pass: buffer growth stays out of the measurement.
+		if _, err := mode.pass(); err != nil {
+			return t, fmt.Errorf("%s warm-up: %w", mode.name, err)
+		}
+		row, err := measureRow(mode.pass)
+		if err != nil {
+			return t, fmt.Errorf("%s: %w", mode.name, err)
+		}
 		switch i {
 		case 0:
 			fresh = row

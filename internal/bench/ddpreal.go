@@ -100,17 +100,17 @@ func ddpRealResults(o DDPRealOpts) ([]ddpRealRow, error) {
 		// protocol the timing sweep uses, so the Allocs/b columns of the two
 		// sweeps stay comparable.
 		var stats []ddp.TrainStats
-		var fitErr error
-		mem := measureRow(func() int {
+		mem, err := measureRow(func() (int, error) {
+			var fitErr error
 			stats, fitErr = tr.Fit(o.Epochs)
 			total := 0
 			for _, s := range stats {
 				total += s.Batches
 			}
-			return total
+			return total, fitErr
 		})
-		if fitErr != nil {
-			return nil, fmt.Errorf("ddpreal: R=%d: %w", R, fitErr)
+		if err != nil {
+			return nil, fmt.Errorf("ddpreal: R=%d: %w", R, err)
 		}
 		last := stats[len(stats)-1]
 		sim := ddp.SimulateEpoch(pr, cal, R, 2, o.Seed)

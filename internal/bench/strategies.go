@@ -74,15 +74,16 @@ func StrategyStudy(o AccuracyOpts) (Table, error) {
 
 	type strategy struct {
 		name   string
-		epoch  func(r *rng.Rand, epoch int, visit func(*mfg.MFG))
+		epoch  func(r *rng.Rand, epoch int, visit func(*mfg.MFG)) error
 		peruse int // epochs each sampled epoch is reused (LazyGCN)
 	}
 
-	perBatchEpoch := func(sample func(r *rng.Rand, seeds []int32) *mfg.MFG) func(*rng.Rand, int, func(*mfg.MFG)) {
-		return func(r *rng.Rand, _ int, visit func(*mfg.MFG)) {
+	perBatchEpoch := func(sample func(r *rng.Rand, seeds []int32) *mfg.MFG) func(*rng.Rand, int, func(*mfg.MFG)) error {
+		return func(r *rng.Rand, _ int, visit func(*mfg.MFG)) error {
 			for lo := 0; lo+batchSize <= len(ds.Train); lo += batchSize {
 				visit(sample(r, ds.Train[lo:lo+batchSize]))
 			}
+			return nil
 		}
 	}
 
@@ -92,22 +93,24 @@ func StrategyStudy(o AccuracyOpts) (Table, error) {
 		{name: "layer-wise uniform (FastGCN)", epoch: perBatchEpoch(lwUniform.Sample)},
 		{name: "layer-wise weighted (LADIES)", epoch: perBatchEpoch(lwWeighted.Sample)},
 		{name: "subgraph walks (GraphSAINT)", epoch: perBatchEpoch(saint.Sample)},
-		{name: "clusters (Cluster-GCN)", epoch: func(r *rng.Rand, _ int, visit func(*mfg.MFG)) {
+		{name: "clusters (Cluster-GCN)", epoch: func(r *rng.Rand, _ int, visit func(*mfg.MFG)) error {
 			for c := 0; c < cluster.NumClusters(); c++ {
 				if m := cluster.Batch(c, func(v int32) bool { return isTrain[v] }); m != nil {
 					visit(m)
 				}
 			}
+			return nil
 		}},
-		{name: "cached subgraph (GNS)", epoch: func(r *rng.Rand, epoch int, visit func(*mfg.MFG)) {
+		{name: "cached subgraph (GNS)", epoch: func(r *rng.Rand, epoch int, visit func(*mfg.MFG)) error {
 			if epoch%3 == 0 {
 				if err := gns.Refresh(r, int(ds.G.N)/3, ds.Train); err != nil {
-					panic(err)
+					return err
 				}
 			}
 			for lo := 0; lo+batchSize <= len(ds.Train); lo += batchSize {
 				visit(gns.Sample(r, ds.Train[lo:lo+batchSize]))
 			}
+			return nil
 		}},
 	}
 
@@ -132,7 +135,7 @@ func StrategyStudy(o AccuracyOpts) (Table, error) {
 // strategy's epoch function and evaluates sampled-inference test accuracy.
 func runStrategy(
 	ds *dataset.Dataset,
-	epochFn func(r *rng.Rand, epoch int, visit func(*mfg.MFG)),
+	epochFn func(r *rng.Rand, epoch int, visit func(*mfg.MFG)) error,
 	reuse int,
 	o AccuracyOpts,
 	layers int,
@@ -160,7 +163,7 @@ func runStrategy(
 		if fresh {
 			cached = cached[:0]
 			start := time.Now()
-			epochFn(r, e, func(m *mfg.MFG) {
+			epochErr := epochFn(r, e, func(m *mfg.MFG) {
 				nodes += int64(m.TotalNodes())
 				edges += int64(m.TotalEdges())
 				seeds += int64(m.Batch)
@@ -175,6 +178,10 @@ func runStrategy(
 					start = time.Now()
 				}
 			})
+			if epochErr != nil {
+				err = epochErr
+				return
+			}
 			if reuse == 0 {
 				continue
 			}

@@ -199,7 +199,7 @@ func generatePreferential(r *rng.Rand, n int32, m int, homophily float64, labels
 
 	g, err := graph.FromEdgeList(n, src, dst)
 	if err != nil {
-		panic("dataset: internal edge-list error: " + err.Error())
+		panic("dataset: internal edge-list error: " + err.Error()) //lint:allow panicdiscipline internal invariant: the generator emits in-range edges by construction
 	}
 	return g.Undirected()
 }

@@ -48,13 +48,13 @@ func (d *Dataset) Save(w io.Writer) error {
 	}
 	if err := le(
 		d.G.N, int32(d.NumClasses), int32(d.FeatDim),
-		int64(len(d.G.Ptr)), int64(len(d.G.Adj)),
+		int64(len(d.G.Ptr)), int64(len(d.G.Adj)), //lint:allow topologyseam serializer owns the raw representation; byte-exact round-trip needs Ptr/Adj
 		int64(len(d.FeatHalf)), int64(len(d.Labels)),
 		int64(len(d.Train)), int64(len(d.Val)), int64(len(d.Test)),
 	); err != nil {
 		return err
 	}
-	if err := le(d.G.Ptr, d.G.Adj, d.FeatHalf, d.Labels, d.Train, d.Val, d.Test); err != nil {
+	if err := le(d.G.Ptr, d.G.Adj, d.FeatHalf, d.Labels, d.Train, d.Val, d.Test); err != nil { //lint:allow topologyseam serializer owns the raw representation; byte-exact round-trip needs Ptr/Adj
 		return err
 	}
 	if err := bw.Flush(); err != nil {
@@ -140,7 +140,7 @@ func LoadFrom(r io.Reader) (*Dataset, error) {
 		Val:        make([]int32, lens[5]),
 		Test:       make([]int32, lens[6]),
 	}
-	if err := le(d.G.Ptr, d.G.Adj, d.FeatHalf, d.Labels, d.Train, d.Val, d.Test); err != nil {
+	if err := le(d.G.Ptr, d.G.Adj, d.FeatHalf, d.Labels, d.Train, d.Val, d.Test); err != nil { //lint:allow topologyseam deserializer rebuilds the raw representation before Validate gates it
 		return nil, err
 	}
 	if br.Len() != 0 {

@@ -74,7 +74,7 @@ func PresetConfig(name string, scale float64) Config {
 			Seed:        1003,
 		}
 	default:
-		panic("dataset: unknown preset " + name)
+		panic("dataset: unknown preset " + name) //lint:allow panicdiscipline documented contract: PresetConfig panics on unknown names; Load is the error-returning wrapper
 	}
 }
 

@@ -55,7 +55,7 @@ type Result struct {
 // synchronize on a per-step gradient all-reduce.
 func SimulateEpoch(pr device.Profile, cal device.DatasetCal, replicas, gpusPerMachine int, seed uint64) Result {
 	if replicas < 1 {
-		panic("ddp: need at least one replica")
+		panic("ddp: need at least one replica") //lint:allow panicdiscipline documented precondition: replica count is a compile-time-style config error
 	}
 	steps := StepsFor(cal.Batches, replicas)
 	r := rng.New(seed)
@@ -150,7 +150,7 @@ func SimulateEpoch(pr device.Profile, cal device.DatasetCal, replicas, gpusPerMa
 // synchronize on a per-step gradient all-reduce with no backward overlap.
 func SimulateBaselineEpoch(pr device.Profile, cal device.DatasetCal, replicas, gpusPerMachine int, seed uint64) Result {
 	if replicas < 1 {
-		panic("ddp: need at least one replica")
+		panic("ddp: need at least one replica") //lint:allow panicdiscipline documented precondition: replica count is a compile-time-style config error
 	}
 	steps := StepsFor(cal.Batches, replicas)
 	r := rng.New(seed)

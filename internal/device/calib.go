@@ -1,6 +1,10 @@
 package device
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
 
 // DatasetCal holds the full-scale per-epoch workload calibration for one of
 // the paper's benchmark datasets under the Table 5 hyperparameters
@@ -78,11 +82,27 @@ func Calibrations() map[string]DatasetCal {
 	}
 }
 
-// Calibration returns the named dataset calibration or panics.
-func Calibration(name string) DatasetCal {
+// CalibrationFor returns the named dataset calibration, or an error naming
+// the known datasets — use this when the name arrives from configuration.
+func CalibrationFor(name string) (DatasetCal, error) {
 	c, ok := Calibrations()[name]
 	if !ok {
-		panic(fmt.Sprintf("device: no calibration for dataset %q", name))
+		known := make([]string, 0, len(Calibrations()))
+		for k := range Calibrations() {
+			known = append(known, k)
+		}
+		sort.Strings(known)
+		return DatasetCal{}, fmt.Errorf("device: no calibration for dataset %q (have %s)", name, strings.Join(known, ", "))
+	}
+	return c, nil
+}
+
+// Calibration is the must-variant of CalibrationFor, for call sites with
+// compile-time-known names (the benchmark tables).
+func Calibration(name string) DatasetCal {
+	c, err := CalibrationFor(name)
+	if err != nil {
+		panic(err.Error()) //lint:allow panicdiscipline must-variant for static names; config-driven callers use CalibrationFor
 	}
 	return c
 }

@@ -66,7 +66,7 @@ type Pool struct {
 // NewPool creates a pool of n workers, all available at time 0.
 func NewPool(name string, n int) *Pool {
 	if n < 1 {
-		panic("event: pool needs at least one worker")
+		panic("event: pool needs at least one worker") //lint:allow panicdiscipline constructor contract: a zero-worker pool is a programmer error caught at wiring time
 	}
 	return &Pool{Name: name, free: make([]float64, n)}
 }

@@ -24,7 +24,7 @@ func Merge(ms []*MFG) *MFG {
 	layers := len(ms[0].Blocks)
 	for _, m := range ms[1:] {
 		if len(m.Blocks) != layers {
-			panic("mfg: Merge inputs have differing layer counts")
+			panic("mfg: Merge inputs have differing layer counts") //lint:allow panicdiscipline documented Merge precondition: inputs come from samplers with one shared fanout schedule
 		}
 	}
 

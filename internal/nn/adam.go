@@ -39,7 +39,7 @@ func NewAdam(params []*Param, lr float64) *Adam {
 // construction.
 func (a *Adam) Step(params []*Param) {
 	if len(params) != len(a.m) {
-		panic("nn: Adam.Step with mismatched parameter list")
+		panic("nn: Adam.Step with mismatched parameter list") //lint:allow panicdiscipline API misuse guard: the optimizer is bound to one parameter list at construction
 	}
 	a.t++
 	bc1 := 1 - math.Pow(a.Beta1, float64(a.t))

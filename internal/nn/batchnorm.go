@@ -110,7 +110,7 @@ func (bn *BatchNorm) Forward(x *tensor.Dense, train bool) *tensor.Dense {
 // Backward (training mode only) returns dx and accumulates dGamma/dBeta.
 func (bn *BatchNorm) Backward(dy *tensor.Dense) *tensor.Dense {
 	if bn.xhat == nil {
-		panic("nn: BatchNorm.Backward without a training-mode Forward")
+		panic("nn: BatchNorm.Backward without a training-mode Forward") //lint:allow panicdiscipline API misuse guard: Backward without Forward has no saved statistics to use
 	}
 	n, c := dy.Rows, dy.Cols
 	sumDy := make([]float32, c)

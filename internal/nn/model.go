@@ -67,7 +67,7 @@ type ModelConfig struct {
 
 func (c ModelConfig) check() {
 	if c.Layers < 1 || c.In < 1 || c.Hidden < 1 || c.Out < 1 {
-		panic(fmt.Sprintf("nn: invalid model config %+v", c))
+		panic(fmt.Sprintf("nn: invalid model config %+v", c)) //lint:allow panicdiscipline constructor contract: invalid model config is a programmer error caught at wiring time
 	}
 }
 

@@ -139,7 +139,7 @@ func simulate(pr device.Profile, cal device.DatasetCal, mode Mode, seed uint64, 
 	case SharedMem, Pipelined:
 		return simulateSalient(pr, cal, work, mode, tr), tr
 	}
-	panic("pipeline: unknown mode")
+	panic("pipeline: unknown mode") //lint:allow panicdiscipline config enum exhaustiveness: modes are a closed set defined in this package
 }
 
 // simulateBaseline models Figure 1(a): P sampling workers with static

@@ -52,7 +52,7 @@ func (p *arenaPool) put(a *arena) {
 	select {
 	case p.free <- a:
 	default:
-		panic("prep: arena pool overflow (double Release?)")
+		panic("prep: arena pool overflow (double Release?)") //lint:allow panicdiscipline corruption guard: pool overflow means a double Release broke the in-flight credit
 	}
 }
 

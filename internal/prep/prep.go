@@ -436,7 +436,7 @@ func NewSalient(ds *dataset.Dataset, opts Options) (*Salient, error) {
 // are balanced dynamically through a lock-free queue.
 func (e *Salient) Run(seeds []int32, epochSeed uint64) *Stream {
 	if !e.running.CompareAndSwap(false, true) {
-		panic("prep: Run called while a previous epoch is still preparing (drain the stream first)")
+		panic("prep: Run called while a previous epoch is still preparing (drain the stream first)") //lint:allow panicdiscipline API misuse guard: overlapping Runs would corrupt the arena pool accounting
 	}
 	// Pin ONE snapshot for the whole epoch: every worker samples this exact
 	// topology version, so mid-epoch updates to a dynamic graph change

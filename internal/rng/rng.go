@@ -79,7 +79,7 @@ func (r *Rand) Split() *Rand {
 // bias of naive `Uint64() % n` and is branch-cheap in the common case.
 func (r *Rand) Intn(n int) int {
 	if n <= 0 {
-		panic("rng: Intn with non-positive n")
+		panic("rng: Intn with non-positive n") //lint:allow panicdiscipline matches math/rand.Intn contract: non-positive n is a programmer error
 	}
 	bound := uint64(n)
 	for {

@@ -132,5 +132,5 @@ func newPicker(kind DedupKind, reuse ReuseKind) neighborPicker {
 	case DedupFisherYates:
 		return &fyPicker{}
 	}
-	panic("sampler: unknown dedup kind")
+	panic("sampler: unknown dedup kind") //lint:allow panicdiscipline config enum exhaustiveness: Config.Validate rejects unknown kinds upstream
 }

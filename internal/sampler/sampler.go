@@ -73,11 +73,11 @@ type Sampler struct {
 // configuration.
 func New(g graph.Topology, fanouts []int, cfg Config) *Sampler {
 	if len(fanouts) == 0 {
-		panic("sampler: empty fanouts")
+		panic("sampler: empty fanouts") //lint:allow panicdiscipline constructor contract: empty fanouts is a programmer error caught at wiring time
 	}
 	for _, f := range fanouts {
 		if f < 1 {
-			panic(fmt.Sprintf("sampler: fanout %d < 1", f))
+			panic(fmt.Sprintf("sampler: fanout %d < 1", f)) //lint:allow panicdiscipline constructor contract: non-positive fanouts are a programmer error caught at wiring time
 		}
 	}
 	s := &Sampler{
@@ -133,7 +133,7 @@ func (s *Sampler) newMapper() localMapper {
 	case IDMapDirect:
 		return newDirectMapper(s.G.NumNodes())
 	}
-	panic("sampler: unknown idmap kind")
+	panic("sampler: unknown idmap kind") //lint:allow panicdiscipline config enum exhaustiveness: Config.Validate rejects unknown kinds upstream
 }
 
 // expectedNodes estimates the expanded-neighborhood size for pre-sizing:
@@ -176,11 +176,11 @@ func (s *Sampler) Sample(r *rng.Rand, seeds []int32) *mfg.MFG {
 
 	for _, v := range seeds {
 		if v < 0 || v >= s.G.NumNodes() {
-			panic(fmt.Sprintf("sampler: seed %d out of range", v))
+			panic(fmt.Sprintf("sampler: seed %d out of range", v)) //lint:allow panicdiscipline documented Sample contract: seeds must be in-range and unique
 		}
 		l := mapper.GetOrAssign(v)
 		if int(l) != len(nodeIDs) {
-			panic(fmt.Sprintf("sampler: duplicate seed %d", v))
+			panic(fmt.Sprintf("sampler: duplicate seed %d", v)) //lint:allow panicdiscipline documented Sample contract: seeds must be in-range and unique
 		}
 		nodeIDs = append(nodeIDs, v)
 	}
@@ -282,6 +282,8 @@ func (s *Sampler) Sample(r *rng.Rand, seeds []int32) *mfg.MFG {
 // design sweep); SampleInto always pools its internal scratch (ID map,
 // dedup structures, phase buffers) regardless, since the output buffers are
 // the caller's.
+//
+//salient:noalloc
 func (s *Sampler) SampleInto(r *rng.Rand, seeds []int32, out *mfg.MFG) error {
 	L := len(s.Fanouts)
 	expected := s.expectedNodes(len(seeds))
@@ -382,6 +384,8 @@ func (s *Sampler) SampleInto(r *rng.Rand, seeds []int32, out *mfg.MFG) error {
 
 // grabCnt returns the always-pooled per-destination count scratch used by
 // SampleInto's two-phase build.
+//
+//salient:noalloc
 func (s *Sampler) grabCnt(n int) []int32 {
 	if cap(s.phaseCnt) < n {
 		s.phaseCnt = make([]int32, n)

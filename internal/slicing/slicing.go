@@ -45,6 +45,8 @@ func NewPinned(maxRows, featDim, maxBatch int) *Pinned {
 // Ensure grows the buffer if the batch needs more rows than ever seen and
 // sets the staged shape. Gather kernels (here and in internal/store) call it
 // before writing rows.
+//
+//salient:noalloc
 func (p *Pinned) Ensure(rows, dim, batch int) {
 	if need := rows * dim; cap(p.Feat) < need {
 		p.Feat = make([]half.Float16, need)
@@ -101,6 +103,8 @@ func NewFlatSource(feat []half.Float16, featDim int, labels []int32) Source {
 // labels for the first batch entries of nodeIDs (the seed prefix). This is
 // the SALIENT serial kernel: one worker slices one whole batch,
 // contiguously, with no synchronization.
+//
+//salient:noalloc
 func Slice(dst *Pinned, src Source, nodeIDs []int32, batch int) error {
 	if batch > len(nodeIDs) {
 		return fmt.Errorf("slicing: batch %d > nodes %d", batch, len(nodeIDs))
@@ -155,6 +159,8 @@ func SliceStriped(dst *Pinned, src Source, nodeIDs []int32, batch, nWorkers int,
 
 // SliceHalf is Slice over the flat single-array layout, kept as the
 // convenient entry point for callers that hold raw feature/label slices.
+//
+//salient:noalloc
 func SliceHalf(dst *Pinned, feat []half.Float16, featDim int, labels []int32, nodeIDs []int32, batch int) error {
 	return Slice(dst, NewFlatSource(feat, featDim, labels), nodeIDs, batch)
 }
@@ -167,9 +173,11 @@ func SliceHalfStriped(dst *Pinned, feat []half.Float16, featDim int, labels []in
 // DecodeFeatures converts a staged half-precision feature block into the
 // float32 tensor used by compute (the GPU-side widening in the paper:
 // transfers stay half-width, kernels run single precision).
+//
+//salient:noalloc
 func DecodeFeatures(dst *tensor.Dense, p *Pinned) {
 	if dst.Rows != p.Rows || dst.Cols != p.Dim {
-		panic(fmt.Sprintf("slicing: decode shape %dx%d vs staged %dx%d", dst.Rows, dst.Cols, p.Rows, p.Dim))
+		panic(fmt.Sprintf("slicing: decode shape %dx%d vs staged %dx%d", dst.Rows, dst.Cols, p.Rows, p.Dim)) //lint:allow panicdiscipline shape contract: decode destinations are sized by the same batch geometry
 	}
 	half.DecodeSlice(dst.Data, p.Feat)
 }
@@ -179,6 +187,8 @@ func DecodeFeatures(dst *tensor.Dense, p *Pinned) {
 // previous batch's tensor back in, nil on first use. This is the one decode
 // entry point the pipeline's consumers (training, inference, serving)
 // share.
+//
+//salient:noalloc
 func DecodeInto(x *tensor.Dense, p *Pinned) *tensor.Dense {
 	x = tensor.Reshape(x, p.Rows, p.Dim)
 	DecodeFeatures(x, p)
@@ -221,6 +231,6 @@ func (p *Pool) Put(b *Pinned) {
 	select {
 	case p.free <- b:
 	default:
-		panic("slicing: pool overflow (double Put?)")
+		panic("slicing: pool overflow (double Put?)") //lint:allow panicdiscipline corruption guard: pool overflow means a double Put broke ownership
 	}
 }

@@ -82,6 +82,8 @@ func (f *Flat) AppendRows(feat []float32, labels []int32) (int32, error) {
 }
 
 // Gather stages the batch with the SALIENT serial kernel.
+//
+//salient:noalloc
 func (f *Flat) Gather(dst *slicing.Pinned, nodeIDs []int32, batch int) error {
 	f.srcMu.RLock()
 	src, n := f.src, f.n

@@ -21,7 +21,7 @@ type Dense struct {
 // New returns a zeroed Rows×Cols matrix.
 func New(rows, cols int) *Dense {
 	if rows < 0 || cols < 0 {
-		panic(fmt.Sprintf("tensor: negative dims %dx%d", rows, cols))
+		panic(fmt.Sprintf("tensor: negative dims %dx%d", rows, cols)) //lint:allow panicdiscipline dimension contract: negative dims are a programmer error, like make
 	}
 	return &Dense{Rows: rows, Cols: cols, Data: make([]float32, rows*cols)}
 }
@@ -29,7 +29,7 @@ func New(rows, cols int) *Dense {
 // FromSlice wraps data (not copied) as a rows×cols matrix.
 func FromSlice(rows, cols int, data []float32) *Dense {
 	if len(data) != rows*cols {
-		panic(fmt.Sprintf("tensor: data length %d != %d*%d", len(data), rows, cols))
+		panic(fmt.Sprintf("tensor: data length %d != %d*%d", len(data), rows, cols)) //lint:allow panicdiscipline dimension contract: data/shape mismatch is a programmer error
 	}
 	return &Dense{Rows: rows, Cols: cols, Data: data}
 }
@@ -47,6 +47,8 @@ func (t *Dense) Clone() *Dense {
 // callers overwrite them. This is the scratch-recycling primitive the batch
 // pipeline's consumers (decode targets, gradient buffers) use to stay
 // allocation-free across batches whose row counts vary.
+//
+//salient:noalloc
 func Reshape(t *Dense, rows, cols int) *Dense {
 	if t == nil || cap(t.Data) < rows*cols {
 		return New(rows, cols)
@@ -89,7 +91,7 @@ func (t *Dense) Copy(src *Dense) {
 
 func (t *Dense) assertSameShape(o *Dense) {
 	if t.Rows != o.Rows || t.Cols != o.Cols {
-		panic(fmt.Sprintf("tensor: shape mismatch %dx%d vs %dx%d", t.Rows, t.Cols, o.Rows, o.Cols))
+		panic(fmt.Sprintf("tensor: shape mismatch %dx%d vs %dx%d", t.Rows, t.Cols, o.Rows, o.Cols)) //lint:allow panicdiscipline shape contract: the zero-alloc kernels document panics on shape errors
 	}
 }
 
@@ -98,10 +100,10 @@ func (t *Dense) assertSameShape(o *Dense) {
 // which keeps the inner loop contiguous in both b and dst.
 func MatMul(dst, a, b *Dense) {
 	if a.Cols != b.Rows {
-		panic(fmt.Sprintf("tensor: matmul inner dims %d vs %d", a.Cols, b.Rows))
+		panic(fmt.Sprintf("tensor: matmul inner dims %d vs %d", a.Cols, b.Rows)) //lint:allow panicdiscipline shape contract: the zero-alloc kernels document panics on shape errors
 	}
 	if dst.Rows != a.Rows || dst.Cols != b.Cols {
-		panic("tensor: matmul dst shape")
+		panic("tensor: matmul dst shape") //lint:allow panicdiscipline shape contract: the zero-alloc kernels document panics on shape errors
 	}
 	dst.Zero()
 	n := b.Cols
@@ -124,10 +126,10 @@ func MatMul(dst, a, b *Dense) {
 // Used in backward passes for weight gradients (dW = xᵀ @ dy).
 func MatMulAT(dst, a, b *Dense) {
 	if a.Rows != b.Rows {
-		panic(fmt.Sprintf("tensor: matmulAT outer dims %d vs %d", a.Rows, b.Rows))
+		panic(fmt.Sprintf("tensor: matmulAT outer dims %d vs %d", a.Rows, b.Rows)) //lint:allow panicdiscipline shape contract: the zero-alloc kernels document panics on shape errors
 	}
 	if dst.Rows != a.Cols || dst.Cols != b.Cols {
-		panic("tensor: matmulAT dst shape")
+		panic("tensor: matmulAT dst shape") //lint:allow panicdiscipline shape contract: the zero-alloc kernels document panics on shape errors
 	}
 	dst.Zero()
 	c := b.Cols
@@ -150,10 +152,10 @@ func MatMulAT(dst, a, b *Dense) {
 // Used in backward passes for input gradients (dx = dy @ Wᵀ).
 func MatMulBT(dst, a, b *Dense) {
 	if a.Cols != b.Cols {
-		panic(fmt.Sprintf("tensor: matmulBT inner dims %d vs %d", a.Cols, b.Cols))
+		panic(fmt.Sprintf("tensor: matmulBT inner dims %d vs %d", a.Cols, b.Cols)) //lint:allow panicdiscipline shape contract: the zero-alloc kernels document panics on shape errors
 	}
 	if dst.Rows != a.Rows || dst.Cols != b.Rows {
-		panic("tensor: matmulBT dst shape")
+		panic("tensor: matmulBT dst shape") //lint:allow panicdiscipline shape contract: the zero-alloc kernels document panics on shape errors
 	}
 	for i := 0; i < a.Rows; i++ {
 		arow := a.Row(i)
@@ -211,7 +213,7 @@ func (t *Dense) AddScaled(o *Dense, s float32) {
 // AddRowVec adds vector v (length Cols) to every row.
 func (t *Dense) AddRowVec(v []float32) {
 	if len(v) != t.Cols {
-		panic("tensor: AddRowVec length")
+		panic("tensor: AddRowVec length") //lint:allow panicdiscipline shape contract: the zero-alloc kernels document panics on shape errors
 	}
 	for i := 0; i < t.Rows; i++ {
 		row := t.Row(i)
@@ -225,7 +227,7 @@ func (t *Dense) AddRowVec(v []float32) {
 // len(idx)). This is the feature-slicing primitive.
 func Gather(dst, src *Dense, idx []int32) {
 	if dst.Cols != src.Cols || dst.Rows != len(idx) {
-		panic("tensor: gather shape")
+		panic("tensor: gather shape") //lint:allow panicdiscipline shape contract: the zero-alloc kernels document panics on shape errors
 	}
 	for i, id := range idx {
 		copy(dst.Row(i), src.Row(int(id)))
@@ -236,7 +238,7 @@ func Gather(dst, src *Dense, idx []int32) {
 // (dst.Row(idx[i]) += src.Row(i)). Backward of Gather.
 func ScatterAdd(dst, src *Dense, idx []int32) {
 	if dst.Cols != src.Cols || src.Rows != len(idx) {
-		panic("tensor: scatterAdd shape")
+		panic("tensor: scatterAdd shape") //lint:allow panicdiscipline shape contract: the zero-alloc kernels document panics on shape errors
 	}
 	for i, id := range idx {
 		drow := dst.Row(int(id))
@@ -251,7 +253,7 @@ func ScatterAdd(dst, src *Dense, idx []int32) {
 // (1 where x>0) if mask is non-nil.
 func (t *Dense) ReLU(mask []bool) {
 	if mask != nil && len(mask) != len(t.Data) {
-		panic("tensor: relu mask length")
+		panic("tensor: relu mask length") //lint:allow panicdiscipline shape contract: the zero-alloc kernels document panics on shape errors
 	}
 	for i, v := range t.Data {
 		pos := v > 0
@@ -267,7 +269,7 @@ func (t *Dense) ReLU(mask []bool) {
 // LeakyReLU applies x>0 ? x : slope*x in place, recording the mask.
 func (t *Dense) LeakyReLU(slope float32, mask []bool) {
 	if mask != nil && len(mask) != len(t.Data) {
-		panic("tensor: leakyrelu mask length")
+		panic("tensor: leakyrelu mask length") //lint:allow panicdiscipline shape contract: the zero-alloc kernels document panics on shape errors
 	}
 	for i, v := range t.Data {
 		pos := v > 0
@@ -307,7 +309,7 @@ func (t *Dense) LogSoftmaxRows() {
 // into grad. Rows with label < 0 are ignored (masked nodes).
 func NLLLoss(logp *Dense, labels []int32, grad *Dense) float64 {
 	if len(labels) != logp.Rows {
-		panic("tensor: nll labels length")
+		panic("tensor: nll labels length") //lint:allow panicdiscipline shape contract: the zero-alloc kernels document panics on shape errors
 	}
 	if grad != nil {
 		grad.assertSameShape(logp)
@@ -359,7 +361,7 @@ func LogSoftmaxBackward(dIn, logp, dOut *Dense) {
 // ArgmaxRows writes the index of the max element of each row into out.
 func (t *Dense) ArgmaxRows(out []int32) {
 	if len(out) != t.Rows {
-		panic("tensor: argmax out length")
+		panic("tensor: argmax out length") //lint:allow panicdiscipline shape contract: the zero-alloc kernels document panics on shape errors
 	}
 	for i := 0; i < t.Rows; i++ {
 		row := t.Row(i)

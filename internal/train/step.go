@@ -38,6 +38,8 @@ type Decoder struct {
 // tensor is valid until the next Decode call; its backing array is recycled
 // across batches (grown only when a batch stages more rows than any before),
 // so steady-state decoding allocates nothing.
+//
+//salient:noalloc
 func (d *Decoder) Decode(buf *slicing.Pinned) *tensor.Dense {
 	d.features = slicing.DecodeInto(d.features, buf)
 	return d.features
@@ -46,6 +48,8 @@ func (d *Decoder) Decode(buf *slicing.Pinned) *tensor.Dense {
 // Grad returns the decoder's recycled rows×cols output-gradient scratch,
 // valid until the next Grad call. Contents are unspecified; the loss
 // computation overwrites them.
+//
+//salient:noalloc
 func (d *Decoder) Grad(rows, cols int) *tensor.Dense {
 	d.grad = tensor.Reshape(d.grad, rows, cols)
 	return d.grad
