@@ -37,6 +37,14 @@
 //	-store S       train/serve: feature store: flat | sharded | cached |
 //	               sharded+cached (default: flat for train; for serve,
 //	               cached when -cachefrac > 0, else flat)
+//	-precision P   train/serve: feature storage precision: fp16 | fp32 |
+//	               int8 (default fp16). int8 stores rows quantized with a
+//	               per-row scale, halving feature bytes moved versus fp16;
+//	               rows dequantize on gather.
+//	-fused         train: fuse the layer-0 gather+aggregate into the batch
+//	               pipeline (SAGE and GIN with the salient executor,
+//	               single replica). Bit-identical to the staged path;
+//	               skips staging/decoding the full feature matrix.
 //	-parts N       train/serve: shard count for -store sharded (default 4)
 //	-placement P   train/serve: shard placement: ldg | random (default ldg)
 //	-rate F        serve: offered load in requests/sec (0 = closed loop)
@@ -68,6 +76,7 @@ import (
 	"salient/internal/dataset"
 	"salient/internal/ddp"
 	"salient/internal/graph"
+	"salient/internal/half"
 	"salient/internal/serve"
 	"salient/internal/store"
 	"salient/internal/train"
@@ -88,6 +97,9 @@ type cliFlags struct {
 	replicas    int
 	workers     int
 	storeKind   string
+	precision   string
+	prec        half.Precision
+	fused       bool
 	parts       int
 	placement   string
 	rate        float64
@@ -119,6 +131,8 @@ func main() {
 	fs.IntVar(&f.replicas, "replicas", 1, "train: data-parallel replica count")
 	fs.IntVar(&f.workers, "workers", 4, "preparation workers")
 	fs.StringVar(&f.storeKind, "store", "", "feature store: flat|sharded|cached|sharded+cached (empty = subcommand default)")
+	fs.StringVar(&f.precision, "precision", "fp16", "feature storage precision: fp16|fp32|int8")
+	fs.BoolVar(&f.fused, "fused", false, "train: fused gather+aggregate pipeline (SAGE/GIN, salient executor)")
 	fs.IntVar(&f.parts, "parts", 4, "shard count for -store sharded")
 	fs.StringVar(&f.placement, "placement", "ldg", "shard placement: ldg|random")
 	fs.Float64Var(&f.rate, "rate", 0, "serve: offered rps (0 = closed loop)")
@@ -220,6 +234,11 @@ func (f *cliFlags) validate(cmd string) error {
 		if !store.ValidKind(f.storeKind) {
 			return fmt.Errorf("unknown -store %q (want flat, sharded, cached, or sharded+cached)", f.storeKind)
 		}
+		prec, err := half.ParsePrecision(f.precision)
+		if err != nil {
+			return err
+		}
+		f.prec = prec
 		if f.parts < 1 {
 			return fmt.Errorf("-parts must be >= 1, got %d", f.parts)
 		}
@@ -251,6 +270,20 @@ func (f *cliFlags) validate(cmd string) error {
 		if f.replicas > 1 && f.executor != "salient" {
 			return fmt.Errorf("-replicas %d requires -executor salient", f.replicas)
 		}
+		if f.fused {
+			if !oneOf(f.arch, "SAGE", "GIN") {
+				return fmt.Errorf("-fused requires -arch SAGE or GIN (%s has no mean/sum first layer)", f.arch)
+			}
+			if f.executor != "salient" {
+				return fmt.Errorf("-fused requires -executor salient")
+			}
+			if f.replicas > 1 {
+				return fmt.Errorf("-fused is single-replica only (got -replicas %d)", f.replicas)
+			}
+		}
+	}
+	if cmd == "serve" && f.fused {
+		return fmt.Errorf("-fused applies to train only")
 	}
 	if cmd == "serve" {
 		if f.rate < 0 {
@@ -293,6 +326,7 @@ func buildStore(ds *dataset.Dataset, f cliFlags) (store.FeatureStore, error) {
 	}
 	return store.Build(ds, store.Spec{
 		Kind:        f.storeKind,
+		Precision:   f.prec,
 		Parts:       f.parts,
 		Placement:   f.placement,
 		CacheRows:   rows,
@@ -401,6 +435,7 @@ func runTrain(f cliFlags) error {
 		Workers: f.workers,
 		Seed:    f.seed,
 		Store:   st,
+		Fused:   f.fused,
 	}
 	var dyn *graph.Dynamic
 	if f.dynamic {
@@ -423,8 +458,12 @@ func runTrain(f cliFlags) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("training %s on %s (N=%d, train=%d) with the %s executor, %s store, %s\n",
-		f.arch, ds.Name, ds.G.N, len(ds.Train), f.executor, f.storeKind, churn.mode())
+	pipeline := "staged"
+	if f.fused {
+		pipeline = "fused"
+	}
+	fmt.Printf("training %s on %s (N=%d, train=%d) with the %s executor, %s %s store (%s gather), %s\n",
+		f.arch, ds.Name, ds.G.N, len(ds.Train), f.executor, f.prec, f.storeKind, pipeline, churn.mode())
 	for e := 0; e < f.epochs; e++ {
 		s, err := tr.TrainEpoch(e)
 		if err != nil {

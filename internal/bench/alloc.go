@@ -196,6 +196,43 @@ func TimingSweep(o TimingOpts) (Table, error) {
 		return n, nil
 	}
 
+	// The fused executor prepares the same batches but gathers straight into
+	// the layer-0 aggregate tensors (GatherAggregate) instead of staging the
+	// full feature matrix — the row measures the fused pipeline's prep cost
+	// under identical sampling.
+	exFused, err := prep.NewSalient(ds, prep.Options{
+		Workers:    o.Workers,
+		BatchSize:  o.BatchSize,
+		Fanouts:    o.Fanouts,
+		Sampler:    sampler.FastConfig(),
+		Ordered:    true,
+		Store:      st,
+		Fused:      slicing.AggMean,
+		FixedOrder: true,
+	})
+	if err != nil {
+		return t, err
+	}
+	fusedPass := func() (int, error) {
+		n := 0
+		for e := 0; e < o.Epochs; e++ {
+			s := exFused.Run(ds.Train, o.Seed)
+			var firstErr error
+			for b := range s.C {
+				if b.Err != nil && firstErr == nil {
+					firstErr = b.Err // keep draining: every batch must be released
+				}
+				n++
+				b.Release()
+			}
+			s.Wait()
+			if firstErr != nil {
+				return n, firstErr
+			}
+		}
+		return n, nil
+	}
+
 	modes := []struct {
 		name string
 		pass func() (int, error)
@@ -203,6 +240,7 @@ func TimingSweep(o TimingOpts) (Table, error) {
 		{"fresh (per-batch alloc)", freshPass},
 		{"pooled (arena kernels)", pooledPass},
 		{"executor (arenas)", executorPass},
+		{"executor (arenas, fused)", fusedPass},
 	}
 	var fresh, pooled memRow
 	for i, mode := range modes {
@@ -235,5 +273,6 @@ func TimingSweep(o TimingOpts) (Table, error) {
 	}
 	t.AddNote("scale %g arxiv stand-in, batch %d, fanouts %v, %d executor workers; identical RNG and seed schedule across modes, so batch contents match and rows differ only in allocation policy", o.Scale, o.BatchSize, o.Fanouts, o.Workers)
 	t.AddNote("fresh = pre-arena path (Reuse=fresh sampling + MFG clone + new pinned buffer per batch); pooled/executor recycle one arena footprint per in-flight batch")
+	t.AddNote("fused = executor with GatherAggregate: identical sampling, but stored rows fold into the layer-0 aggregate during the gather instead of staging the full feature matrix — its us/batch therefore includes first-layer aggregation work the other rows leave to the consumer (the `kernels` sweep compares the pipelines on equal work)")
 	return t, nil
 }

@@ -15,8 +15,8 @@ func TestTimingSweepShowsAllocWin(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(tb.Rows) != 3 {
-		t.Fatalf("want 3 rows (fresh, pooled, executor), got %d", len(tb.Rows))
+	if len(tb.Rows) != 4 {
+		t.Fatalf("want 4 rows (fresh, pooled, executor, fused executor), got %d", len(tb.Rows))
 	}
 	parse := func(row int, col int) float64 {
 		v, err := strconv.ParseFloat(tb.Rows[row][col], 64)
@@ -26,16 +26,16 @@ func TestTimingSweepShowsAllocWin(t *testing.T) {
 		return v
 	}
 	const allocsCol = 4
-	fresh, pooled, executor := parse(0, allocsCol), parse(1, allocsCol), parse(2, allocsCol)
+	fresh, pooled, executor, fused := parse(0, allocsCol), parse(1, allocsCol), parse(2, allocsCol), parse(3, allocsCol)
 	if race.Enabled {
-		t.Logf("allocs/batch fresh=%v pooled=%v executor=%v (not asserted under -race)", fresh, pooled, executor)
+		t.Logf("allocs/batch fresh=%v pooled=%v executor=%v fused=%v (not asserted under -race)", fresh, pooled, executor, fused)
 		return
 	}
 	if fresh < 100 {
 		t.Fatalf("fresh path reports %.1f allocs/batch; expected the per-batch-allocation baseline to be large", fresh)
 	}
-	if pooled > fresh/20 || executor > fresh/20 {
-		t.Fatalf("pooled paths not ~allocation-free: fresh=%.1f pooled=%.1f executor=%.1f allocs/batch",
-			fresh, pooled, executor)
+	if pooled > fresh/20 || executor > fresh/20 || fused > fresh/20 {
+		t.Fatalf("pooled paths not ~allocation-free: fresh=%.1f pooled=%.1f executor=%.1f fused=%.1f allocs/batch",
+			fresh, pooled, executor, fused)
 	}
 }

@@ -2,10 +2,12 @@ package bench
 
 import (
 	"fmt"
+	"math"
 	"time"
 
 	"salient/internal/cache"
 	"salient/internal/dataset"
+	"salient/internal/half"
 	"salient/internal/partition"
 	"salient/internal/rng"
 	"salient/internal/sampler"
@@ -140,20 +142,54 @@ func featureStoreResults(o FeatureStoreOpts) ([]fsResult, error) {
 			st   store.FeatureStore
 		}{fmt.Sprintf("cached(top-%.0f%%)", 100*frac), c})
 	}
-
-	// Reference checksums from the flat store (untimed pass).
-	wantSums := make([]uint64, len(lists))
-	for i, ids := range lists {
-		buf := slicing.NewPinned(len(ids), ds.FeatDim, batches[i])
-		if err := flat.Gather(buf, ids, batches[i]); err != nil {
-			return nil, err
-		}
-		wantSums[i] = stagedChecksum(buf, batches[i])
+	// The precision axis: the same workload over quantized and widened flat
+	// storage, plus the int8 sharded layout — the 2× byte saving must survive
+	// composition with placement.
+	configs = append(configs, struct {
+		name string
+		st   store.FeatureStore
+	}{"flat(fp32)", store.NewFlatPrec(ds, half.FP32)})
+	configs = append(configs, struct {
+		name string
+		st   store.FeatureStore
+	}{"flat(int8)", store.NewFlatPrec(ds, half.Int8)})
+	shardedInt8, err := store.NewShardedPrec(ds, ldg, half.Int8)
+	if err != nil {
+		return nil, err
 	}
-	flat.ResetStats()
+	configs = append(configs, struct {
+		name string
+		st   store.FeatureStore
+	}{fmt.Sprintf("sharded(P=%d,ldg,int8)", o.Parts), shardedInt8})
+
+	// Reference checksums per storage precision from a flat store at that
+	// precision (untimed pass) — layout and caching may change accounting,
+	// never staged contents.
+	refSums := map[half.Precision][]uint64{}
+	refFor := func(prec half.Precision) ([]uint64, error) {
+		if sums, ok := refSums[prec]; ok {
+			return sums, nil
+		}
+		ref := store.NewFlatPrec(ds, prec)
+		sums := make([]uint64, len(lists))
+		for i, ids := range lists {
+			buf := slicing.NewPinned(len(ids), ds.FeatDim, batches[i])
+			if err := ref.Gather(buf, ids, batches[i]); err != nil {
+				return nil, err
+			}
+			sums[i] = stagedChecksum(buf, batches[i])
+		}
+		refSums[prec] = sums
+		return sums, nil
+	}
 
 	var out []fsResult
 	for _, cfg := range configs {
+		prec := store.PrecisionOf(cfg.st)
+		wantSums, err := refFor(prec)
+		if err != nil {
+			return nil, err
+		}
 		buf := slicing.NewPinned(len(lists[0]), ds.FeatDim, o.BatchSize)
 		// Untimed verification pass: contents must equal the flat reference.
 		// Its gathers (and cache touches) are excluded from the accounting by
@@ -181,7 +217,7 @@ func featureStoreResults(o FeatureStoreOpts) ([]fsResult, error) {
 			name:       cfg.name,
 			rows:       st.Rows,
 			secs:       secs,
-			stagedMB:   float64(st.Rows) * float64(ds.FeatDim) * 2 / (1 << 20),
+			stagedMB:   float64(st.Rows) * float64(prec.RowBytes(ds.FeatDim)) / (1 << 20),
 			movedMB:    float64(st.BytesMoved) / (1 << 20),
 			savedMB:    float64(st.BytesSaved) / (1 << 20),
 			remoteFrac: st.RemoteFrac(),
@@ -191,15 +227,30 @@ func featureStoreResults(o FeatureStoreOpts) ([]fsResult, error) {
 	return out, nil
 }
 
-// stagedChecksum is an FNV-1a over a staged batch's features and labels.
+// stagedChecksum is an FNV-1a over a staged batch's features (at whatever
+// precision the buffer holds, per-row scales included) and labels.
 func stagedChecksum(buf *slicing.Pinned, batch int) uint64 {
 	h := uint64(1469598103934665603)
 	mix := func(v uint64) {
 		h ^= v
 		h *= 1099511628211
 	}
-	for _, f := range buf.Feat[:buf.Rows*buf.Dim] {
-		mix(uint64(uint16(f)))
+	switch buf.Prec {
+	case half.FP32:
+		for _, f := range buf.Feat32[:buf.Rows*buf.Dim] {
+			mix(uint64(math.Float32bits(f)))
+		}
+	case half.Int8:
+		for _, q := range buf.Feat8[:buf.Rows*buf.Dim] {
+			mix(uint64(uint8(q)))
+		}
+		for _, s := range buf.Scales[:buf.Rows] {
+			mix(uint64(math.Float32bits(s)))
+		}
+	default:
+		for _, f := range buf.Feat[:buf.Rows*buf.Dim] {
+			mix(uint64(uint16(f)))
+		}
 	}
 	for i := 0; i < batch; i++ {
 		mix(uint64(uint32(buf.Labels[i])))

@@ -16,13 +16,19 @@ func TestFeatureStoreSweepOrdering(t *testing.T) {
 		t.Fatal(err)
 	}
 	byName := map[string]fsResult{}
-	var flat, ldg, rand fsResult
+	var flat, ldg, rand, flat32, flat8, sharded8 fsResult
 	var cached []fsResult
 	for _, r := range results {
 		byName[r.name] = r
 		switch {
 		case r.name == "flat":
 			flat = r
+		case r.name == "flat(fp32)":
+			flat32 = r
+		case r.name == "flat(int8)":
+			flat8 = r
+		case strings.Contains(r.name, "int8"):
+			sharded8 = r
 		case strings.Contains(r.name, "ldg"):
 			ldg = r
 		case strings.Contains(r.name, "random"):
@@ -31,7 +37,8 @@ func TestFeatureStoreSweepOrdering(t *testing.T) {
 			cached = append(cached, r)
 		}
 	}
-	if flat.name == "" || ldg.name == "" || rand.name == "" || len(cached) == 0 {
+	if flat.name == "" || ldg.name == "" || rand.name == "" || len(cached) == 0 ||
+		flat32.name == "" || flat8.name == "" || sharded8.name == "" {
 		t.Fatalf("sweep missing configurations: %v", byName)
 	}
 	// The acceptance gate: cached(top-K) must transfer fewer bytes than flat.
@@ -54,6 +61,19 @@ func TestFeatureStoreSweepOrdering(t *testing.T) {
 		if r.rows == 0 || r.stagedMB <= 0 {
 			t.Fatalf("empty sweep row: %+v", r)
 		}
+	}
+	// The precision acceptance gates: fp32 exactly doubles the fp16 bytes,
+	// int8 cuts them to (dim+4)/(2·dim) — "halves, plus the per-row scale" —
+	// and the saving survives sharded placement (same rows, same bytes).
+	if flat32.movedMB != 2*flat.movedMB {
+		t.Fatalf("flat(fp32) moved %.2f MB, want exactly 2x flat's %.2f MB", flat32.movedMB, flat.movedMB)
+	}
+	if flat8.movedMB >= 0.52*flat.movedMB || flat8.movedMB <= 0.5*flat.movedMB {
+		t.Fatalf("flat(int8) moved %.2f MB vs fp16 %.2f MB: want just over half", flat8.movedMB, flat.movedMB)
+	}
+	if sharded8.movedMB != flat8.movedMB || sharded8.rows != flat8.rows {
+		t.Fatalf("sharded int8 moved %.2f MB / %d rows, flat int8 %.2f MB / %d rows: placement changed byte accounting",
+			sharded8.movedMB, sharded8.rows, flat8.movedMB, flat8.rows)
 	}
 }
 

@@ -97,6 +97,10 @@ func Experiments() map[string]Experiment {
 			t, err := DDPRealSweep(DDPRealOpts{Seed: o.Seed})
 			return []Table{t}, err
 		}},
+		{ID: "kernels", Paper: "§3/§4.2 extension", Run: func(o Options) ([]Table, error) {
+			t, err := KernelSweep(KernelOpts{Seed: o.Seed})
+			return []Table{t}, err
+		}},
 		{ID: "timing", Paper: "§4.1/§4.2 extension", Run: func(o Options) ([]Table, error) {
 			t, err := TimingSweep(TimingOpts{Seed: o.Seed})
 			return []Table{t}, err

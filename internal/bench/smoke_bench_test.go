@@ -94,3 +94,15 @@ func BenchmarkChurnSweep(b *testing.B) {
 		}
 	}
 }
+
+// smallKernels preset is shared with the unit tests (kernels_test.go).
+
+// BenchmarkKernelSweep keeps the precision x pipeline gather-kernel matrix
+// in the CI bench-smoke run and its uploaded per-commit artifact.
+func BenchmarkKernelSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := KernelSweep(smallKernels()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

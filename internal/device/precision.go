@@ -1,0 +1,52 @@
+package device
+
+import "salient/internal/half"
+
+// PrecisionTransferScale returns the host-to-device payload multiplier of
+// storing dim-wide feature rows at the given precision, relative to the
+// fp16 baseline the paper's calibrations assume (Table 1 transfers
+// half-precision features, §3.3). Feature rows dominate batch payload, so
+// scaling DatasetCal.TransferBytes by this factor models a precision switch:
+// fp32 doubles the volume, int8 roughly halves it ((dim+4)/(2·dim) — the
+// +4 is the per-row dequantization scale traveling with the row).
+func PrecisionTransferScale(prec half.Precision, dim int) float64 {
+	return float64(prec.RowBytes(dim)) / float64(half.FP16.RowBytes(dim))
+}
+
+// FusedTransferScale returns the payload multiplier of the fused
+// gather+aggregate pipeline relative to staged transfer at the given storage
+// precision. The staged path ships every sampled source row (≈ (1+fanout)
+// rows per seed at the storage precision); the fused path ships only the
+// pre-aggregated neighbor sums plus the seeds' own rows — 2 float32 rows per
+// seed — because the first layer's aggregation already happened host-side
+// during the gather. avgFanout is the expected layer-0 in-degree (the last
+// entry of the training fanouts, e.g. 15 for the paper's (15,10,5)).
+func FusedTransferScale(avgFanout float64, prec half.Precision, dim int) float64 {
+	if avgFanout < 0 {
+		avgFanout = 0
+	}
+	stagedRow := float64(prec.RowBytes(dim))
+	fusedRows := 2 * float64(half.FP32.RowBytes(dim))
+	return fusedRows / ((1 + avgFanout) * stagedRow)
+}
+
+// WithPrecision returns a copy of the calibration with the transfer volume
+// rescaled to the given feature-storage precision, and slicing time scaled
+// with it (slicing is bandwidth-bound on the feature bytes it stages, §4.2).
+// dim is the dataset's feature width.
+func (c DatasetCal) WithPrecision(prec half.Precision, dim int) DatasetCal {
+	s := PrecisionTransferScale(prec, dim)
+	c.TransferBytes *= s
+	c.SliceSec *= s
+	return c
+}
+
+// WithFused returns a copy of the calibration with the transfer volume
+// rescaled for the fused gather+aggregate pipeline at the given storage
+// precision and expected layer-0 fanout. Slicing time is left unchanged:
+// the fused kernel still touches every stored source row once (and pays the
+// aggregation adds), it just stops staging them for transfer.
+func (c DatasetCal) WithFused(avgFanout float64, prec half.Precision, dim int) DatasetCal {
+	c.TransferBytes *= FusedTransferScale(avgFanout, prec, dim)
+	return c
+}

@@ -1,0 +1,94 @@
+package half
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzHalfRoundTrip drives arbitrary float32 bit patterns through the binary16
+// codec and checks the invariants that don't depend on exact representability:
+// NaN stays NaN, the encoded value is monotone-consistent with the input, and
+// re-encoding the decoded value is a fixed point (encode∘decode∘encode =
+// encode).
+func FuzzHalfRoundTrip(f *testing.F) {
+	f.Add(uint32(0))
+	f.Add(math.Float32bits(1.0))
+	f.Add(math.Float32bits(65504))   // max finite half
+	f.Add(math.Float32bits(6.1e-5))  // near the subnormal boundary
+	f.Add(math.Float32bits(5.96e-8)) // smallest subnormal half
+	f.Add(uint32(0x7f800001))        // signaling NaN pattern
+	f.Add(math.Float32bits(float32(math.Inf(-1))))
+	f.Fuzz(func(t *testing.T, bits uint32) {
+		x := math.Float32frombits(bits)
+		h := FromFloat32(x)
+		switch {
+		case math.IsNaN(float64(x)):
+			if !h.IsNaN() {
+				t.Fatalf("NaN %#08x encoded to non-NaN %#04x", bits, h)
+			}
+			return
+		case math.IsInf(float64(x), 0):
+			if !h.IsInf() || (h&0x8000 != 0) != (x < 0) {
+				t.Fatalf("Inf %g encoded to %#04x", x, h)
+			}
+			return
+		}
+		d := h.Float32()
+		if h.IsNaN() {
+			t.Fatalf("finite %g encoded to NaN %#04x", x, h)
+		}
+		// Fixed point: the decoded value is exactly representable, so
+		// re-encoding must be the identity.
+		if h2 := FromFloat32(d); h2 != h {
+			t.Fatalf("encode(%g)=%#04x but encode(decode)=%#04x", x, h, h2)
+		}
+		// The decoded value never overshoots the max-magnitude finite half
+		// unless the input overflowed to infinity.
+		if !h.IsInf() && (d > 65504 || d < -65504) {
+			t.Fatalf("finite encoding of %g decoded out of range: %g", x, d)
+		}
+	})
+}
+
+// FuzzInt8RowCodec round-trips arbitrary 4-float rows through the symmetric
+// int8 codec: quantized bytes stay in [-127,127], dequantization is exactly
+// float32(q)·scale, and for finite rows the reconstruction error is bounded
+// by half a quantization step.
+func FuzzInt8RowCodec(f *testing.F) {
+	f.Add(uint32(0), uint32(0), uint32(0), uint32(0))
+	f.Add(math.Float32bits(1), math.Float32bits(-1), math.Float32bits(0.5), math.Float32bits(127))
+	f.Add(math.Float32bits(float32(math.Inf(1))), uint32(0x7fc00000), math.Float32bits(1e-30), math.Float32bits(-1e30))
+	f.Fuzz(func(t *testing.T, a, b, c, d uint32) {
+		src := []float32{
+			math.Float32frombits(a), math.Float32frombits(b),
+			math.Float32frombits(c), math.Float32frombits(d),
+		}
+		q := make([]int8, len(src))
+		scale := QuantizeRow(q, src)
+		if math.IsNaN(float64(scale)) || scale < 0 {
+			t.Fatalf("scale %g for %v", scale, src)
+		}
+		for i, v := range q {
+			if v > 127 || v < -127 {
+				t.Fatalf("q[%d] = %d out of symmetric range", i, v)
+			}
+		}
+		dec := DequantizeRow(make([]float32, len(q)), q, scale)
+		finite := true
+		for _, v := range src {
+			if math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) {
+				finite = false
+			}
+		}
+		for i := range dec {
+			if dec[i] != float32(q[i])*scale {
+				t.Fatalf("dequant[%d] = %g, want float32(q)·scale = %g", i, dec[i], float32(q[i])*scale)
+			}
+			if finite && !math.IsInf(float64(scale), 0) && scale > 0 {
+				if err := math.Abs(float64(dec[i]) - float64(src[i])); err > float64(scale)*0.5001+math.Abs(float64(src[i]))*1e-5 {
+					t.Fatalf("row %v: element %d error %g exceeds scale/2 = %g", src, i, err, scale/2)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,152 @@
+package half
+
+import (
+	"fmt"
+	"math"
+)
+
+// Precision selects the on-host storage width of a feature row. The zero
+// value is FP16 — the paper's baseline optimization iii and the seed layout —
+// so existing wiring that never mentions precision keeps its behavior.
+//
+// Compute always runs float32; precision only changes what the host stores
+// and what a gather must move and widen:
+//
+//   - FP16: 2 bytes/scalar, widened exactly (every binary16 is a binary32).
+//   - FP32: 4 bytes/scalar, stored as computed (the no-compression control).
+//   - Int8: 1 byte/scalar plus one float32 scale per row (symmetric per-row
+//     quantization, q = round(x/scale) with scale = maxAbs/127), dequantized
+//     on gather as float32(q)·scale.
+type Precision int
+
+const (
+	FP16 Precision = iota
+	FP32
+	Int8
+)
+
+// String returns the flag spelling of p ("fp16", "fp32", "int8").
+func (p Precision) String() string {
+	switch p {
+	case FP32:
+		return "fp32"
+	case Int8:
+		return "int8"
+	default:
+		return "fp16"
+	}
+}
+
+// ParsePrecision parses the flag spelling of a precision. The empty string
+// selects FP16, the seed default.
+func ParsePrecision(s string) (Precision, error) {
+	switch s {
+	case "", "fp16":
+		return FP16, nil
+	case "fp32":
+		return FP32, nil
+	case "int8":
+		return Int8, nil
+	}
+	return FP16, fmt.Errorf("half: unknown precision %q (want fp16, fp32, or int8)", s)
+}
+
+// Valid reports whether p is one of the defined precisions.
+func (p Precision) Valid() bool {
+	return p == FP16 || p == FP32 || p == Int8
+}
+
+// RowBytes returns the host bytes one feature row of the given
+// dimensionality occupies at this precision, including the int8 row's
+// float32 scale. This is the row width every store's transfer accounting is
+// parameterized on (fp32 = 4·dim, fp16 = 2·dim, int8 = dim + 4).
+func (p Precision) RowBytes(dim int) int64 {
+	switch p {
+	case FP32:
+		return int64(dim) * 4
+	case Int8:
+		return int64(dim) + 4
+	default:
+		return int64(dim) * 2
+	}
+}
+
+// QuantizeRow quantizes src into dst with symmetric per-row int8
+// quantization and returns the row's scale: scale = maxAbs/127,
+// q = round-to-nearest-even(x/scale), clamped to [-127, 127]. An all-zero
+// row gets scale 0 (dequantizes back to exact zeros). dst must have len(src)
+// capacity.
+//
+// Non-finite inputs saturate: ±Inf clamps to ±127 and NaN quantizes to 0 —
+// feature matrices are expected to be finite, and saturation keeps the codec
+// total so fuzzing can round-trip arbitrary bytes.
+func QuantizeRow(dst []int8, src []float32) float32 {
+	dst = dst[:len(src)]
+	maxAbs := float32(0)
+	for _, f := range src {
+		a := f
+		if a < 0 {
+			a = -a
+		}
+		if a > maxAbs { // NaN compares false, so it never sets the scale
+			maxAbs = a
+		}
+	}
+	if maxAbs == 0 {
+		for i := range dst {
+			dst[i] = 0
+		}
+		return 0
+	}
+	if maxAbs > math.MaxFloat32 { // +Inf in the row: keep the scale finite
+		maxAbs = math.MaxFloat32
+	}
+	scale := maxAbs / 127
+	inv := 1 / scale
+	for i, f := range src {
+		q := roundHalfEven(f * inv)
+		if q > 127 {
+			q = 127
+		} else if q < -127 {
+			q = -127
+		}
+		dst[i] = int8(q)
+	}
+	return scale
+}
+
+// DequantizeRow widens a quantized row back to float32: dst[i] =
+// float32(q[i])·scale. This exact expression is shared by the staged decode
+// and the fused gather+aggregate kernels, so the two paths accumulate
+// bit-identical values. dst must have len(q) capacity; it returns
+// dst[:len(q)].
+func DequantizeRow(dst []float32, q []int8, scale float32) []float32 {
+	dst = dst[:len(q)]
+	for i, v := range q {
+		dst[i] = float32(v) * scale
+	}
+	return dst
+}
+
+// roundHalfEven rounds x to the nearest int32, ties to even (matching the
+// FP16 codec's rounding mode). NaN rounds to 0; values beyond int32 range
+// saturate (callers clamp to [-127,127] anyway).
+func roundHalfEven(x float32) int32 {
+	switch {
+	case x != x: // NaN
+		return 0
+	case x >= 2147483520:
+		return 2147483647
+	case x <= -2147483520:
+		return -2147483648
+	}
+	n := int32(x)
+	frac := x - float32(n)
+	switch {
+	case frac > 0.5 || (frac == 0.5 && n&1 != 0):
+		n++
+	case frac < -0.5 || (frac == -0.5 && n&1 != 0):
+		n--
+	}
+	return n
+}

@@ -1,0 +1,232 @@
+package half
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPrecisionParseAndString(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want Precision
+	}{
+		{"", FP16}, {"fp16", FP16}, {"fp32", FP32}, {"int8", Int8},
+	} {
+		got, err := ParsePrecision(tc.in)
+		if err != nil || got != tc.want {
+			t.Errorf("ParsePrecision(%q) = %v, %v; want %v", tc.in, got, err, tc.want)
+		}
+	}
+	if _, err := ParsePrecision("bf16"); err == nil {
+		t.Error("ParsePrecision accepted bf16")
+	}
+	for _, p := range []Precision{FP16, FP32, Int8} {
+		if !p.Valid() {
+			t.Errorf("%v not Valid", p)
+		}
+		rt, err := ParsePrecision(p.String())
+		if err != nil || rt != p {
+			t.Errorf("round-trip %v via %q failed", p, p.String())
+		}
+	}
+	if Precision(42).Valid() {
+		t.Error("Precision(42) reported Valid")
+	}
+}
+
+func TestPrecisionRowBytes(t *testing.T) {
+	const dim = 100
+	if got := FP32.RowBytes(dim); got != 400 {
+		t.Errorf("FP32.RowBytes(%d) = %d, want 400", dim, got)
+	}
+	if got := FP16.RowBytes(dim); got != 200 {
+		t.Errorf("FP16.RowBytes(%d) = %d, want 200", dim, got)
+	}
+	if got := Int8.RowBytes(dim); got != 104 {
+		t.Errorf("Int8.RowBytes(%d) = %d, want 104 (dim + 4-byte scale)", dim, got)
+	}
+}
+
+// TestHalfRoundTripExact: every float32 that is exactly a binary16 value
+// survives FromFloat32 → Float32 unchanged.
+func TestHalfRoundTripExact(t *testing.T) {
+	for bits := 0; bits <= 0xffff; bits++ {
+		h := Float16(bits)
+		if h.IsNaN() {
+			continue
+		}
+		f := h.Float32()
+		if got := FromFloat32(f); got != h {
+			t.Fatalf("bits %#04x: Float32()=%g re-encodes to %#04x", bits, f, got)
+		}
+	}
+}
+
+// TestHalfMonotone (testing/quick): encoding preserves order on finite
+// values — a ≤ b implies half(a) ≤ half(b) as real numbers.
+func TestHalfMonotone(t *testing.T) {
+	f := func(a, b float32) bool {
+		if math.IsNaN(float64(a)) || math.IsNaN(float64(b)) {
+			return true
+		}
+		if a > b {
+			a, b = b, a
+		}
+		ha, hb := FromFloat32(a).Float32(), FromFloat32(b).Float32()
+		return ha <= hb
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestHalfNearest (testing/quick): the encoded value is within half a ULP of
+// the input — no representable binary16 value is strictly closer.
+func TestHalfNearest(t *testing.T) {
+	f := func(a float32) bool {
+		if math.IsNaN(float64(a)) || math.IsInf(float64(a), 0) {
+			return true
+		}
+		if a > 65504 || a < -65504 { // overflow region rounds to ±Inf
+			return true
+		}
+		h := FromFloat32(a)
+		if h&0x7fff == 0 || h&0x7fff >= 0x7bff {
+			// Zero and the top of the finite range have no two-sided
+			// neighbors; covered by TestHalfSpecials.
+			return true
+		}
+		got := float64(h.Float32())
+		// Neighbors of h on the binary16 number line.
+		lo, hi := float64(Float16(h-1).Float32()), float64(Float16(h+1).Float32())
+		d := math.Abs(got - float64(a))
+		return d <= math.Abs(lo-float64(a))+1e-30 && d <= math.Abs(hi-float64(a))+1e-30
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHalfSpecials(t *testing.T) {
+	if !FromFloat32(float32(math.NaN())).IsNaN() {
+		t.Error("NaN did not encode to NaN")
+	}
+	if !FromFloat32(float32(math.Inf(1))).IsInf() || !FromFloat32(float32(math.Inf(-1))).IsInf() {
+		t.Error("Inf did not encode to Inf")
+	}
+	// Round-to-nearest-even at the 1 + 2^-11 boundary: exactly halfway
+	// between 1.0 and the next half value 1+2^-10, ties to even (1.0).
+	if got := FromFloat32(1 + 1.0/2048); got != FromFloat32(1) {
+		t.Errorf("1+2^-11 rounded to %#04x, want even tie 1.0", got)
+	}
+	// 1 + 3·2^-11 is halfway between 1+2^-10 and 1+2^-9; even is 1+2^-9.
+	if got := FromFloat32(1 + 3.0/2048).Float32(); got != 1+2.0/1024 {
+		t.Errorf("1+3·2^-11 rounded to %g, want 1+2^-9", got)
+	}
+	// Subnormal: the smallest positive half is 2^-24.
+	tiny := float32(math.Ldexp(1, -24))
+	if got := FromFloat32(tiny).Float32(); got != tiny {
+		t.Errorf("2^-24 round-tripped to %g", got)
+	}
+	// Below half the smallest subnormal underflows to zero, keeping sign.
+	if got := FromFloat32(float32(math.Ldexp(1, -26))); got != 0 {
+		t.Errorf("2^-26 encoded to %#04x, want +0", got)
+	}
+	if got := FromFloat32(float32(math.Copysign(math.Ldexp(1, -26), -1))); got != 0x8000 {
+		t.Errorf("-2^-26 encoded to %#04x, want -0", got)
+	}
+}
+
+func TestQuantizeRowBasics(t *testing.T) {
+	src := []float32{0, 1, -1, 0.5, 127, -127, 63.5}
+	q := make([]int8, len(src))
+	scale := QuantizeRow(q, src)
+	if scale != 1 {
+		t.Fatalf("scale = %g, want 1 (maxAbs 127 / 127)", scale)
+	}
+	want := []int8{0, 1, -1, 0 /* tie 0.5 -> even 0 */, 127, -127, 64 /* tie 63.5 -> even 64 */}
+	for i := range q {
+		if q[i] != want[i] {
+			t.Errorf("q[%d] = %d, want %d", i, q[i], want[i])
+		}
+	}
+	dec := DequantizeRow(make([]float32, len(q)), q, scale)
+	for i, v := range dec {
+		if v != float32(q[i])*scale {
+			t.Errorf("dequant[%d] = %g, want %g", i, v, float32(q[i])*scale)
+		}
+	}
+}
+
+func TestQuantizeRowZeroAndNonFinite(t *testing.T) {
+	q := make([]int8, 3)
+	if scale := QuantizeRow(q, []float32{0, 0, 0}); scale != 0 {
+		t.Fatalf("all-zero row scale = %g, want 0", scale)
+	}
+	dec := DequantizeRow(make([]float32, 3), q, 0)
+	for _, v := range dec {
+		if v != 0 {
+			t.Fatalf("zero row dequantized to %v", dec)
+		}
+	}
+	inf := float32(math.Inf(1))
+	nan := float32(math.NaN())
+	scale := QuantizeRow(q, []float32{1, inf, nan})
+	if q[1] != 127 {
+		t.Errorf("+Inf quantized to %d, want saturated 127", q[1])
+	}
+	if q[2] != 0 {
+		t.Errorf("NaN quantized to %d, want 0", q[2])
+	}
+	_ = scale
+}
+
+// TestQuantizeRoundTripError (testing/quick): for finite rows the
+// dequantized value is within half a quantization step (scale/2, plus
+// float32 rounding slack) of the input — the symmetric codec's error bound.
+func TestQuantizeRoundTripError(t *testing.T) {
+	f := func(row [8]float32) bool {
+		src := make([]float32, len(row))
+		maxAbs := float64(0)
+		for i, v := range row {
+			if math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) {
+				v = 0
+			}
+			// Keep magnitudes in a sane feature range.
+			src[i] = float32(math.Mod(float64(v), 1e6))
+			if a := math.Abs(float64(src[i])); a > maxAbs {
+				maxAbs = a
+			}
+		}
+		q := make([]int8, len(src))
+		scale := QuantizeRow(q, src)
+		dec := DequantizeRow(make([]float32, len(q)), q, scale)
+		bound := float64(scale)*0.5 + maxAbs*1e-5
+		for i := range src {
+			if math.Abs(float64(dec[i])-float64(src[i])) > bound+1e-30 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuantizeDeterministic: quantizing the same row twice yields identical
+// bytes and scale (the codec has no hidden state).
+func TestQuantizeDeterministic(t *testing.T) {
+	src := []float32{3.25, -88.5, 0.001, 12, -12, 101.25}
+	q1, q2 := make([]int8, len(src)), make([]int8, len(src))
+	s1, s2 := QuantizeRow(q1, src), QuantizeRow(q2, src)
+	if s1 != s2 {
+		t.Fatalf("scales differ: %g vs %g", s1, s2)
+	}
+	for i := range q1 {
+		if q1[i] != q2[i] {
+			t.Fatalf("bytes differ at %d", i)
+		}
+	}
+}

@@ -39,6 +39,10 @@ type Options struct {
 	// infers over the dataset's static graph; a snapshotter (e.g. a
 	// *graph.Dynamic) pins its latest snapshot for the whole run.
 	Graph graph.Snapshotter
+	// Fused runs the fused gather+aggregate pipeline. Requires a model
+	// implementing nn.FusedModel (SAGE or GIN) and a store with a fused
+	// gather; predictions are bit-identical to the staged path.
+	Fused bool
 }
 
 func (o *Options) defaults() {
@@ -58,14 +62,23 @@ func (o *Options) defaults() {
 // in inference mode (no dropout); the data path is the SALIENT executor.
 func Sampled(m nn.Model, ds *dataset.Dataset, nodes []int32, opts Options) ([]int32, error) {
 	opts.defaults()
-	ex, err := prep.NewSalient(ds, prep.Options{
+	popts := prep.Options{
 		Workers:   opts.Workers,
 		BatchSize: opts.BatchSize,
 		Fanouts:   opts.Fanouts,
 		Sampler:   sampler.FastConfig(),
 		Store:     opts.Store,
 		Graph:     opts.Graph,
-	})
+	}
+	var fm nn.FusedModel
+	if opts.Fused {
+		var ok bool
+		if fm, ok = m.(nn.FusedModel); !ok {
+			return nil, fmt.Errorf("infer: fused inference needs a mean/sum first layer; %s has no fused forward", m.Name())
+		}
+		popts.Fused = fm.FusedOp()
+	}
+	ex, err := prep.NewSalient(ds, popts)
 	if err != nil {
 		return nil, err
 	}
@@ -88,8 +101,13 @@ func Sampled(m nn.Model, ds *dataset.Dataset, nodes []int32, opts Options) ([]in
 			b.Release()
 			continue
 		}
-		x = slicing.DecodeInto(x, b.Buf)
-		logp := m.Forward(x, b.MFG, false)
+		var logp *tensor.Dense
+		if b.Fused != nil {
+			logp = fm.ForwardFused(b.Fused.Agg, b.Fused.XT, b.MFG, false)
+		} else {
+			x = slicing.DecodeInto(x, b.Buf)
+			logp = m.Forward(x, b.MFG, false)
+		}
 		logp.ArgmaxRows(rowPred[:logp.Rows])
 		for i := 0; i < logp.Rows; i++ {
 			pred[pos[b.Seeds[i]]] = rowPred[i]

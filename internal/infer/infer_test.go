@@ -204,3 +204,40 @@ func TestSampledDynamicZeroDeltaBitIdentical(t *testing.T) {
 		t.Fatalf("full inference diverges on a zero-delta snapshot by %v", d)
 	}
 }
+
+// TestSampledFusedBitIdentical: fused sampled inference must predict exactly
+// what the staged path predicts — same samples, same widened values, same
+// edge-order aggregation.
+func TestSampledFusedBitIdentical(t *testing.T) {
+	ds, tr := fitted(t)
+	nodes := ds.Test
+	if len(nodes) > 300 {
+		nodes = nodes[:300]
+	}
+	opts := Options{Fanouts: []int{10, 5}, Workers: 2, Seed: 11}
+	staged, err := Sampled(tr.Model, ds, nodes, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Fused = true
+	fused, err := Sampled(tr.Model, ds, nodes, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range staged {
+		if staged[i] != fused[i] {
+			t.Fatalf("node %d: staged prediction %d, fused %d", nodes[i], staged[i], fused[i])
+		}
+	}
+	// An unfusable architecture is rejected up front.
+	gat, err := train.New(ds, train.Config{
+		Arch: "GAT", Hidden: 16, Layers: 2, Fanouts: []int{5, 5},
+		BatchSize: 64, Workers: 1, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Sampled(gat.Model, ds, nodes[:4], Options{Fanouts: []int{5, 5}, Fused: true}); err == nil {
+		t.Fatal("fused inference accepted for GAT")
+	}
+}

@@ -23,6 +23,10 @@ type GINConv struct {
 	xCols int
 	mask1 []bool // ReLU mask after BN
 	mask2 []bool // final ReLU mask
+
+	// fused marks a ForwardFused pass: no source tensor exists, so Backward
+	// stops after the MLP parameter grads and returns no input gradient.
+	fused bool
 }
 
 // NewGINConv creates a GIN convolution with hidden width equal to out.
@@ -37,6 +41,7 @@ func NewGINConv(name string, in, out int, r *rng.Rand) *GINConv {
 // Forward computes destination representations over the sampled block.
 func (c *GINConv) Forward(x *tensor.Dense, blk *mfg.Block, train bool) *tensor.Dense {
 	c.blk = blk
+	c.fused = false
 	c.xRows, c.xCols = x.Rows, x.Cols
 	h := aggregateSumBlock(x, blk) // Σ neighbors
 	// + (1+ε)·x_target with ε = 0.
@@ -48,6 +53,29 @@ func (c *GINConv) Forward(x *tensor.Dense, blk *mfg.Block, train bool) *tensor.D
 			hr[j] += f
 		}
 	}
+	return c.mlp(h, train)
+}
+
+// ForwardFused consumes a fused gather+aggregate batch: agg is the
+// sum-aggregated neighbor tensor computed in block edge order
+// (bit-identical to aggregateSumBlock over the staged features) and xt the
+// widened x_target prefix, so h = agg + (1+ε)·xt with ε = 0 — the exact
+// value the staged path forms. First layer only; Backward after it returns
+// no input gradient.
+func (c *GINConv) ForwardFused(agg, xt *tensor.Dense, blk *mfg.Block, train bool) *tensor.Dense {
+	c.blk = blk
+	c.fused = true
+	c.xRows, c.xCols = 0, 0
+	h := tensor.New(agg.Rows, agg.Cols)
+	for i, f := range agg.Data {
+		h.Data[i] = f + xt.Data[i]
+	}
+	return c.mlp(h, train)
+}
+
+// mlp applies the convolution's MLP (Linear → BN → ReLU → Linear → ReLU) to
+// the aggregated representation, caching the ReLU masks for Backward.
+func (c *GINConv) mlp(h *tensor.Dense, train bool) *tensor.Dense {
 	h = c.Lin1.Forward(h)
 	h = c.BN.Forward(h, train)
 	if cap(c.mask1) < len(h.Data) {
@@ -80,6 +108,12 @@ func (c *GINConv) Backward(dy *tensor.Dense) *tensor.Dense {
 	}
 	d = c.BN.Backward(d)
 	d = c.Lin1.Backward(d) // gradient w.r.t. the aggregated h
+
+	if c.fused {
+		// No source tensor to scatter into; the raw-feature gradient is
+		// discarded in staged training too.
+		return nil
+	}
 
 	dx := tensor.New(c.xRows, c.xCols)
 	aggregateSumBlockBackward(dx, d, c.blk)

@@ -4,6 +4,7 @@ import (
 	"salient/internal/graph"
 	"salient/internal/mfg"
 	"salient/internal/rng"
+	"salient/internal/slicing"
 	"salient/internal/tensor"
 )
 
@@ -46,7 +47,24 @@ func (m *GINModel) ReseedDropout(seed uint64) { m.r.Reseed(seed) }
 
 // Forward implements Model.
 func (m *GINModel) Forward(x *tensor.Dense, g *mfg.MFG, train bool) *tensor.Dense {
-	for i := range m.convs {
+	x = m.convs[0].Forward(x, &g.Blocks[0], train)
+	return m.finishForward(x, g, train)
+}
+
+// FusedOp implements FusedModel: the first GIN layer sum-aggregates.
+func (m *GINModel) FusedOp() slicing.AggOp { return slicing.AggSum }
+
+// ForwardFused implements FusedModel: layer 0 consumes the pre-aggregated
+// batch, the rest of the stack is the staged path.
+func (m *GINModel) ForwardFused(agg, xt *tensor.Dense, g *mfg.MFG, train bool) *tensor.Dense {
+	x := m.convs[0].(*GINConv).ForwardFused(agg, xt, &g.Blocks[0], train)
+	return m.finishForward(x, g, train)
+}
+
+// finishForward runs convs 1..L-1 and the prediction head after layer 0's
+// output x.
+func (m *GINModel) finishForward(x *tensor.Dense, g *mfg.MFG, train bool) *tensor.Dense {
+	for i := 1; i < len(m.convs); i++ {
 		x = m.convs[i].Forward(x, &g.Blocks[i], train)
 	}
 	x = m.lin1.Forward(x)

@@ -6,6 +6,7 @@ import (
 	"salient/internal/graph"
 	"salient/internal/mfg"
 	"salient/internal/rng"
+	"salient/internal/slicing"
 	"salient/internal/tensor"
 )
 
@@ -53,9 +54,28 @@ func (m *GraphSAGE) ReseedDropout(seed uint64) { m.r.Reseed(seed) }
 
 // Forward implements Model.
 func (m *GraphSAGE) Forward(x *tensor.Dense, g *mfg.MFG, train bool) *tensor.Dense {
+	x = m.convs[0].Forward(x, &g.Blocks[0], train)
+	return m.finishForward(x, g, train)
+}
+
+// FusedOp implements FusedModel: the first SAGE layer mean-aggregates.
+func (m *GraphSAGE) FusedOp() slicing.AggOp { return slicing.AggMean }
+
+// ForwardFused implements FusedModel: layer 0 consumes the pre-aggregated
+// batch, the rest of the stack is the staged path.
+func (m *GraphSAGE) ForwardFused(agg, xt *tensor.Dense, g *mfg.MFG, train bool) *tensor.Dense {
+	x := m.convs[0].(*SAGEConv).ForwardFused(agg, xt, &g.Blocks[0])
+	return m.finishForward(x, g, train)
+}
+
+// finishForward runs the stack after layer 0's output x: inter-layer
+// ReLU+dropout, layers 1..L-1, and the log-softmax head.
+func (m *GraphSAGE) finishForward(x *tensor.Dense, g *mfg.MFG, train bool) *tensor.Dense {
 	L := len(m.convs)
 	for i := 0; i < L; i++ {
-		x = m.convs[i].Forward(x, &g.Blocks[i], train)
+		if i > 0 {
+			x = m.convs[i].Forward(x, &g.Blocks[i], train)
+		}
 		if i != L-1 {
 			mask := make([]bool, len(x.Data))
 			x.ReLU(mask)

@@ -19,6 +19,12 @@ type SAGEConv struct {
 	x   *tensor.Dense
 	agg *tensor.Dense
 	blk *mfg.Block
+
+	// Fused-forward caches: when the aggregate came pre-computed from the
+	// fused gather kernel there is no source tensor to scatter gradients
+	// into, so Backward stops at the parameter grads.
+	fused   bool
+	fusedXT *tensor.Dense
 }
 
 // NewSAGEConv creates a Glorot-initialized SAGE convolution.
@@ -36,12 +42,30 @@ func NewSAGEConv(name string, in, out int, r *rng.Rand) *SAGEConv {
 // the sampled block.
 func (c *SAGEConv) Forward(x *tensor.Dense, blk *mfg.Block, train bool) *tensor.Dense {
 	c.x, c.blk = x, blk
+	c.fused, c.fusedXT = false, nil
 	c.agg = aggregateMeanBlock(x, blk)
-
-	y := tensor.New(int(blk.NumDst), c.WNeigh.W.Cols)
-	tensor.MatMul(y, c.agg, c.WNeigh.W)
 	// x_target is the NumDst prefix of x.
 	xt := tensor.FromSlice(int(blk.NumDst), x.Cols, x.Data[:int(blk.NumDst)*x.Cols])
+	return c.combine(xt, blk)
+}
+
+// ForwardFused consumes a fused gather+aggregate batch: agg is the
+// mean-aggregated neighbor tensor the kernel computed in block edge order
+// (bit-identical to aggregateMeanBlock over the staged features) and xt the
+// widened x_target prefix. Must only be used for the first layer of a
+// model — Backward after it returns no input gradient.
+func (c *SAGEConv) ForwardFused(agg, xt *tensor.Dense, blk *mfg.Block) *tensor.Dense {
+	c.x, c.blk = nil, blk
+	c.agg = agg
+	c.fused, c.fusedXT = true, xt
+	return c.combine(xt, blk)
+}
+
+// combine applies the two weight matrices to the cached aggregate and the
+// given x_target: y = agg·W_neigh + xt·W_root.
+func (c *SAGEConv) combine(xt *tensor.Dense, blk *mfg.Block) *tensor.Dense {
+	y := tensor.New(int(blk.NumDst), c.WNeigh.W.Cols)
+	tensor.MatMul(y, c.agg, c.WNeigh.W)
 	root := tensor.New(int(blk.NumDst), c.WRoot.W.Cols)
 	tensor.MatMul(root, xt, c.WRoot.W)
 	y.Add(root)
@@ -49,11 +73,19 @@ func (c *SAGEConv) Forward(x *tensor.Dense, blk *mfg.Block, train bool) *tensor.
 }
 
 // Backward returns the gradient w.r.t. the source features and accumulates
-// parameter gradients.
+// parameter gradients. After ForwardFused there is no source tensor, so the
+// parameter grads (which need only the cached aggregate and x_target) are
+// accumulated identically and the input gradient is nil — bit-identical to
+// staged training, where the layer-0 input gradient is discarded anyway.
 func (c *SAGEConv) Backward(dy *tensor.Dense) *tensor.Dense {
 	blk := c.blk
 	nDst := int(blk.NumDst)
-	xt := tensor.FromSlice(nDst, c.x.Cols, c.x.Data[:nDst*c.x.Cols])
+	var xt *tensor.Dense
+	if c.fused {
+		xt = c.fusedXT
+	} else {
+		xt = tensor.FromSlice(nDst, c.x.Cols, c.x.Data[:nDst*c.x.Cols])
+	}
 
 	// Parameter grads.
 	dWn := tensor.New(c.WNeigh.W.Rows, c.WNeigh.W.Cols)
@@ -62,6 +94,10 @@ func (c *SAGEConv) Backward(dy *tensor.Dense) *tensor.Dense {
 	dWr := tensor.New(c.WRoot.W.Rows, c.WRoot.W.Cols)
 	tensor.MatMulAT(dWr, xt, dy)
 	c.WRoot.G.Add(dWr)
+
+	if c.fused {
+		return nil
+	}
 
 	// Input grads.
 	dx := tensor.New(c.x.Rows, c.x.Cols)

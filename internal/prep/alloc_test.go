@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"testing"
 
+	"salient/internal/half"
 	"salient/internal/mfg"
 	"salient/internal/race"
 	"salient/internal/rng"
@@ -209,4 +210,40 @@ func TestArenaLeakAndDoubleRelease(t *testing.T) {
 		}
 	}()
 	p.put(a)
+}
+
+// TestFusedPipelineSteadyStateAllocs is TestPipelineSteadyStateAllocs for
+// the fused data path: sample into a recycled MFG, then gather+aggregate
+// through the store straight into a recycled Fused target — what a Salient
+// worker does per batch under Options.Fused. Zero heap allocations per batch
+// after warm-up, at every storage precision.
+func TestFusedPipelineSteadyStateAllocs(t *testing.T) {
+	if race.Enabled {
+		t.Skip("allocation counts are not exact under -race")
+	}
+	ds := testDataset(t)
+	sm := sampler.New(ds.G, []int{10, 5}, sampler.FastConfig())
+	seeds := ds.Train[:64]
+	r := rng.New(1)
+	for _, prec := range []half.Precision{half.FP16, half.FP32, half.Int8} {
+		st := store.NewFlatPrec(ds, prec)
+		var m mfg.MFG
+		var fused slicing.Fused
+		prepareOnce := func(seed uint64) {
+			r.Reseed(seed) // identical draw per run: high-water marks cannot move
+			if err := sm.SampleInto(r, seeds, &m); err != nil {
+				t.Fatal(err)
+			}
+			if err := st.GatherAggregate(&fused, m.NodeIDs, &m.Blocks[0], len(seeds), slicing.AggMean); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i := 0; i < 5; i++ {
+			prepareOnce(uint64(i))
+		}
+		allocs := testing.AllocsPerRun(100, func() { prepareOnce(3) })
+		if allocs != 0 {
+			t.Fatalf("%s: steady-state sample+fused-gather allocates %.1f objects/batch, want 0", prec, allocs)
+		}
+	}
 }

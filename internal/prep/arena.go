@@ -25,6 +25,10 @@ import (
 type arena struct {
 	mfg mfg.MFG
 	buf *slicing.Pinned
+	// fused is the staging target of the fused gather+aggregate pipeline
+	// (Options.Fused): its tensors grow on first use and recycle with the
+	// arena, so the fused path is as allocation-free as the staged one.
+	fused slicing.Fused
 }
 
 // arenaPool is a fixed-size recycling pool of batch arenas.

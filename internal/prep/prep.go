@@ -71,6 +71,12 @@ type Batch struct {
 	MFG         *mfg.MFG // arena-backed (Salient: nil after Release) or batch-owned (PyG)
 	Buf         *slicing.Pinned
 
+	// Fused is set instead of Buf when the executor runs the fused
+	// gather+aggregate pipeline (Options.Fused): the first layer's
+	// pre-aggregated tensors replace the staged feature buffer. Arena-backed
+	// and recycled exactly like Buf.
+	Fused *slicing.Fused
+
 	// Err reports a preparation failure for this batch: a seed set the
 	// sampler rejects (sampler.SeedError — then MFG is nil too) or a
 	// feature-store gather rejection. An errored batch carries no staged
@@ -95,6 +101,7 @@ func (b *Batch) Release() {
 	}
 	b.pool = nil
 	b.Buf = nil
+	b.Fused = nil
 	if b.ar != nil {
 		a, p := b.ar, b.owner
 		b.ar, b.owner = nil, nil
@@ -106,12 +113,28 @@ func (b *Batch) Release() {
 	}
 }
 
+// Labels returns the batch's seed labels wherever they were staged: the
+// pinned buffer on the staged path, the fused staging on the fused path.
+func (b *Batch) Labels() []int32 {
+	if b.Fused != nil {
+		return b.Fused.Labels
+	}
+	if b.Buf != nil {
+		return b.Buf.Labels
+	}
+	return nil
+}
+
 // TransferBytes returns the host-to-device payload this batch represents:
-// staged features and labels plus the MFG index structures.
+// staged features and labels (or, fused, the two pre-aggregated NumDst×dim
+// tensors) plus the MFG index structures.
 func (b *Batch) TransferBytes() int64 {
 	var n int64
 	if b.Buf != nil {
 		n += b.Buf.Bytes()
+	}
+	if b.Fused != nil {
+		n += b.Fused.Bytes()
 	}
 	if b.MFG != nil {
 		for i := range b.MFG.Blocks {
@@ -159,6 +182,15 @@ type Options struct {
 	// *graph.Snapshot freezes every epoch to that one version — which is how
 	// the data-parallel trainer keeps R striped executors on one view.
 	Graph graph.Snapshotter
+	// Fused switches the executor to the fused gather+aggregate pipeline:
+	// instead of staging the NumSrc×dim feature buffer, each batch carries
+	// the first layer's pre-reduced aggregate and x_target tensors
+	// (Batch.Fused), computed in one pass over the stored rows. Requires a
+	// store implementing store.FusedGatherer and a model implementing
+	// nn.FusedModel whose FusedOp matches. Zero value AggNone is the staged
+	// path. Salient-only: the PyG executor models the reference DataLoader,
+	// which has no fused kernel.
+	Fused slicing.AggOp
 	// IndexBase and IndexStride map this executor's local batch indices
 	// onto global epoch batch indices: local batch i carries GlobalIndex
 	// IndexBase+i×IndexStride and samples with BatchRNG(epochSeed,
@@ -387,6 +419,9 @@ type Salient struct {
 	// InFlight unreleased batches. (This unifies the pinned-buffer pool and
 	// the credit channel earlier revisions kept separately.)
 	arenas *arenaPool
+	// fused is the store's fused gather+aggregate kernel, resolved once at
+	// construction when Options.Fused is set (nil on the staged path).
+	fused store.FusedGatherer
 	// samplers[w] is worker w's private fast sampler, persistent across
 	// epochs so its ID map, dedup scratch, and phase buffers stay warm.
 	samplers []*sampler.Sampler
@@ -424,6 +459,13 @@ func NewSalient(ds *dataset.Dataset, opts Options) (*Salient, error) {
 		graph:    src,
 		snap:     snap,
 		rows:     rows,
+	}
+	if opts.Fused != slicing.AggNone {
+		fg, ok := st.(store.FusedGatherer)
+		if !ok {
+			return nil, fmt.Errorf("prep: fused pipeline requested but store %T has no fused gather", st)
+		}
+		e.fused = fg
 	}
 	for w := range e.samplers {
 		e.samplers[w] = sampler.New(snap, opts.Fanouts, opts.Sampler)
@@ -535,6 +577,16 @@ func (e *Salient) prepare(sm *sampler.Sampler, r *rng.Rand, ar *arena, perm []in
 		return b
 	}
 	b.MFG = &ar.mfg
+	if e.fused != nil {
+		// One pass over the stored rows: aggregate and x_target straight
+		// from storage, no staged NumSrc×dim tensor.
+		if err := e.fused.GatherAggregate(&ar.fused, ar.mfg.NodeIDs, &ar.mfg.Blocks[0], len(seeds), e.opts.Fused); err != nil {
+			b.Err = err
+			return b
+		}
+		b.Fused = &ar.fused
+		return b
+	}
 	if err := e.store.Gather(ar.buf, ar.mfg.NodeIDs, len(seeds)); err != nil {
 		b.Err = err
 		return b
@@ -588,8 +640,13 @@ type PyG struct {
 	rows  int
 }
 
-// NewPyG builds a PyG-style executor over ds.
+// NewPyG builds a PyG-style executor over ds. The fused pipeline is not
+// offered: PyG models the reference DataLoader baseline, whose slicing and
+// first-layer aggregation are separate passes by construction.
 func NewPyG(ds *dataset.Dataset, opts Options) (*PyG, error) {
+	if opts.Fused != slicing.AggNone {
+		return nil, fmt.Errorf("prep: the PyG executor has no fused gather+aggregate pipeline (use the Salient executor)")
+	}
 	if err := opts.normalize(int(ds.G.N)); err != nil {
 		return nil, err
 	}

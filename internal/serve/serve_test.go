@@ -8,6 +8,7 @@ import (
 
 	"salient/internal/cache"
 	"salient/internal/dataset"
+	"salient/internal/half"
 	"salient/internal/infer"
 	"salient/internal/partition"
 	"salient/internal/store"
@@ -323,5 +324,54 @@ func TestSubmitAfterCloseAndBadNode(t *testing.T) {
 	s.Close() // idempotent
 	if _, err := s.Submit(0); !errors.Is(err, ErrClosed) {
 		t.Fatalf("Submit after Close = %v, want ErrClosed", err)
+	}
+}
+
+// TestServeThroughInt8Store: quantized storage flows through the serve path
+// untouched — the server must predict exactly what one-shot inference through
+// the same int8 store predicts, and the store's accounting must reflect int8
+// row width (dim + 4 scale bytes), not the fp16 default.
+func TestServeThroughInt8Store(t *testing.T) {
+	ds, tr := fitted(t)
+	nodes := ds.Test[:16]
+
+	oneShot := store.NewFlatPrec(ds, half.Int8)
+	want := make(map[int32]int32, len(nodes))
+	for _, v := range nodes {
+		pred, err := infer.Sampled(tr.Model, ds, []int32{v}, infer.Options{
+			Fanouts: serveFanouts, BatchSize: 1, Workers: 1, Seed: serveSeed,
+			Store: oneShot,
+		})
+		if err != nil {
+			t.Fatalf("infer.Sampled(%d): %v", v, err)
+		}
+		want[v] = pred[0]
+	}
+
+	int8Store := store.NewFlatPrec(ds, half.Int8)
+	s, err := New(tr.Model, ds, Options{
+		Fanouts: serveFanouts, Workers: 2, MaxBatch: 4, Seed: serveSeed,
+		Store: int8Store,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range nodes {
+		got, err := s.Submit(v)
+		if err != nil {
+			t.Fatalf("Submit(%d): %v", v, err)
+		}
+		if got != want[v] {
+			t.Fatalf("Submit(%d) = %d, want %d (int8 one-shot)", v, got, want[v])
+		}
+	}
+	s.Close()
+	ss := s.FeatureStore().Stats()
+	if ss.RowsMoved == 0 {
+		t.Fatal("int8 store moved no rows")
+	}
+	if wantBytes := ss.RowsMoved * int64(half.Int8.RowBytes(ds.FeatDim)); ss.BytesMoved != wantBytes {
+		t.Fatalf("int8 store moved %d bytes for %d rows, want %d (dim+4 per row)",
+			ss.BytesMoved, ss.RowsMoved, wantBytes)
 	}
 }

@@ -212,12 +212,15 @@ type stridedSource struct {
 	labels []int32
 }
 
-func (s stridedSource) Dim() int { return s.dim }
+func (s stridedSource) Dim() int                  { return s.dim }
+func (s stridedSource) Precision() half.Precision { return half.FP16 }
 func (s stridedSource) Row(id int32) []half.Float16 {
 	r := s.n - 1 - int(id)
 	return s.feat[r*s.dim : (r+1)*s.dim]
 }
-func (s stridedSource) Label(id int32) int32 { return s.labels[id] + 100 }
+func (s stridedSource) Row32(id int32) []float32        { return nil }
+func (s stridedSource) Row8(id int32) ([]int8, float32) { return nil, 0 }
+func (s stridedSource) Label(id int32) int32            { return s.labels[id] + 100 }
 
 func TestSliceHonorsCustomSource(t *testing.T) {
 	const n, dim = 50, 4

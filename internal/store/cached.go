@@ -7,6 +7,8 @@ import (
 
 	"salient/internal/cache"
 	"salient/internal/graph"
+	"salient/internal/half"
+	"salient/internal/mfg"
 	"salient/internal/slicing"
 )
 
@@ -46,6 +48,9 @@ func NewCached(inner FeatureStore, g graph.Topology, rows int, policy cache.Poli
 
 // Dim returns the feature dimensionality.
 func (c *Cached) Dim() int { return c.inner.Dim() }
+
+// Precision returns the inner store's storage precision.
+func (c *Cached) Precision() half.Precision { return PrecisionOf(c.inner) }
 
 // NumNodes returns the number of feature rows held.
 func (c *Cached) NumNodes() int { return c.inner.NumNodes() }
@@ -107,13 +112,29 @@ func (c *Cached) GatherStriped(dst *slicing.Pinned, nodeIDs []int32, batch, nWor
 	return nil
 }
 
+// GatherAggregate implements FusedGatherer when the inner store does,
+// forwarding the fused one-pass kernel and then settling the cache bill for
+// the rows it read — residency accounting is identical to the staged
+// gather, since the fused kernel touches exactly the same rows.
+func (c *Cached) GatherAggregate(dst *slicing.Fused, nodeIDs []int32, blk *mfg.Block, batch int, op slicing.AggOp) error {
+	fg, ok := c.inner.(FusedGatherer)
+	if !ok {
+		return fmt.Errorf("store: inner store %T has no fused gather", c.inner)
+	}
+	if err := fg.GatherAggregate(dst, nodeIDs, blk, batch, op); err != nil {
+		return err
+	}
+	c.settle(nodeIDs)
+	return nil
+}
+
 // settle charges the cache bill for one gathered batch. Over a sharded
 // inner store it also re-derives remote traffic cache-aware: only rows that
 // both missed the cache and live off the batch's home shard count as remote
 // fetches — a resident row costs no network no matter where its master
-// copy lives.
+// copy lives. Row width follows the inner store's storage precision.
 func (c *Cached) settle(nodeIDs []int32) {
-	rowBytes := int64(c.inner.Dim()) * 2
+	rowBytes := PrecisionOf(c.inner).RowBytes(c.inner.Dim())
 	sh, _ := c.inner.(*Sharded)
 	var home int32
 	if sh != nil && len(nodeIDs) > 0 {

@@ -6,18 +6,21 @@ import (
 
 	"salient/internal/dataset"
 	"salient/internal/half"
+	"salient/internal/mfg"
 	"salient/internal/slicing"
 )
 
 // Flat is the single-array FeatureStore: rows live in one contiguous
-// row-major half-precision matrix (the seed layout, dataset.Dataset's
-// FeatHalf), and every gathered row is charged as transferred.
+// row-major matrix at the store's storage precision (the seed layout aliases
+// dataset.Dataset's FeatHalf at fp16), and every gathered row is charged as
+// transferred at that precision's row width.
 //
 // Flat is the store that grows with a dynamic graph: AppendRows extends the
 // matrix (copy-on-grow, never mutating the dataset's arrays) so nodes added
 // through graph.Dynamic get feature rows without a rebuild.
 type Flat struct {
-	dim int
+	dim  int
+	prec half.Precision
 
 	// srcMu orders appends against concurrent gathers: Gather reads src/n
 	// under the read lock for the duration of the row copies, AppendRows
@@ -26,28 +29,40 @@ type Flat struct {
 	srcMu  sync.RWMutex
 	src    slicing.Source
 	n      int
-	feat   []half.Float16 // aliases the dataset until the first append
+	mat    *rowMat
 	labels []int32
 
 	mu    sync.Mutex
 	stats Stats
 }
 
-// NewFlat builds the flat store over ds's host feature matrix and labels.
-// The dataset's arrays are aliased until the first AppendRows, which copies
-// on grow — the dataset itself is never mutated.
-func NewFlat(ds *dataset.Dataset) *Flat {
+// NewFlat builds the flat store over ds's host feature matrix and labels at
+// the seed precision (fp16). The dataset's arrays are aliased until the
+// first AppendRows, which copies on grow — the dataset itself is never
+// mutated.
+func NewFlat(ds *dataset.Dataset) *Flat { return NewFlatPrec(ds, half.FP16) }
+
+// NewFlatPrec builds the flat store at an explicit storage precision. fp16
+// aliases the dataset's FeatHalf zero-copy; fp32 and int8 re-encode every
+// row once at build time from the same fp16 master values (so all
+// precisions of one dataset derive from identical inputs).
+func NewFlatPrec(ds *dataset.Dataset, prec half.Precision) *Flat {
+	mat := rowMatFromHalf(ds.FeatHalf, ds.FeatDim, int(ds.G.N), prec)
 	return &Flat{
-		src:    slicing.NewFlatSource(ds.FeatHalf, ds.FeatDim, ds.Labels),
 		dim:    ds.FeatDim,
+		prec:   prec,
+		src:    mat.source(ds.Labels),
 		n:      int(ds.G.N),
-		feat:   ds.FeatHalf,
+		mat:    mat,
 		labels: ds.Labels,
 	}
 }
 
 // Dim returns the feature dimensionality.
 func (f *Flat) Dim() int { return f.dim }
+
+// Precision returns the storage precision rows are held (and moved) at.
+func (f *Flat) Precision() half.Precision { return f.prec }
 
 // NumNodes returns the number of feature rows held.
 func (f *Flat) NumNodes() int {
@@ -57,9 +72,10 @@ func (f *Flat) NumNodes() int {
 }
 
 // AppendRows implements Appendable: it appends len(labels) rows (feat is
-// row-major float32, len(labels)×Dim, stored half-precision like every
-// other row) and returns the first new row ID. Concurrent Gathers keep
-// reading the pre-append arrays until the swap completes.
+// row-major float32, len(labels)×Dim, encoded to the store's storage
+// precision like every other row) and returns the first new row ID.
+// Concurrent Gathers keep reading the pre-append arrays until the swap
+// completes.
 func (f *Flat) AppendRows(feat []float32, labels []int32) (int32, error) {
 	if len(labels) == 0 {
 		return 0, fmt.Errorf("store: AppendRows with no rows")
@@ -68,16 +84,15 @@ func (f *Flat) AppendRows(feat []float32, labels []int32) (int32, error) {
 		return 0, fmt.Errorf("store: AppendRows feat length %d, want %d rows × dim %d = %d",
 			len(feat), len(labels), f.dim, len(labels)*f.dim)
 	}
-	enc := half.EncodeSlice(make([]half.Float16, len(feat)), feat)
 	f.srcMu.Lock()
 	defer f.srcMu.Unlock()
 	first := int32(f.n)
 	// append copies on the first grow (dataset arrays have no spare
 	// capacity), so the dataset's own FeatHalf/Labels are never written.
-	f.feat = append(f.feat, enc...)
+	f.mat.appendRows(feat)
 	f.labels = append(f.labels, labels...)
 	f.n += len(labels)
-	f.src = slicing.NewFlatSource(f.feat, f.dim, f.labels)
+	f.src = f.mat.source(f.labels)
 	return first, nil
 }
 
@@ -114,8 +129,29 @@ func (f *Flat) GatherStriped(dst *slicing.Pinned, nodeIDs []int32, batch, nWorke
 	return nil
 }
 
+// GatherAggregate implements FusedGatherer: one pass over the stored rows,
+// widening and accumulating the first layer's mean/sum aggregate directly,
+// with no staged tensor. Each row is still read from host memory once, so
+// the transfer accounting matches Gather; the savings show up in the batch
+// payload (2×NumDst×dim float32 versus NumSrc×dim storage-width scalars).
+//
+//salient:noalloc
+func (f *Flat) GatherAggregate(dst *slicing.Fused, nodeIDs []int32, blk *mfg.Block, batch int, op slicing.AggOp) error {
+	f.srcMu.RLock()
+	src, n := f.src, f.n
+	f.srcMu.RUnlock()
+	if err := checkIDs(nodeIDs, n); err != nil {
+		return err
+	}
+	if err := slicing.GatherAggregate(dst, src, nodeIDs, blk, batch, op); err != nil {
+		return err
+	}
+	f.account(len(nodeIDs))
+	return nil
+}
+
 func (f *Flat) account(rows int) {
-	bytes := int64(rows) * int64(f.dim) * 2
+	bytes := int64(rows) * f.prec.RowBytes(f.dim)
 	f.mu.Lock()
 	f.stats.Gathers++
 	f.stats.Rows += int64(rows)

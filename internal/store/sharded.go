@@ -6,6 +6,7 @@ import (
 
 	"salient/internal/dataset"
 	"salient/internal/half"
+	"salient/internal/mfg"
 	"salient/internal/partition"
 	"salient/internal/slicing"
 )
@@ -13,7 +14,7 @@ import (
 // Sharded lays the feature matrix out in P per-shard contiguous arrays
 // following a partition.Assignment, the physical layout of the distributed
 // setting §8 sketches: shard p holds exactly the rows of the nodes assigned
-// to part p, in placement order.
+// to part p, in placement order, at the store's storage precision.
 //
 // Gather runs shard-parallel — one goroutine per shard copies that shard's
 // rows into their batch positions — and accounts cross-shard traffic: the
@@ -26,20 +27,28 @@ import (
 // quality makes to the feature path.
 type Sharded struct {
 	dim    int
+	prec   half.Precision
 	n      int
 	parts  int
-	part   []int32          // node -> shard
-	local  []int32          // node -> row index within its shard
-	shards [][]half.Float16 // per-shard row-major feature storage
+	part   []int32   // node -> shard
+	local  []int32   // node -> row index within its shard
+	shards []*rowMat // per-shard row-major feature storage
 	labels []int32
 
 	mu    sync.Mutex
 	stats Stats
 }
 
-// NewSharded builds the sharded store over ds, physically re-laying the
-// feature rows per assignment a.
+// NewSharded builds the sharded store over ds at the seed precision (fp16),
+// physically re-laying the feature rows per assignment a.
 func NewSharded(ds *dataset.Dataset, a *partition.Assignment) (*Sharded, error) {
+	return NewShardedPrec(ds, a, half.FP16)
+}
+
+// NewShardedPrec builds the sharded store at an explicit storage precision,
+// re-encoding each row from the dataset's fp16 master values as it is laid
+// into its shard.
+func NewShardedPrec(ds *dataset.Dataset, a *partition.Assignment, prec half.Precision) (*Sharded, error) {
 	n := int(ds.G.N)
 	if len(a.Part) != n {
 		return nil, fmt.Errorf("store: assignment covers %d nodes, dataset has %d", len(a.Part), n)
@@ -49,11 +58,12 @@ func NewSharded(ds *dataset.Dataset, a *partition.Assignment) (*Sharded, error) 
 	}
 	s := &Sharded{
 		dim:    ds.FeatDim,
+		prec:   prec,
 		n:      n,
 		parts:  a.Parts,
 		part:   append([]int32(nil), a.Part...),
 		local:  make([]int32, n),
-		shards: make([][]half.Float16, a.Parts),
+		shards: make([]*rowMat, a.Parts),
 		labels: ds.Labels,
 	}
 	counts := make([]int, a.Parts)
@@ -64,14 +74,20 @@ func NewSharded(ds *dataset.Dataset, a *partition.Assignment) (*Sharded, error) 
 		counts[p]++
 	}
 	for p, c := range counts {
-		s.shards[p] = make([]half.Float16, c*s.dim)
+		s.shards[p] = newRowMat(prec, s.dim, c)
 	}
 	next := make([]int32, a.Parts)
+	scratch := make([]float32, s.dim)
 	for v := 0; v < n; v++ {
 		p := s.part[v]
 		s.local[v] = next[p]
-		copy(s.shards[p][int(next[p])*s.dim:(int(next[p])+1)*s.dim],
-			ds.FeatHalf[v*s.dim:(v+1)*s.dim])
+		row := ds.FeatHalf[v*s.dim : (v+1)*s.dim]
+		if prec == half.FP16 {
+			copy(s.shards[p].h[int(next[p])*s.dim:(int(next[p])+1)*s.dim], row)
+		} else {
+			half.DecodeSlice(scratch, row)
+			s.shards[p].encodeRow(int(next[p]), scratch)
+		}
 		next[p]++
 	}
 	return s, nil
@@ -79,6 +95,9 @@ func NewSharded(ds *dataset.Dataset, a *partition.Assignment) (*Sharded, error) 
 
 // Dim returns the feature dimensionality.
 func (s *Sharded) Dim() int { return s.dim }
+
+// Precision returns the storage precision rows are held (and moved) at.
+func (s *Sharded) Precision() half.Precision { return s.prec }
 
 // NumNodes returns the number of feature rows held.
 func (s *Sharded) NumNodes() int { return s.n }
@@ -88,6 +107,32 @@ func (s *Sharded) Parts() int { return s.parts }
 
 // Part returns the shard holding node v's row.
 func (s *Sharded) Part(v int32) int32 { return s.part[v] }
+
+// shardedSource adapts the sharded layout to slicing.Source: row accesses
+// indirect through part/local, so the fused kernel runs over shards exactly
+// as it runs over a flat matrix, with bit-identical results.
+type shardedSource struct{ s *Sharded }
+
+func (v shardedSource) Dim() int                  { return v.s.dim }
+func (v shardedSource) Precision() half.Precision { return v.s.prec }
+
+func (v shardedSource) Row(id int32) []half.Float16 {
+	lo := int(v.s.local[id]) * v.s.dim
+	return v.s.shards[v.s.part[id]].h[lo : lo+v.s.dim]
+}
+
+func (v shardedSource) Row32(id int32) []float32 {
+	lo := int(v.s.local[id]) * v.s.dim
+	return v.s.shards[v.s.part[id]].f[lo : lo+v.s.dim]
+}
+
+func (v shardedSource) Row8(id int32) ([]int8, float32) {
+	m := v.s.shards[v.s.part[id]]
+	lo := int(v.s.local[id]) * v.s.dim
+	return m.q[lo : lo+v.s.dim], m.scales[v.s.local[id]]
+}
+
+func (v shardedSource) Label(id int32) int32 { return v.s.labels[id] }
 
 // Gather stages the batch with one gather goroutine per shard, each copying
 // its resident rows into their batch positions (disjoint destinations, no
@@ -99,7 +144,7 @@ func (s *Sharded) Gather(dst *slicing.Pinned, nodeIDs []int32, batch int) error 
 	if err := checkIDs(nodeIDs, s.n); err != nil {
 		return err
 	}
-	dst.Ensure(len(nodeIDs), s.dim, batch)
+	dst.EnsurePrec(len(nodeIDs), s.dim, batch, s.prec)
 	var wg sync.WaitGroup
 	for p := 0; p < s.parts; p++ {
 		wg.Add(1)
@@ -113,8 +158,7 @@ func (s *Sharded) Gather(dst *slicing.Pinned, nodeIDs []int32, batch int) error 
 				if s.part[id] != p {
 					continue
 				}
-				lo := int(s.local[id]) * s.dim
-				copy(dst.Feat[i*s.dim:(i+1)*s.dim], shard[lo:lo+s.dim])
+				shard.copyRow(dst, i, int(s.local[id]))
 			}
 		}(int32(p))
 	}
@@ -122,7 +166,30 @@ func (s *Sharded) Gather(dst *slicing.Pinned, nodeIDs []int32, batch int) error 
 	for i := 0; i < batch; i++ {
 		dst.Labels[i] = s.labels[nodeIDs[i]]
 	}
+	s.account(nodeIDs)
+	return nil
+}
 
+// GatherAggregate implements FusedGatherer over the sharded layout via
+// shardedSource. The fused kernel is destination-parallel rather than
+// shard-parallel, so it runs serially here; executors that want parallelism
+// stripe with slicing.GatherAggregateStriped over the same source. Transfer
+// accounting matches Gather — each row is still read once, remote rows
+// still cross a shard boundary.
+func (s *Sharded) GatherAggregate(dst *slicing.Fused, nodeIDs []int32, blk *mfg.Block, batch int, op slicing.AggOp) error {
+	if err := checkIDs(nodeIDs, s.n); err != nil {
+		return err
+	}
+	if err := slicing.GatherAggregate(dst, shardedSource{s}, nodeIDs, blk, batch, op); err != nil {
+		return err
+	}
+	s.account(nodeIDs)
+	return nil
+}
+
+// account charges one gather over nodeIDs, counting rows living on a shard
+// other than the batch's home (the first seed's part) as remote.
+func (s *Sharded) account(nodeIDs []int32) {
 	remote := 0
 	if len(nodeIDs) > 0 {
 		home := s.part[nodeIDs[0]]
@@ -132,7 +199,7 @@ func (s *Sharded) Gather(dst *slicing.Pinned, nodeIDs []int32, batch int) error 
 			}
 		}
 	}
-	rowBytes := int64(s.dim) * 2
+	rowBytes := s.prec.RowBytes(s.dim)
 	s.mu.Lock()
 	s.stats.Gathers++
 	s.stats.Rows += int64(len(nodeIDs))
@@ -141,7 +208,6 @@ func (s *Sharded) Gather(dst *slicing.Pinned, nodeIDs []int32, batch int) error 
 	s.stats.RowsRemote += int64(remote)
 	s.stats.BytesRemote += int64(remote) * rowBytes
 	s.mu.Unlock()
-	return nil
 }
 
 // Stats returns the accumulated transfer accounting.

@@ -5,6 +5,7 @@ import (
 
 	"salient/internal/cache"
 	"salient/internal/dataset"
+	"salient/internal/half"
 	"salient/internal/partition"
 )
 
@@ -24,6 +25,9 @@ type Spec struct {
 	CachePolicy cache.Policy
 	// Seed keys random placement.
 	Seed uint64
+	// Precision is the storage precision of the feature rows (zero value
+	// fp16, the seed layout).
+	Precision half.Precision
 }
 
 // ValidKind reports whether k names a composition Build accepts (empty
@@ -48,6 +52,9 @@ func ValidPlacement(p string) bool {
 
 // Build composes the store spec over ds.
 func Build(ds *dataset.Dataset, spec Spec) (FeatureStore, error) {
+	if !spec.Precision.Valid() {
+		return nil, fmt.Errorf("store: invalid precision %d", spec.Precision)
+	}
 	sharded := func() (FeatureStore, error) {
 		if !ValidPlacement(spec.Placement) {
 			return nil, fmt.Errorf("store: unknown placement %q (want ldg or random)", spec.Placement)
@@ -66,17 +73,17 @@ func Build(ds *dataset.Dataset, spec Spec) (FeatureStore, error) {
 		if err != nil {
 			return nil, err
 		}
-		return NewSharded(ds, a)
+		return NewShardedPrec(ds, a, spec.Precision)
 	}
 	var base FeatureStore
 	var err error
 	switch spec.Kind {
 	case "", "flat":
-		return NewFlat(ds), nil
+		return NewFlatPrec(ds, spec.Precision), nil
 	case "sharded":
 		return sharded()
 	case "cached":
-		base = NewFlat(ds)
+		base = NewFlatPrec(ds, spec.Precision)
 	case "sharded+cached":
 		if base, err = sharded(); err != nil {
 			return nil, err

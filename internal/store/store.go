@@ -30,13 +30,17 @@ import (
 	"fmt"
 
 	"salient/internal/dataset"
+	"salient/internal/half"
+	"salient/internal/mfg"
 	"salient/internal/slicing"
 )
 
 // Stats accumulates gather-side transfer accounting for a store. Bytes
-// count half-precision feature payload only (2 bytes per scalar, as the
-// host stores rows); label and MFG-index bytes are accounted by the batch
-// (prep.Batch.TransferBytes), not the store.
+// count feature payload only, at the store's storage precision
+// (half.Precision.RowBytes: fp32 = 4 bytes/scalar, fp16 = 2, int8 = 1 plus
+// one float32 scale per row — NOT a fixed 2 bytes/scalar); label and
+// MFG-index bytes are accounted by the batch (prep.Batch.TransferBytes),
+// not the store.
 type Stats struct {
 	Gathers int64 // Gather calls served
 	Rows    int64 // feature rows requested across all gathers
@@ -140,4 +144,32 @@ func CheckGrown(st FeatureStore, ds *dataset.Dataset) error {
 // stores without static stripes fall back to Gather.
 type StripedGatherer interface {
 	GatherStriped(dst *slicing.Pinned, nodeIDs []int32, batch, nWorkers int, run func(stripes []func())) error
+}
+
+// FusedGatherer is implemented by stores that support the fused
+// gather+aggregate kernel: one pass over the stored rows of the outermost
+// MFG block that widens and accumulates the first GNN layer's mean/sum
+// aggregate (plus the x_target prefix and seed labels) with no staged
+// NumSrc×dim tensor. Results are bit-identical to Gather followed by
+// DecodeFeatures and the layer's own aggregation. All three built-in stores
+// implement it; executors requested a fused pipeline over a store that does
+// not must fail loudly at wiring time.
+type FusedGatherer interface {
+	GatherAggregate(dst *slicing.Fused, nodeIDs []int32, blk *mfg.Block, batch int, op slicing.AggOp) error
+}
+
+// Precisioned is implemented by stores that can report their storage
+// precision (all built-ins). Consumers that size transfer estimates use it;
+// a store without it is assumed fp16, the seed layout.
+type Precisioned interface {
+	Precision() half.Precision
+}
+
+// PrecisionOf returns st's storage precision, defaulting to fp16 for stores
+// that predate the precision seam.
+func PrecisionOf(st FeatureStore) half.Precision {
+	if p, ok := st.(Precisioned); ok {
+		return p.Precision()
+	}
+	return half.FP16
 }

@@ -76,18 +76,36 @@ func ReplicaStep(model nn.Model, dec *Decoder, b *prep.Batch, epochSeed uint64, 
 	if rs, ok := model.(nn.DropoutReseeder); ok {
 		rs.ReseedDropout(DropoutSeed(epochSeed, b.GlobalIndex))
 	}
-	x := dec.Decode(b.Buf)
-	logp := model.Forward(x, b.MFG, true)
+	logp := forwardBatch(model, dec, b, true)
+	labels := b.Labels()
 	grad := dec.Grad(logp.Rows, logp.Cols) // NLLLoss zeroes it before writing
 	st := StepStats{Rows: logp.Rows, Nodes: b.MFG.TotalNodes(), Edges: b.MFG.TotalEdges()}
-	st.Loss = tensor.NLLLoss(logp, b.Buf.Labels, grad)
+	st.Loss = tensor.NLLLoss(logp, labels, grad)
 	logp.ArgmaxRows(pred[:logp.Rows])
 	for i := 0; i < logp.Rows; i++ {
-		if pred[i] == b.Buf.Labels[i] {
+		if pred[i] == labels[i] {
 			st.Correct++
 		}
 	}
 	nn.ZeroGrad(model.Params())
 	model.Backward(grad)
 	return st
+}
+
+// forwardBatch runs the model forward over a prepared batch on whichever
+// path the executor staged it: the fused pre-aggregated tensors feed
+// nn.FusedModel.ForwardFused directly (no decode pass), a staged buffer is
+// widened and fed to the ordinary Forward. The two paths are bit-identical
+// for SAGE/GIN — the fused kernel aggregates in the same edge order the
+// first layer would.
+func forwardBatch(model nn.Model, dec *Decoder, b *prep.Batch, train bool) *tensor.Dense {
+	if b.Fused != nil {
+		fm, ok := model.(nn.FusedModel)
+		if !ok {
+			panic("train: fused batch for a model without ForwardFused (executor/model wiring bug)") //lint:allow panicdiscipline wiring bug: New validates fused configs, so a fused batch reaching a non-fused model is programmer error
+		}
+		return fm.ForwardFused(b.Fused.Agg, b.Fused.XT, b.MFG, train)
+	}
+	x := dec.Decode(b.Buf)
+	return model.Forward(x, b.MFG, train)
 }

@@ -58,6 +58,13 @@ type Config struct {
 	// through. Nil selects the flat store over the dataset; sharded and
 	// cached stores change transfer accounting, never batch contents.
 	Store store.FeatureStore
+	// Fused runs the fused gather+aggregate pipeline: the executor
+	// pre-reduces the first layer's aggregate during the gather and the
+	// model consumes it via nn.FusedModel.ForwardFused. Requires the
+	// Salient executor, an architecture whose first layer mean/sum
+	// aggregates (SAGE or GIN), and a store implementing
+	// store.FusedGatherer. Training is bit-identical to the staged path.
+	Fused bool
 	// Graph is the topology source training samples against. Nil trains on
 	// the dataset's static graph; a *graph.Dynamic pins the latest snapshot
 	// once per epoch (train-while-updating: updates applied mid-epoch take
@@ -171,6 +178,16 @@ func New(ds *dataset.Dataset, cfg Config) (*Trainer, error) {
 		Store:     tr.store,
 		Graph:     cfg.Graph,
 	}
+	if cfg.Fused {
+		fm, ok := model.(nn.FusedModel)
+		if !ok {
+			return nil, fmt.Errorf("train: -fused needs a mean/sum first layer; %s has no fused forward (use SAGE or GIN)", cfg.Arch)
+		}
+		if cfg.Executor != ExecSalient {
+			return nil, fmt.Errorf("train: the fused pipeline requires the salient executor")
+		}
+		opts.Fused = fm.FusedOp()
+	}
 	switch cfg.Executor {
 	case ExecSalient:
 		opts.Sampler = sampler.FastConfig()
@@ -277,14 +294,18 @@ func (t *Trainer) Fit(epochs int) ([]EpochStats, error) {
 // Evaluate runs sampled inference over the given nodes with the given
 // fanouts (paper §5's unified inference path) and returns accuracy.
 func (t *Trainer) Evaluate(nodes []int32, fanouts []int, seed uint64) (float64, error) {
-	ex, err := prep.NewSalient(t.DS, prep.Options{
+	opts := prep.Options{
 		Workers:   t.Cfg.Workers,
 		BatchSize: t.Cfg.BatchSize,
 		Fanouts:   fanouts,
 		Sampler:   sampler.FastConfig(),
 		Store:     t.store,
 		Graph:     t.Cfg.Graph,
-	})
+	}
+	if t.Cfg.Fused {
+		opts.Fused = t.Model.(nn.FusedModel).FusedOp()
+	}
+	ex, err := prep.NewSalient(t.DS, opts)
 	if err != nil {
 		return 0, err
 	}
@@ -300,11 +321,11 @@ func (t *Trainer) Evaluate(nodes []int32, fanouts []int, seed uint64) (float64, 
 			b.Release()
 			continue
 		}
-		x := t.dec.Decode(b.Buf)
-		logp := t.Model.Forward(x, b.MFG, false)
+		logp := forwardBatch(t.Model, &t.dec, b, false)
+		labels := b.Labels()
 		logp.ArgmaxRows(pred[:logp.Rows])
 		for i := 0; i < logp.Rows; i++ {
-			if pred[i] == b.Buf.Labels[i] {
+			if pred[i] == labels[i] {
 				correct++
 			}
 		}
