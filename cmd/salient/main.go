@@ -47,6 +47,15 @@
 //	               skips staging/decoding the full feature matrix.
 //	-parts N       train/serve: shard count for -store sharded (default 4)
 //	-placement P   train/serve: shard placement: ldg | random (default ldg)
+//	-transport T   train with -replicas R >= 2: run the distributed data
+//	               plane — each replica owns one partition (LDG placement)
+//	               and trains through a remote feature store and a
+//	               partitioned topology view over T = loopback | tcp.
+//	               Results are bit-identical to single-host training; the
+//	               run reports real per-host wire traffic. -cachefrac sizes
+//	               each host's degree-warmed mirror of hot remote rows.
+//	-hosts N       train with -transport: partition/host count (default:
+//	               -replicas; must equal it — one partition per replica)
 //	-rate F        serve: offered load in requests/sec (0 = closed loop)
 //	-requests N    serve: number of requests to serve (default 4000)
 //	-maxbatch N    serve: micro-batch size cap (default 32)
@@ -72,44 +81,15 @@ import (
 	"time"
 
 	"salient/internal/bench"
-	"salient/internal/cache"
 	"salient/internal/dataset"
 	"salient/internal/ddp"
+	"salient/internal/device"
+	"salient/internal/dist"
 	"salient/internal/graph"
-	"salient/internal/half"
 	"salient/internal/serve"
 	"salient/internal/store"
 	"salient/internal/train"
 )
-
-// cliFlags holds every parsed flag value so subcommand validation sees one
-// struct instead of a pile of pointers.
-type cliFlags struct {
-	seed        uint64
-	full        bool
-	allRows     bool
-	tracePrefix string
-	arch        string
-	dataset     string
-	scale       float64
-	epochs      int
-	executor    string
-	replicas    int
-	workers     int
-	storeKind   string
-	precision   string
-	prec        half.Precision
-	fused       bool
-	parts       int
-	placement   string
-	rate        float64
-	requests    int
-	maxBatch    int
-	delay       time.Duration
-	cacheFrac   float64
-	dynamic     bool
-	churn       float64
-}
 
 func main() {
 	if len(os.Args) < 2 {
@@ -119,29 +99,7 @@ func main() {
 	cmd := os.Args[1]
 	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
 	var f cliFlags
-	fs.Uint64Var(&f.seed, "seed", 1, "simulation seed")
-	fs.BoolVar(&f.full, "full", false, "thorough accuracy preset")
-	fs.BoolVar(&f.allRows, "all", false, "fig2: full scatter")
-	fs.StringVar(&f.tracePrefix, "trace", "", "fig1: write Chrome trace JSON files with this path prefix")
-	fs.StringVar(&f.arch, "arch", "SAGE", "architecture for train")
-	fs.StringVar(&f.dataset, "dataset", "arxiv", "dataset for train")
-	fs.Float64Var(&f.scale, "scale", 0.3, "dataset scale for train")
-	fs.IntVar(&f.epochs, "epochs", 5, "epochs for train")
-	fs.StringVar(&f.executor, "executor", "salient", "batch-prep executor: salient|pyg")
-	fs.IntVar(&f.replicas, "replicas", 1, "train: data-parallel replica count")
-	fs.IntVar(&f.workers, "workers", 4, "preparation workers")
-	fs.StringVar(&f.storeKind, "store", "", "feature store: flat|sharded|cached|sharded+cached (empty = subcommand default)")
-	fs.StringVar(&f.precision, "precision", "fp16", "feature storage precision: fp16|fp32|int8")
-	fs.BoolVar(&f.fused, "fused", false, "train: fused gather+aggregate pipeline (SAGE/GIN, salient executor)")
-	fs.IntVar(&f.parts, "parts", 4, "shard count for -store sharded")
-	fs.StringVar(&f.placement, "placement", "ldg", "shard placement: ldg|random")
-	fs.Float64Var(&f.rate, "rate", 0, "serve: offered rps (0 = closed loop)")
-	fs.IntVar(&f.requests, "requests", 4000, "serve: request count")
-	fs.IntVar(&f.maxBatch, "maxbatch", 32, "serve: micro-batch cap")
-	fs.DurationVar(&f.delay, "delay", 300*time.Microsecond, "serve: coalescing deadline")
-	fs.Float64Var(&f.cacheFrac, "cachefrac", 0.2, "feature cache fraction of N")
-	fs.BoolVar(&f.dynamic, "dynamic", false, "train/serve over a mutable dynamic graph")
-	fs.Float64Var(&f.churn, "churn", 0, "with -dynamic: edge updates/sec streamed during the run")
+	f.register(fs)
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(2)
 	}
@@ -196,143 +154,6 @@ func main() {
 			}
 		}
 	}
-}
-
-// oneOf reports whether v is among the allowed values.
-func oneOf(v string, allowed ...string) bool {
-	for _, a := range allowed {
-		if v == a {
-			return true
-		}
-	}
-	return false
-}
-
-// validate rejects out-of-domain flag values for the subcommands that read
-// them, so a typo fails loudly instead of running with defaults.
-func (f *cliFlags) validate(cmd string) error {
-	switch cmd {
-	case "train", "serve", "gen", "stats":
-		if !oneOf(f.dataset, dataset.Arxiv, dataset.Products, dataset.Papers) {
-			return fmt.Errorf("unknown -dataset %q (want arxiv, products, or papers)", f.dataset)
-		}
-		if f.scale <= 0 {
-			return fmt.Errorf("-scale must be > 0, got %g", f.scale)
-		}
-	}
-	switch cmd {
-	case "train", "serve":
-		if !oneOf(f.arch, "SAGE", "GAT", "GIN", "SAGE-RI") {
-			return fmt.Errorf("unknown -arch %q (want SAGE, GAT, GIN, or SAGE-RI)", f.arch)
-		}
-		if f.epochs < 1 {
-			return fmt.Errorf("-epochs must be >= 1, got %d", f.epochs)
-		}
-		if f.workers < 1 {
-			return fmt.Errorf("-workers must be >= 1, got %d", f.workers)
-		}
-		if !store.ValidKind(f.storeKind) {
-			return fmt.Errorf("unknown -store %q (want flat, sharded, cached, or sharded+cached)", f.storeKind)
-		}
-		prec, err := half.ParsePrecision(f.precision)
-		if err != nil {
-			return err
-		}
-		f.prec = prec
-		if f.parts < 1 {
-			return fmt.Errorf("-parts must be >= 1, got %d", f.parts)
-		}
-		if !store.ValidPlacement(f.placement) {
-			return fmt.Errorf("unknown -placement %q (want ldg or random)", f.placement)
-		}
-		if f.cacheFrac < 0 || f.cacheFrac > 1 {
-			return fmt.Errorf("-cachefrac must be in [0,1], got %g", f.cacheFrac)
-		}
-		// An explicitly requested cache layer needs a nonzero size; a
-		// zero-row cache would otherwise round into a silent default.
-		if oneOf(f.storeKind, "cached", "sharded+cached") && f.cacheFrac == 0 {
-			return fmt.Errorf("-store %s requires -cachefrac > 0", f.storeKind)
-		}
-		if f.churn < 0 {
-			return fmt.Errorf("-churn must be >= 0, got %g", f.churn)
-		}
-		if f.churn > 0 && !f.dynamic {
-			return fmt.Errorf("-churn %g requires -dynamic", f.churn)
-		}
-	}
-	if cmd == "train" {
-		if !oneOf(f.executor, "salient", "pyg") {
-			return fmt.Errorf("unknown -executor %q (want salient or pyg)", f.executor)
-		}
-		if f.replicas < 1 {
-			return fmt.Errorf("-replicas must be >= 1, got %d", f.replicas)
-		}
-		if f.replicas > 1 && f.executor != "salient" {
-			return fmt.Errorf("-replicas %d requires -executor salient", f.replicas)
-		}
-		if f.fused {
-			if !oneOf(f.arch, "SAGE", "GIN") {
-				return fmt.Errorf("-fused requires -arch SAGE or GIN (%s has no mean/sum first layer)", f.arch)
-			}
-			if f.executor != "salient" {
-				return fmt.Errorf("-fused requires -executor salient")
-			}
-			if f.replicas > 1 {
-				return fmt.Errorf("-fused is single-replica only (got -replicas %d)", f.replicas)
-			}
-		}
-	}
-	if cmd == "serve" && f.fused {
-		return fmt.Errorf("-fused applies to train only")
-	}
-	if cmd == "serve" {
-		if f.rate < 0 {
-			return fmt.Errorf("-rate must be >= 0, got %g", f.rate)
-		}
-		if f.requests < 1 {
-			return fmt.Errorf("-requests must be >= 1, got %d", f.requests)
-		}
-		if f.maxBatch < 1 {
-			return fmt.Errorf("-maxbatch must be >= 1, got %d", f.maxBatch)
-		}
-		if f.delay < 0 {
-			return fmt.Errorf("-delay must be >= 0, got %v", f.delay)
-		}
-	}
-	return nil
-}
-
-// resolveStore fills the per-subcommand default store kind: train reads
-// flat unless told otherwise; serve keeps its historical default of a
-// degree cache sized by -cachefrac.
-func (f *cliFlags) resolveStore(cmd string) {
-	if f.storeKind != "" {
-		return
-	}
-	if cmd == "serve" && f.cacheFrac > 0 {
-		f.storeKind = "cached"
-		return
-	}
-	f.storeKind = "flat"
-}
-
-// buildStore composes the feature store the -store/-parts/-placement flags
-// describe over ds. The cache layer is sized by -cachefrac, never rounded
-// down to zero (validation guarantees the fraction is positive).
-func buildStore(ds *dataset.Dataset, f cliFlags) (store.FeatureStore, error) {
-	rows := int(float64(ds.G.N) * f.cacheFrac)
-	if rows < 1 {
-		rows = 1
-	}
-	return store.Build(ds, store.Spec{
-		Kind:        f.storeKind,
-		Precision:   f.prec,
-		Parts:       f.parts,
-		Placement:   f.placement,
-		CacheRows:   rows,
-		CachePolicy: cache.StaticDegree,
-		Seed:        f.seed,
-	})
 }
 
 // writeTraces exports Chrome trace-event JSON for both Figure 1 timelines.
@@ -425,9 +246,13 @@ func runTrain(f cliFlags) error {
 	if err != nil {
 		return err
 	}
-	st, err := buildStore(ds, f)
-	if err != nil {
-		return err
+	var st store.FeatureStore
+	if !f.distributed() {
+		// Distributed runs get their per-replica remote stores from the
+		// cluster instead.
+		if st, err = buildStore(ds, f); err != nil {
+			return err
+		}
 	}
 	cfg := train.Config{
 		Arch:    f.arch,
@@ -478,16 +303,39 @@ func runTrain(f cliFlags) error {
 }
 
 // runTrainDDP executes real data-parallel training: R model replicas in
-// concurrent goroutines over one shared feature store, synchronized per
-// step by gradient averaging. BatchSize is per replica, so the effective
-// batch grows with R (the paper's §6 scaling regime).
+// concurrent goroutines, synchronized per step by gradient averaging.
+// BatchSize is per replica, so the effective batch grows with R (the
+// paper's §6 scaling regime). With -transport, each replica owns one
+// partition of an LDG placement and trains through a store.Remote and a
+// graph.Partitioned over the chosen wire — bit-identical results, real
+// network accounting.
 func runTrainDDP(ds *dataset.Dataset, cfg train.Config, f cliFlags, churn *churnRun) error {
-	tr, err := ddp.NewTrainer(ds, ddp.TrainConfig{Config: cfg, Replicas: f.replicas})
+	tcfg := ddp.TrainConfig{Config: cfg, Replicas: f.replicas}
+	var cluster *dist.Cluster
+	mode := fmt.Sprintf("%s store", f.storeKind)
+	if f.distributed() {
+		var err error
+		cluster, err = dist.NewCluster(ds, dist.ClusterOptions{
+			Parts:     f.hosts,
+			TCP:       f.transport == "tcp",
+			Precision: f.prec,
+			CacheRows: f.cacheRows(ds.G.N),
+		})
+		if err != nil {
+			return err
+		}
+		defer cluster.Close()
+		tcfg.Stores = cluster.Stores
+		tcfg.Graphs = cluster.Graphs
+		mode = fmt.Sprintf("distributed over %s (%d hosts, %s rows, %d-row mirrors)",
+			f.transport, f.hosts, f.prec, f.cacheRows(ds.G.N))
+	}
+	tr, err := ddp.NewTrainer(ds, tcfg)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("training %s on %s (N=%d, train=%d) with %d data-parallel replicas, %s store, %s\n",
-		f.arch, ds.Name, ds.G.N, len(ds.Train), f.replicas, f.storeKind, churn.mode())
+	fmt.Printf("training %s on %s (N=%d, train=%d) with %d data-parallel replicas, %s, %s\n",
+		f.arch, ds.Name, ds.G.N, len(ds.Train), f.replicas, mode, churn.mode())
 	for e := 0; e < f.epochs; e++ {
 		s, err := tr.TrainEpoch(e)
 		if err != nil {
@@ -499,7 +347,32 @@ func runTrainDDP(ds *dataset.Dataset, cfg train.Config, f cliFlags, churn *churn
 	}
 	churn.finish()
 	printStoreStats(tr.FeatureStore(0))
+	if cluster != nil {
+		printWireStats(cluster, f.replicas)
+	}
 	return nil
+}
+
+// printWireStats summarizes the cluster's network traffic: per-host remote
+// feature bytes and adjacency bytes, as charged by the transport's frame
+// accounting (identical to socket bytes over TCP), plus what that traffic
+// would cost on the paper's 10 GigE testbed network.
+func printWireStats(c *dist.Cluster, hosts int) {
+	var feat, adj, calls int64
+	for r := 0; r < hosts; r++ {
+		st := c.Remote(r).Stats()
+		feat += st.BytesRemote
+		adj += c.Partitioned(r).Stats().WireBytes
+		fmt.Printf("host %d: %.1f MB feature wire traffic (%d rows remote, cache hit rate %.0f%%), %.1f MB adjacency\n",
+			r, float64(st.BytesRemote)/(1<<20), st.RowsRemote, 100*st.HitRate(),
+			float64(c.Partitioned(r).Stats().WireBytes)/(1<<20))
+	}
+	for _, conn := range c.Conns() {
+		calls += conn.Stats().Calls
+	}
+	pr := device.PaperProfile()
+	fmt.Printf("cluster wire total: %.1f MB features + %.1f MB adjacency in %d calls (modeled 10 GigE time %.2fs)\n",
+		float64(feat)/(1<<20), float64(adj)/(1<<20), calls, pr.WireTime(feat+adj, calls))
 }
 
 // printStoreStats summarizes the feature store's transfer accounting.

@@ -1,0 +1,162 @@
+// Distributed execution: the transport seam in action (SALIENT++'s
+// partitioned-feature story, §8 of the paper's future work). Three parts:
+//
+//  1. A 2-host loopback cluster: the dataset is LDG-partitioned, each host
+//     holds only its own feature rows (store.Remote) and serves its own
+//     adjacency natively (graph.Partitioned); everything else crosses the
+//     transport as framed, precision-encoded fetches.
+//
+//  2. Distributed training through those remote stores — and the oracle:
+//     the same configuration trained single-host finishes with bit-for-bit
+//     identical parameters. Distribution changes where bytes live, never
+//     what the model computes.
+//
+//  3. The wire-vs-cache tradeoff: growing each host's degree-warmed mirror
+//     of hot remote rows cuts the bytes that cross the wire, priced both
+//     as measured framed bytes and as modeled time on the paper testbed's
+//     10 GigE network.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"salient/internal/dataset"
+	"salient/internal/ddp"
+	"salient/internal/device"
+	"salient/internal/dist"
+	"salient/internal/train"
+)
+
+func trainCfg(replicas int) ddp.TrainConfig {
+	return ddp.TrainConfig{
+		Config: train.Config{
+			Arch:      "SAGE",
+			Hidden:    32,
+			Layers:    2,
+			Fanouts:   []int{10, 5},
+			BatchSize: 64,
+			LR:        5e-3,
+			Workers:   2,
+			Seed:      7,
+		},
+		Replicas: replicas,
+	}
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("distributed: ")
+
+	ds, err := dataset.Load(dataset.Arxiv, 0.1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	const hosts = 2
+
+	// Part 1: stand up the cluster. Loopback here; dist.ClusterOptions.TCP
+	// runs the identical data plane over real localhost sockets (the CLI's
+	// `train -replicas 2 -transport tcp` path) with byte-identical wire
+	// accounting.
+	c, err := dist.NewCluster(ds, dist.ClusterOptions{
+		Parts:     hosts,
+		CacheRows: int(ds.G.N) / 10,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Close()
+	home := make([]int, hosts)
+	for _, p := range c.Assignment.Part {
+		home[p]++
+	}
+	fmt.Printf("== %d-host cluster over %d nodes ==\n", hosts, ds.G.N)
+	for r := 0; r < hosts; r++ {
+		fmt.Printf("host %d: %d home rows, %d mirrored remote rows\n",
+			r, home[r], c.Remote(r).MirrorRows())
+	}
+
+	// Part 2: train through the remote stores, then prove bit-identity
+	// against the plain single-host trainer.
+	fmt.Printf("\n== distributed training (%d hosts) vs single-host oracle ==\n", hosts)
+	dcfg := trainCfg(hosts)
+	dcfg.Stores = c.Stores
+	dcfg.Graphs = c.Graphs
+	distTr, err := ddp.NewTrainer(ds, dcfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := distTr.Fit(2); err != nil {
+		log.Fatal(err)
+	}
+	soloTr, err := ddp.NewTrainer(ds, trainCfg(hosts))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := soloTr.Fit(2); err != nil {
+		log.Fatal(err)
+	}
+	var maxDiff float64
+	dp, sp := distTr.Model().Params(), soloTr.Model().Params()
+	for i := range dp {
+		if d := dp[i].W.MaxAbsDiff(sp[i].W); d > maxDiff {
+			maxDiff = d
+		}
+	}
+	fmt.Printf("max |param difference| after 2 epochs: %v (bit-identical: %v)\n",
+		maxDiff, maxDiff == 0)
+	var feat, adj, calls int64
+	for r := 0; r < hosts; r++ {
+		feat += c.Remote(r).Stats().BytesRemote
+		adj += c.Partitioned(r).Stats().WireBytes
+	}
+	for _, conn := range c.Conns() {
+		calls += conn.Stats().Calls
+	}
+	pr := device.PaperProfile()
+	fmt.Printf("wire traffic: %.1f MB features + %.1f MB adjacency in %d calls (modeled 10 GigE: %.2fs)\n",
+		float64(feat)/(1<<20), float64(adj)/(1<<20), calls, pr.WireTime(feat+adj, calls))
+
+	// Part 3: bytes on the wire versus mirror size. Each cluster warms its
+	// mirror with the highest-degree remote rows, then trains one epoch;
+	// warming traffic is excluded so rows compare steady-state epochs.
+	fmt.Println("\n== wire bytes vs mirror size (1 epoch, warming excluded) ==")
+	for _, frac := range []float64{0, 0.05, 0.2} {
+		mc, err := dist.NewCluster(ds, dist.ClusterOptions{
+			Parts:     hosts,
+			CacheRows: int(float64(ds.G.N) * frac),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		for r := 0; r < hosts; r++ {
+			mc.Remote(r).ResetStats()
+		}
+		cfg := trainCfg(hosts)
+		cfg.Stores = mc.Stores
+		cfg.Graphs = mc.Graphs
+		tr, err := ddp.NewTrainer(ds, cfg)
+		if err != nil {
+			mc.Close()
+			log.Fatal(err)
+		}
+		if _, err := tr.Fit(1); err != nil {
+			mc.Close()
+			log.Fatal(err)
+		}
+		var bytes, hits, lookups int64
+		for r := 0; r < hosts; r++ {
+			st := mc.Remote(r).Stats()
+			bytes += st.BytesRemote
+			hits += st.CacheHits
+			lookups += st.CacheLookups
+		}
+		hitRate := 0.0
+		if lookups > 0 {
+			hitRate = float64(hits) / float64(lookups)
+		}
+		fmt.Printf("mirror %3.0f%% of N: %6.1f MB feature wire traffic, mirror hit rate %.0f%%\n",
+			100*frac, float64(bytes)/(1<<20), 100*hitRate)
+		mc.Close()
+	}
+}

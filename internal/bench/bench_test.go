@@ -84,7 +84,8 @@ func TestRegistryCoversEveryPaperExhibit(t *testing.T) {
 	want := []string{"table1", "table2", "table3", "table6", "table7",
 		"fig1", "fig2", "fig3", "fig4", "fig5", "fig6",
 		"cache", "partition", "memory", "strategies", "sensitivity", "batching",
-		"serving", "featurestore", "ddpreal", "timing", "churn", "kernels"}
+		"serving", "featurestore", "ddpreal", "timing", "churn", "kernels",
+		"transport"}
 	got := IDs()
 	if len(got) != len(want) {
 		t.Fatalf("registry has %d experiments, want %d: %v", len(got), len(want), got)

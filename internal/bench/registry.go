@@ -113,6 +113,10 @@ func Experiments() map[string]Experiment {
 			t, err := ChurnSweep(ChurnOpts{Seed: o.Seed})
 			return []Table{t}, err
 		}},
+		{ID: "transport", Paper: "§8 extension (distributed)", Run: func(o Options) ([]Table, error) {
+			t, err := TransportSweep(TransportOpts{Seed: o.Seed})
+			return []Table{t}, err
+		}},
 	}
 	out := make(map[string]Experiment, len(exps))
 	for _, e := range exps {

@@ -95,6 +95,17 @@ func BenchmarkChurnSweep(b *testing.B) {
 	}
 }
 
+// BenchmarkTransportSweep keeps the distributed data-plane sweep (loopback
+// vs TCP wire) in the CI bench-smoke run and its uploaded per-commit
+// artifact.
+func BenchmarkTransportSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := TransportSweep(smallTransport()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // smallKernels preset is shared with the unit tests (kernels_test.go).
 
 // BenchmarkKernelSweep keeps the precision x pipeline gather-kernel matrix

@@ -83,7 +83,7 @@ func TestTrainerEpochPinsOneSnapshotAcrossReplicas(t *testing.T) {
 		churn(dynB)
 	}
 	assertParamsBitEqual(t, "identically churned trainers", a.Model().Params(), b.Model().Params())
-	if v := a.pin.Snapshot().Version(); v != 1 {
+	if v := a.pin.View().Version(); v != 1 {
 		t.Fatalf("trainer pinned version %d after first churn adoption, want 1", v)
 	}
 }

@@ -52,11 +52,21 @@ type TrainConfig struct {
 	// Replicas is the data-parallel width R. Must be at least 1.
 	Replicas int
 	// Stores optionally gives each replica its own feature store
-	// (len == Replicas), e.g. one shard or cache per simulated device. Nil
-	// shares Config.Store across replicas (or one flat store when that is
-	// nil too). Store choice never changes batch contents, so it never
-	// changes training results either.
+	// (len == Replicas), e.g. one shard or cache per simulated device — or,
+	// in the distributed setting, each replica's store.Remote over its own
+	// partition. Nil shares Config.Store across replicas (or one flat store
+	// when that is nil too). Store choice never changes batch contents, so
+	// it never changes training results either.
 	Stores []store.FeatureStore
+	// Graphs optionally gives each replica its own pinned topology view
+	// (len == Replicas) — the distributed setting, where replica r samples
+	// a *graph.Partitioned serving partition r locally and fetching the
+	// rest over a transport. All views must be at one version; they replace
+	// the shared epoch pin (the views are already pinned), and because a
+	// partitioned view answers adjacency identically to the full graph,
+	// distributed training stays bit-identical to the single-host schedule.
+	// Mutually exclusive with Config.Graph.
+	Graphs []graph.Viewer
 }
 
 // ReplicaStats is one replica's accounting for an executed epoch.
@@ -134,28 +144,28 @@ type Trainer struct {
 	pin *epochPin
 }
 
-// epochPin is a Snapshotter that freezes its source's latest snapshot at
-// explicit re-pin points (epoch starts) instead of on every Snapshot call.
+// epochPin is a Viewer that freezes its source's latest view at explicit
+// re-pin points (epoch starts) instead of on every View call.
 type epochPin struct {
 	mu  sync.Mutex
-	src graph.Snapshotter
-	cur *graph.Snapshot
+	src graph.Viewer
+	cur graph.View
 }
 
-func newEpochPin(src graph.Snapshotter) *epochPin {
-	return &epochPin{src: src, cur: src.Snapshot()}
+func newEpochPin(src graph.Viewer) *epochPin {
+	return &epochPin{src: src, cur: src.View()}
 }
 
-// Snapshot returns the currently pinned snapshot (NOT the source's latest).
-func (p *epochPin) Snapshot() *graph.Snapshot {
+// View returns the currently pinned view (NOT the source's latest).
+func (p *epochPin) View() graph.View {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return p.cur
 }
 
-// repin adopts the source's latest snapshot for the next epoch.
+// repin adopts the source's latest view for the next epoch.
 func (p *epochPin) repin() {
-	snap := p.src.Snapshot()
+	snap := p.src.View()
 	p.mu.Lock()
 	p.cur = snap
 	p.mu.Unlock()
@@ -173,16 +183,33 @@ func (cfg *TrainConfig) validate() error {
 	if cfg.Stores != nil && len(cfg.Stores) != cfg.Replicas {
 		return fmt.Errorf("ddp: %d per-replica stores for %d replicas", len(cfg.Stores), cfg.Replicas)
 	}
+	if cfg.Graphs != nil {
+		if len(cfg.Graphs) != cfg.Replicas {
+			return fmt.Errorf("ddp: %d per-replica graphs for %d replicas", len(cfg.Graphs), cfg.Replicas)
+		}
+		if cfg.Graph != nil {
+			return fmt.Errorf("ddp: per-replica Graphs and a shared Graph are mutually exclusive")
+		}
+		v := cfg.Graphs[0].View().Version()
+		for r, g := range cfg.Graphs {
+			if gv := g.View().Version(); gv != v {
+				return fmt.Errorf("ddp: replica %d's graph view is at version %d, replica 0's at %d — one epoch must sample one version", r, gv, v)
+			}
+		}
+	}
 	return nil
 }
 
 // newReplica builds replica r: an identically initialized model (same seed,
 // same init RNG), its own optimizer, and a prep executor striped so its
 // local batches land on global epoch indices r, r+R, r+2R, …
-func newReplica(ds *dataset.Dataset, cfg TrainConfig, pin graph.Snapshotter, r int) (*replica, error) {
+func newReplica(ds *dataset.Dataset, cfg TrainConfig, pin graph.Viewer, r int) (*replica, error) {
 	st := cfg.Store
 	if cfg.Stores != nil {
 		st = cfg.Stores[r]
+	}
+	if cfg.Graphs != nil {
+		pin = cfg.Graphs[r] // already a pinned view; no shared epoch pin
 	}
 	model, err := train.NewModel(cfg.Arch, nn.ModelConfig{
 		In:     ds.FeatDim,
@@ -236,7 +263,7 @@ func NewTrainer(ds *dataset.Dataset, cfg TrainConfig) (*Trainer, error) {
 		cfg.Store = store.NewFlat(ds) // one store shared by all replicas
 	}
 	t := &Trainer{DS: ds, Cfg: cfg}
-	var pin graph.Snapshotter
+	var pin graph.Viewer
 	if cfg.Graph != nil {
 		t.pin = newEpochPin(cfg.Graph)
 		pin = t.pin

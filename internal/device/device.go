@@ -104,6 +104,18 @@ func (pr *Profile) TransferTime(bytes int64, eff float64) float64 {
 	return float64(bytes) / (pr.DMAPeak * eff)
 }
 
+// WireTime returns the modeled duration of moving `bytes` of batched fetch
+// traffic over the cluster interconnect in `calls` round trips: each call
+// pays the network latency once and the payload streams at network
+// bandwidth. This is the cost-model hook for the distributed data plane
+// (store.Remote feature fetches, graph.Partitioned adjacency fetches),
+// priced on the same 10 GigE constants as the DDP all-reduce model —
+// localhost measurements report real framed bytes, WireTime says what they
+// would cost on the paper's testbed network.
+func (pr *Profile) WireTime(bytes, calls int64) float64 {
+	return float64(bytes)/pr.NetBandwidth + float64(calls)*pr.NetLatency
+}
+
 // RingAllReduce returns the duration of a bandwidth-optimal ring all-reduce
 // of `bytes` gradient bytes across n participants spread over machines with
 // gpusPerMachine GPUs each. Ring segments inside a machine run at NVLink

@@ -36,6 +36,25 @@ func TestTransferTimeMatchesPaperRates(t *testing.T) {
 	}
 }
 
+func TestWireTime(t *testing.T) {
+	pr := PaperProfile()
+	if pr.WireTime(0, 0) != 0 {
+		t.Fatal("no traffic must cost nothing")
+	}
+	// Pure latency: each batched call pays one 350us round trip.
+	if got := pr.WireTime(0, 100); math.Abs(got-100*pr.NetLatency) > 1e-12 {
+		t.Fatalf("100 empty calls = %v, want %v", got, 100*pr.NetLatency)
+	}
+	// Pure bandwidth: 1.25 GB streams in one second plus one latency.
+	if got := pr.WireTime(1.25e9, 1); math.Abs(got-(1+pr.NetLatency)) > 1e-9 {
+		t.Fatalf("1.25GB in one call = %v, want ~1s", got)
+	}
+	// Batching fewer, larger calls is strictly cheaper for the same bytes.
+	if pr.WireTime(1e8, 10) >= pr.WireTime(1e8, 1000) {
+		t.Fatal("batched calls must beat chatty calls for equal bytes")
+	}
+}
+
 func TestParallelSpeedupProperties(t *testing.T) {
 	if ParallelSpeedup(0.054, 1) != 1 {
 		t.Fatal("speedup at P=1 must be 1")

@@ -231,6 +231,9 @@ func (d *Dynamic) Snapshot() *Snapshot {
 	return d.snap
 }
 
+// View implements Viewer: the current version's snapshot.
+func (d *Dynamic) View() View { return d.Snapshot() }
+
 // buildSnapshotLocked materializes the view of the current state: base
 // shared as-is, plus one merged adjacency slice per delta-touched node.
 func (d *Dynamic) buildSnapshotLocked() *Snapshot {

@@ -1,0 +1,233 @@
+package graph
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"salient/internal/transport"
+)
+
+// Partitioned is the distributed View: adjacency of nodes in the home
+// partition is served natively from the local view, and adjacency of nodes
+// owned by other partitions is fetched over per-part transport connections
+// in batched FetchNeighbors calls and memoized, so each remote neighborhood
+// crosses the wire at most once per pinned view.
+//
+// Topology.Neighbors cannot return an error, so a fetch failure surfaces
+// three ways at once: the failing node reads as isolated (empty adjacency,
+// never garbage), Err() turns sticky with the first typed transport error,
+// and the batched entry points (Prefetch) return it directly. Consumers that
+// need hard failure call Prefetch/Err; samplers degrade to sampling what is
+// reachable.
+//
+// A Partitioned is its own Viewer: like a Snapshot it is pinned at one graph
+// version (validated against every peer's handshake at construction), so the
+// epoch-pinning discipline of the executors carries over unchanged.
+type Partitioned struct {
+	local View
+	part  []int32
+	home  int32
+	peers []transport.Conn // indexed by part; peers[home] is unused
+
+	mu     sync.RWMutex
+	remote map[int32][]int32 // memoized remote adjacency
+	err    error             // sticky: first fetch failure
+
+	fetchCalls atomic.Int64
+	fetchedIDs atomic.Int64
+	wireBytes  atomic.Int64
+}
+
+// PartitionedStats is a Partitioned view's accumulated remote-fetch
+// accounting. WireBytes counts framed request+response bytes as charged by
+// the transport — real traffic, not rows×width arithmetic.
+type PartitionedStats struct {
+	FetchCalls int64 // batched FetchNeighbors calls issued
+	FetchedIDs int64 // node neighborhoods fetched over the wire
+	WireBytes  int64 // framed bytes moved by those calls
+}
+
+// NewPartitioned builds the partitioned view for the host owning part home.
+// local must hold the full graph at the pinned version (the oracle setup:
+// every host can check identity against it); part assigns each node to a
+// partition; peers[p] is the connection to partition p's owner for every
+// non-home partition that owns at least one node. Every peer's handshake
+// must agree with local on node count, edge count, and graph version — a
+// disagreement is a typed transport mismatch at wiring time, not a silently
+// divergent sample later.
+func NewPartitioned(local View, part []int32, home int32, peers []transport.Conn) (*Partitioned, error) {
+	if int32(len(part)) != local.NumNodes() {
+		return nil, fmt.Errorf("graph: partitioned: assignment covers %d nodes, view holds %d", len(part), local.NumNodes())
+	}
+	nparts := int32(len(peers))
+	if home < 0 || home >= nparts {
+		return nil, fmt.Errorf("graph: partitioned: home part %d out of range [0,%d)", home, nparts)
+	}
+	needed := make([]bool, nparts)
+	for v, p := range part {
+		if p < 0 || p >= nparts {
+			return nil, fmt.Errorf("graph: partitioned: node %d assigned to part %d, have %d parts", v, p, nparts)
+		}
+		needed[p] = true
+	}
+	for p := int32(0); p < nparts; p++ {
+		if p == home || !needed[p] || peers[p] == nil {
+			continue
+		}
+		h := peers[p].Hello()
+		if int32(h.NumNodes) != local.NumNodes() || h.NumEdges != local.NumEdges() || h.GraphVersion != local.Version() {
+			return nil, &transport.Error{Kind: transport.ErrMismatch, Op: "partitioned",
+				Msg: fmt.Sprintf("peer %d serves graph %d nodes/%d edges @v%d, local view is %d/%d @v%d",
+					p, h.NumNodes, h.NumEdges, h.GraphVersion, local.NumNodes(), local.NumEdges(), local.Version())}
+		}
+	}
+	for v, p := range part {
+		if p != home && peers[p] == nil {
+			return nil, fmt.Errorf("graph: partitioned: node %d lives on part %d but no peer connection was given", v, p)
+		}
+	}
+	return &Partitioned{
+		local:  local,
+		part:   part,
+		home:   home,
+		peers:  peers,
+		remote: make(map[int32][]int32),
+	}, nil
+}
+
+// View implements Viewer: a partitioned view is pinned at construction.
+func (p *Partitioned) View() View { return p }
+
+// Version implements View, reporting the pinned graph version.
+func (p *Partitioned) Version() uint64 { return p.local.Version() }
+
+// NumNodes implements Topology.
+func (p *Partitioned) NumNodes() int32 { return p.local.NumNodes() }
+
+// NumEdges implements Topology.
+func (p *Partitioned) NumEdges() int64 { return p.local.NumEdges() }
+
+// Home returns the partition this view serves natively.
+func (p *Partitioned) Home() int32 { return p.home }
+
+// Degree implements Topology.
+func (p *Partitioned) Degree(v int32) int32 {
+	if p.part[v] == p.home {
+		return p.local.Degree(v)
+	}
+	return int32(len(p.neighborsRemote(v)))
+}
+
+// Neighbors implements Topology: native for home-partition nodes, memoized
+// wire fetch for the rest. The returned slice is immutable for the view's
+// lifetime on both paths.
+func (p *Partitioned) Neighbors(v int32) []int32 {
+	if p.part[v] == p.home {
+		return p.local.Neighbors(v)
+	}
+	return p.neighborsRemote(v)
+}
+
+func (p *Partitioned) neighborsRemote(v int32) []int32 {
+	p.mu.RLock()
+	ns, ok := p.remote[v]
+	p.mu.RUnlock()
+	if ok {
+		return ns
+	}
+	if err := p.fetch(p.part[v], []int32{v}); err != nil {
+		return nil
+	}
+	p.mu.RLock()
+	ns = p.remote[v]
+	p.mu.RUnlock()
+	return ns
+}
+
+// Prefetch warms the memo for every not-yet-fetched remote node in ids with
+// one batched call per owning partition — the bulk entry point consumers use
+// to keep the per-node path off the wire. It returns the first typed
+// transport error encountered.
+func (p *Partitioned) Prefetch(ids []int32) error {
+	byPart := make(map[int32][]int32)
+	p.mu.RLock()
+	for _, v := range ids {
+		if v < 0 || v >= int32(len(p.part)) {
+			p.mu.RUnlock()
+			return fmt.Errorf("graph: partitioned: prefetch node %d out of range [0,%d)", v, len(p.part))
+		}
+		if owner := p.part[v]; owner != p.home {
+			if _, ok := p.remote[v]; !ok {
+				byPart[owner] = append(byPart[owner], v)
+			}
+		}
+	}
+	p.mu.RUnlock()
+	for owner, want := range byPart {
+		if err := p.fetch(owner, dedup(want)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// fetch pulls the adjacency of ids (all owned by part owner) over the wire
+// and memoizes it. The wire call runs outside the map lock; a racing
+// duplicate fetch just rewrites identical content.
+func (p *Partitioned) fetch(owner int32, ids []int32) error {
+	var adj transport.Adjacency
+	wire, err := p.peers[owner].FetchNeighbors(ids, &adj)
+	if err != nil {
+		p.mu.Lock()
+		if p.err == nil {
+			p.err = err
+		}
+		p.mu.Unlock()
+		return err
+	}
+	p.fetchCalls.Add(1)
+	p.fetchedIDs.Add(int64(len(ids)))
+	p.wireBytes.Add(wire)
+	// Copy out of the transport's reusable buffers into one backing array;
+	// memoized slices must outlive the next fetch.
+	backing := make([]int32, len(adj.Adj))
+	copy(backing, adj.Adj)
+	p.mu.Lock()
+	for i, v := range ids {
+		p.remote[v] = backing[adj.Ptr[i]:adj.Ptr[i+1]:adj.Ptr[i+1]]
+	}
+	p.mu.Unlock()
+	return nil
+}
+
+// Err returns the first remote-fetch failure this view has seen, if any —
+// the hard-failure channel for a seam whose per-node read cannot error.
+func (p *Partitioned) Err() error {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.err
+}
+
+// Stats returns the accumulated remote-fetch accounting.
+func (p *Partitioned) Stats() PartitionedStats {
+	return PartitionedStats{
+		FetchCalls: p.fetchCalls.Load(),
+		FetchedIDs: p.fetchedIDs.Load(),
+		WireBytes:  p.wireBytes.Load(),
+	}
+}
+
+// dedup returns ids with duplicates removed, preserving first-seen order
+// (in place when already unique).
+func dedup(ids []int32) []int32 {
+	seen := make(map[int32]struct{}, len(ids))
+	out := ids[:0]
+	for _, v := range ids {
+		if _, ok := seen[v]; !ok {
+			seen[v] = struct{}{}
+			out = append(out, v)
+		}
+	}
+	return out
+}

@@ -1,0 +1,230 @@
+package graph
+
+import (
+	"fmt"
+	"testing"
+
+	"salient/internal/transport"
+)
+
+// viewHandler serves adjacency straight from a View — the test stand-in for
+// a remote host owning part of the graph.
+type viewHandler struct {
+	v     View
+	hello transport.Hello
+}
+
+func newViewHandler(v View) *viewHandler {
+	return &viewHandler{v: v, hello: transport.Hello{
+		Proto:        transport.ProtoVersion,
+		NumNodes:     int(v.NumNodes()),
+		NumEdges:     v.NumEdges(),
+		GraphVersion: v.Version(),
+	}}
+}
+
+func (h *viewHandler) Hello() transport.Hello { return h.hello }
+
+func (h *viewHandler) FetchRows(ids []int32, dst *transport.Rows) error {
+	return fmt.Errorf("viewHandler serves no rows")
+}
+
+func (h *viewHandler) FetchNeighbors(ids []int32, dst *transport.Adjacency) error {
+	dst.Reset()
+	dst.Ptr = append(dst.Ptr, 0)
+	for _, id := range ids {
+		if id < 0 || id >= h.v.NumNodes() {
+			return fmt.Errorf("node %d out of range", id)
+		}
+		dst.Adj = append(dst.Adj, h.v.Neighbors(id)...)
+		dst.Ptr = append(dst.Ptr, int64(len(dst.Adj)))
+	}
+	return nil
+}
+
+// partTestGraph builds a small deterministic graph and a 3-way round-robin
+// assignment.
+func partTestGraph(t *testing.T) (View, []int32) {
+	t.Helper()
+	var src, dst []int32
+	const n = 64
+	for i := int32(0); i < n; i++ {
+		for k := int32(1); k <= 3; k++ {
+			src = append(src, i)
+			dst = append(dst, (i*7+k)%n)
+		}
+	}
+	g, err := FromEdgeList(n, src, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	part := make([]int32, n)
+	for i := range part {
+		part[i] = int32(i % 3)
+	}
+	return Static(g).View(), part
+}
+
+func partitionedOver(t *testing.T, v View, part []int32, home int32) (*Partitioned, []transport.Conn) {
+	t.Helper()
+	h := newViewHandler(v)
+	peers := make([]transport.Conn, 3)
+	for p := range peers {
+		if int32(p) != home {
+			peers[p] = transport.Loopback(h)
+		}
+	}
+	pv, err := NewPartitioned(v, part, home, peers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pv, peers
+}
+
+// TestPartitionedMatchesLocalView: every node's degree and adjacency through
+// the partitioned view — home-native or wire-fetched — is identical to the
+// full local view's.
+func TestPartitionedMatchesLocalView(t *testing.T) {
+	v, part := partTestGraph(t)
+	for home := int32(0); home < 3; home++ {
+		pv, _ := partitionedOver(t, v, part, home)
+		if pv.NumNodes() != v.NumNodes() || pv.NumEdges() != v.NumEdges() || pv.Version() != v.Version() {
+			t.Fatalf("home %d: shape/version disagree with local view", home)
+		}
+		for id := int32(0); id < v.NumNodes(); id++ {
+			if got, want := pv.Degree(id), v.Degree(id); got != want {
+				t.Fatalf("home %d node %d: degree %d, want %d", home, id, got, want)
+			}
+			got, want := pv.Neighbors(id), v.Neighbors(id)
+			if len(got) != len(want) {
+				t.Fatalf("home %d node %d: %d neighbors, want %d", home, id, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("home %d node %d: neighbor %d is %d, want %d", home, id, i, got[i], want[i])
+				}
+			}
+		}
+		if err := pv.Err(); err != nil {
+			t.Fatalf("home %d: sticky error after clean reads: %v", home, err)
+		}
+	}
+}
+
+// TestPartitionedMemoizesRemoteAdjacency: a remote neighborhood crosses the
+// wire at most once per view — re-reading fetched nodes issues no new calls.
+func TestPartitionedMemoizesRemoteAdjacency(t *testing.T) {
+	v, part := partTestGraph(t)
+	pv, _ := partitionedOver(t, v, part, 0)
+	for id := int32(0); id < v.NumNodes(); id++ {
+		pv.Neighbors(id)
+	}
+	st := pv.Stats()
+	if st.FetchedIDs == 0 || st.WireBytes == 0 {
+		t.Fatalf("no remote fetch accounting: %+v", st)
+	}
+	for id := int32(0); id < v.NumNodes(); id++ {
+		pv.Neighbors(id)
+		pv.Degree(id)
+	}
+	if again := pv.Stats(); again != st {
+		t.Fatalf("re-reading memoized adjacency issued fetches: %+v -> %+v", st, again)
+	}
+}
+
+// TestPartitionedPrefetchBatches: Prefetch fetches all unmemoized remote IDs
+// in one batched call per owning part, and charges exactly the codec's frame
+// arithmetic for them.
+func TestPartitionedPrefetchBatches(t *testing.T) {
+	v, part := partTestGraph(t)
+	pv, _ := partitionedOver(t, v, part, 0)
+	ids := make([]int32, v.NumNodes())
+	for i := range ids {
+		ids[i] = int32(i)
+	}
+	if err := pv.Prefetch(ids); err != nil {
+		t.Fatal(err)
+	}
+	st := pv.Stats()
+	if st.FetchCalls != 2 {
+		t.Fatalf("prefetch issued %d calls for 2 remote parts", st.FetchCalls)
+	}
+	var wantIDs, wantBytes, total int64
+	perPart := make(map[int32][]int32)
+	for _, id := range ids {
+		if part[id] != 0 {
+			perPart[part[id]] = append(perPart[part[id]], id)
+		}
+	}
+	for _, batch := range perPart {
+		var adj int64
+		for _, id := range batch {
+			adj += int64(len(v.Neighbors(id)))
+		}
+		wantIDs += int64(len(batch))
+		wantBytes += transport.NeighReqFrameBytes(len(batch)) + transport.NeighRespFrameBytes(len(batch), adj)
+		total += adj
+	}
+	if st.FetchedIDs != wantIDs {
+		t.Fatalf("fetched %d ids, want %d", st.FetchedIDs, wantIDs)
+	}
+	if st.WireBytes != wantBytes {
+		t.Fatalf("wire bytes %d, want %d (frame arithmetic over %d adjacency entries)", st.WireBytes, wantBytes, total)
+	}
+	// Everything is memoized now: per-node reads are wire-free.
+	for _, id := range ids {
+		pv.Neighbors(id)
+	}
+	if again := pv.Stats(); again != st {
+		t.Fatalf("post-prefetch reads issued fetches: %+v -> %+v", st, again)
+	}
+}
+
+// TestPartitionedStickyError: a dead peer surfaces as empty adjacency plus a
+// sticky typed error — never garbage, never a panic.
+func TestPartitionedStickyError(t *testing.T) {
+	v, part := partTestGraph(t)
+	pv, peers := partitionedOver(t, v, part, 0)
+	for _, c := range peers {
+		if c != nil {
+			if err := c.Close(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	var remote int32 = -1
+	for id := int32(0); id < v.NumNodes(); id++ {
+		if part[id] != 0 {
+			remote = id
+			break
+		}
+	}
+	if ns := pv.Neighbors(remote); ns != nil {
+		t.Fatalf("dead peer served %d neighbors", len(ns))
+	}
+	err := pv.Err()
+	if err == nil {
+		t.Fatal("no sticky error after failed fetch")
+	}
+	if kind, ok := transport.KindOf(err); !ok || kind != transport.ErrClosed {
+		t.Fatalf("sticky error %v, want typed %v", err, transport.ErrClosed)
+	}
+	if err := pv.Prefetch([]int32{remote}); err == nil {
+		t.Fatal("prefetch through dead peer succeeded")
+	}
+}
+
+// TestPartitionedRejectsMismatchedPeer: a peer whose handshake disagrees on
+// graph shape or version is a typed mismatch at construction.
+func TestPartitionedRejectsMismatchedPeer(t *testing.T) {
+	v, part := partTestGraph(t)
+	h := newViewHandler(v)
+	wrong := *h
+	wrong.hello.GraphVersion++
+	peers := []transport.Conn{nil, transport.Loopback(&wrong), transport.Loopback(h)}
+	if _, err := NewPartitioned(v, part, 0, peers); err == nil {
+		t.Fatal("mismatched graph version accepted")
+	} else if kind, ok := transport.KindOf(err); !ok || kind != transport.ErrMismatch {
+		t.Fatalf("error %v, want typed %v", err, transport.ErrMismatch)
+	}
+}

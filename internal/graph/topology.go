@@ -29,15 +29,36 @@ type Topology interface {
 // NumNodes implements Topology.
 func (g *CSR) NumNodes() int32 { return g.N }
 
-// Snapshotter yields immutable, version-numbered point-in-time views of a
-// possibly mutable graph. Epoch-scoped consumers (the prep executors, the
-// DDP trainer) pin exactly one Snapshot per epoch so mid-epoch determinism
-// is a property of the pin, not of the graph holding still; per-micro-batch
-// consumers (the serving layer) re-pin at each batch for freshness.
+// View is a pinned, immutable, version-numbered Topology — what epoch- and
+// batch-scoped consumers actually hold while they sample. *Snapshot is the
+// single-address-space implementation; *Partitioned is the distributed one,
+// serving local partitions natively and remote adjacency over a transport.
+// Like every Topology, a View must be safe for concurrent readers.
+type View interface {
+	Topology
+	// Version returns the logical version of the graph this view captured.
+	Version() uint64
+}
+
+// Viewer yields the current View of a possibly mutable graph. Epoch-scoped
+// consumers (the prep executors, the DDP trainer) pin exactly one View per
+// epoch so mid-epoch determinism is a property of the pin, not of the graph
+// holding still; per-micro-batch consumers (the serving layer) re-pin at
+// each batch for freshness.
 //
-// Both *Dynamic and *Snapshot implement Snapshotter: a Snapshot returns
-// itself, so "always the latest view" and "this one pinned view" wire
-// through the same seam.
+// *Dynamic, *Snapshot, and *Partitioned all implement Viewer — a pinned
+// view returns itself, so "always the latest view" and "this one pinned
+// view" wire through the same seam.
+type Viewer interface {
+	View() View
+}
+
+// Snapshotter is the concrete-snapshot ancestor of Viewer, kept for
+// consumers that need a *Snapshot specifically (compaction, the serving
+// layer's dynamic path).
+//
+// Deprecated: consumers on the data path should accept a Viewer, which
+// distributed topologies also implement.
 type Snapshotter interface {
 	Snapshot() *Snapshot
 }
@@ -68,6 +89,9 @@ func Static(g *CSR) *Snapshot {
 
 // Snapshot implements Snapshotter: a snapshot is its own (only) view.
 func (s *Snapshot) Snapshot() *Snapshot { return s }
+
+// View implements Viewer: a snapshot is its own pinned view.
+func (s *Snapshot) View() View { return s }
 
 // Version returns the logical version of the graph this snapshot captured:
 // 0 for a static graph, and the mutation count of a Dynamic graph at pin

@@ -36,9 +36,9 @@ type Options struct {
 	// selects the flat store over the dataset.
 	Store store.FeatureStore
 	// Graph is the topology source sampling reads adjacency through. Nil
-	// infers over the dataset's static graph; a snapshotter (e.g. a
-	// *graph.Dynamic) pins its latest snapshot for the whole run.
-	Graph graph.Snapshotter
+	// infers over the dataset's static graph; a viewer (e.g. a
+	// *graph.Dynamic) pins its latest view for the whole run.
+	Graph graph.Viewer
 	// Fused runs the fused gather+aggregate pipeline. Requires a model
 	// implementing nn.FusedModel (SAGE or GIN) and a store with a fused
 	// gather; predictions are bit-identical to the staged path.
@@ -141,7 +141,7 @@ func Full(m nn.Model, ds *dataset.Dataset, nodes []int32) []int32 {
 func FullThrough(m nn.Model, ds *dataset.Dataset, nodes []int32, st store.FeatureStore) ([]int32, error) {
 	x := ds.Feat
 	if st != nil {
-		if err := store.Check(st, ds); err != nil {
+		if err := store.Validate(st, ds, store.ValidateOpts{}); err != nil {
 			return nil, fmt.Errorf("infer: %w", err)
 		}
 		ids := make([]int32, ds.G.N)

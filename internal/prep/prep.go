@@ -177,11 +177,13 @@ type Options struct {
 	FixedOrder bool
 	// Graph is the topology source epochs sample against. Nil pins the
 	// dataset's static graph; a *graph.Dynamic makes each Run pin the
-	// latest snapshot for the WHOLE epoch (batch contents stay deterministic
+	// latest view for the WHOLE epoch (batch contents stay deterministic
 	// mid-epoch no matter how the graph churns between epochs), and a pinned
-	// *graph.Snapshot freezes every epoch to that one version — which is how
-	// the data-parallel trainer keeps R striped executors on one view.
-	Graph graph.Snapshotter
+	// view — a *graph.Snapshot, or a *graph.Partitioned fetching remote
+	// adjacency over a transport — freezes every epoch to that one version,
+	// which is how the data-parallel trainer keeps R striped executors on
+	// one view.
+	Graph graph.Viewer
 	// Fused switches the executor to the fused gather+aggregate pipeline:
 	// instead of staging the NumSrc×dim feature buffer, each batch carries
 	// the first layer's pre-reduced aggregate and x_target tensors
@@ -246,10 +248,10 @@ func (o *Options) globalIndex(i int) int { return o.IndexBase + i*o.IndexStride 
 type Stream struct {
 	C <-chan *Batch
 
-	// Graph is the topology snapshot every batch of this epoch sampled
+	// Graph is the pinned topology view every batch of this epoch sampled
 	// against (its Version identifies the graph state; version 0 is the
 	// static case). Set before the first batch is delivered.
-	Graph *graph.Snapshot
+	Graph graph.View
 
 	wg sync.WaitGroup
 
@@ -355,21 +357,15 @@ func storeFor(ds *dataset.Dataset, opts Options) (store.FeatureStore, error) {
 	if st == nil {
 		return store.NewFlat(ds), nil
 	}
-	if opts.Graph != nil {
-		if err := store.CheckGrown(st, ds); err != nil {
-			return nil, fmt.Errorf("prep: %w", err)
-		}
-		return st, nil
-	}
-	if err := store.Check(st, ds); err != nil {
+	if err := store.Validate(st, ds, store.ValidateOpts{AllowGrown: opts.Graph != nil}); err != nil {
 		return nil, fmt.Errorf("prep: %w", err)
 	}
 	return st, nil
 }
 
-// snapshotterFor resolves the configured topology source, defaulting to the
+// viewerFor resolves the configured topology source, defaulting to the
 // dataset's static graph.
-func snapshotterFor(ds *dataset.Dataset, opts Options) graph.Snapshotter {
+func viewerFor(ds *dataset.Dataset, opts Options) graph.Viewer {
 	if opts.Graph != nil {
 		return opts.Graph
 	}
@@ -429,10 +425,10 @@ type Salient struct {
 	// calls would race on the persistent samplers, so they fail fast here
 	// instead of corrupting batches silently.
 	running atomic.Bool
-	// graph yields the topology; snap is the snapshot the NEXT epoch is
-	// pinned to (re-pinned at each Run), and rows the arena sizing basis.
-	graph graph.Snapshotter
-	snap  *graph.Snapshot
+	// graph yields the topology; snap is the pinned view the NEXT epoch
+	// samples (re-pinned at each Run), and rows the arena sizing basis.
+	graph graph.Viewer
+	snap  graph.View
 	rows  int
 }
 
@@ -447,8 +443,8 @@ func NewSalient(ds *dataset.Dataset, opts Options) (*Salient, error) {
 	if err != nil {
 		return nil, err
 	}
-	src := snapshotterFor(ds, opts)
-	snap := src.Snapshot()
+	src := viewerFor(ds, opts)
+	snap := src.View()
 	rows := MaxRowsEstimate(opts.BatchSize, opts.Fanouts, int(snap.NumNodes()))
 	e := &Salient{
 		ds:       ds,
@@ -480,14 +476,14 @@ func (e *Salient) Run(seeds []int32, epochSeed uint64) *Stream {
 	if !e.running.CompareAndSwap(false, true) {
 		panic("prep: Run called while a previous epoch is still preparing (drain the stream first)") //lint:allow panicdiscipline API misuse guard: overlapping Runs would corrupt the arena pool accounting
 	}
-	// Pin ONE snapshot for the whole epoch: every worker samples this exact
+	// Pin ONE view for the whole epoch: every worker samples this exact
 	// topology version, so mid-epoch updates to a dynamic graph change
 	// nothing until the next Run — FixedOrder/DDP striping determinism is a
 	// property of the pin. The previous stream is fully drained here (the
 	// running flag), so retargeting the persistent samplers is safe, and the
 	// arena pool is only regrown (all arenas are home) when node growth
 	// raised the worst-case staged row count.
-	if snap := e.graph.Snapshot(); snap != e.snap {
+	if snap := e.graph.View(); snap != e.snap {
 		e.snap = snap
 		for _, sm := range e.samplers {
 			sm.Retarget(snap)
@@ -635,8 +631,8 @@ type PyG struct {
 	opts  Options
 	store store.FeatureStore
 	pool  *slicing.Pool
-	graph graph.Snapshotter
-	snap  *graph.Snapshot
+	graph graph.Viewer
+	snap  graph.View
 	rows  int
 }
 
@@ -654,8 +650,8 @@ func NewPyG(ds *dataset.Dataset, opts Options) (*PyG, error) {
 	if err != nil {
 		return nil, err
 	}
-	src := snapshotterFor(ds, opts)
-	snap := src.Snapshot()
+	src := viewerFor(ds, opts)
+	snap := src.View()
 	rows := MaxRowsEstimate(opts.BatchSize, opts.Fanouts, int(snap.NumNodes()))
 	return &PyG{
 		ds:    ds,
@@ -675,9 +671,9 @@ func NewPyG(ds *dataset.Dataset, opts Options) (*PyG, error) {
 // order with the striped-parallel kernel before emitting it, as the main
 // process does in the reference workflow (Listing 1, line 3).
 func (e *PyG) Run(seeds []int32, epochSeed uint64) *Stream {
-	// Same epoch-pinning contract as the Salient executor: one snapshot per
-	// Run, workers build their per-epoch samplers over it.
-	if snap := e.graph.Snapshot(); snap != e.snap {
+	// Same epoch-pinning contract as the Salient executor: one pinned view
+	// per Run, workers build their per-epoch samplers over it.
+	if snap := e.graph.View(); snap != e.snap {
 		e.snap = snap
 		if rows := MaxRowsEstimate(e.opts.BatchSize, e.opts.Fanouts, int(snap.NumNodes())); rows > e.rows {
 			e.pool = slicing.NewPool(e.opts.InFlight, rows, e.ds.FeatDim, e.opts.BatchSize)

@@ -105,12 +105,12 @@ type Options struct {
 	CacheRefreshEvery uint64
 	// Graph is the topology source micro-batches sample against. Nil serves
 	// the dataset's static graph. A *graph.Dynamic enables the update APIs
-	// (Update, AddNode): every micro-batch pins the graph's LATEST snapshot
+	// (Update, AddNode): every micro-batch pins the graph's LATEST view
 	// before sampling, and each response reports the version it was computed
 	// against — so freshness is per-micro-batch while every answer is still
 	// internally consistent (one version end to end). With zero applied
 	// updates answers are bit-identical to the static server's.
-	Graph graph.Snapshotter
+	Graph graph.Viewer
 }
 
 func (o *Options) normalize() error {
@@ -223,10 +223,10 @@ type Server struct {
 	// accounting (Cached-wrapped when Options.CacheRows > 0).
 	store store.FeatureStore
 
-	// topo yields the topology snapshot each micro-batch samples against; a
+	// topo yields the topology view each micro-batch samples against; a
 	// static server holds one pinned version-0 snapshot here. dyn is non-nil
 	// iff Options.Graph was a *graph.Dynamic, enabling the update APIs.
-	topo graph.Snapshotter
+	topo graph.Viewer
 	dyn  *graph.Dynamic
 	// refreshMu serializes feature-cache placement refreshes; refreshed
 	// (written only under it) is the newest snapshot version the top-K
@@ -277,17 +277,13 @@ func New(m nn.Model, ds *dataset.Dataset, opts Options) (*Server, error) {
 	} else {
 		s.topo = graph.Static(ds.G)
 	}
-	rows := maxRows(opts.MaxBatch, opts.Fanouts, int(s.topo.Snapshot().NumNodes()))
+	rows := maxRows(opts.MaxBatch, opts.Fanouts, int(s.topo.View().NumNodes()))
 	s.pool = slicing.NewPool(opts.Workers, rows, ds.FeatDim, opts.MaxBatch)
 	base := opts.Store
 	if base == nil {
 		base = store.NewFlat(ds)
 	}
-	if opts.Graph != nil {
-		if err := store.CheckGrown(base, ds); err != nil {
-			return nil, fmt.Errorf("serve: %w", err)
-		}
-	} else if err := store.Check(base, ds); err != nil {
+	if err := store.Validate(base, ds, store.ValidateOpts{AllowGrown: opts.Graph != nil}); err != nil {
 		return nil, fmt.Errorf("serve: %w", err)
 	}
 	s.store = base
@@ -367,13 +363,13 @@ func (s *Server) Predict(node int32) (Prediction, error) {
 }
 
 // numNodes returns the live node count without touching the dynamic
-// graph's mutex (Dynamic.NumNodes is atomic; the static pinned snapshot is
-// its own free Snapshotter), keeping request admission off the writer lock.
+// graph's mutex (Dynamic.NumNodes is atomic; a pinned view is its own free
+// Viewer), keeping request admission off the writer lock.
 func (s *Server) numNodes() int32 {
 	if s.dyn != nil {
 		return s.dyn.NumNodes()
 	}
-	return s.topo.Snapshot().NumNodes()
+	return s.topo.View().NumNodes()
 }
 
 // Update submits a batch of edge insertions (directed pairs src[i] ->
@@ -479,7 +475,7 @@ func (s *Server) Stats() Stats {
 		version = s.dyn.Version()
 		compactions = s.dyn.Compactions()
 	} else {
-		version = s.topo.Snapshot().Version()
+		version = s.topo.View().Version()
 	}
 	s.statsMu.Lock()
 	defer s.statsMu.Unlock()
@@ -512,10 +508,10 @@ func (s *Server) FeatureStore() store.FeatureStore { return s.store }
 // only what mfg.Merge needs for multi-request batches.
 type workerState struct {
 	sm    *sampler.Sampler
-	snap  *graph.Snapshot // topology pinned for the current micro-batch
-	r     *rng.Rand       // reseeded per request, never reallocated
-	slots []mfg.MFG       // slots[i] holds request i's sampled MFG
-	ptrs  []*mfg.MFG      // merge argument scratch
+	snap  graph.View // topology pinned for the current micro-batch
+	r     *rng.Rand  // reseeded per request, never reallocated
+	slots []mfg.MFG  // slots[i] holds request i's sampled MFG
+	ptrs  []*mfg.MFG // merge argument scratch
 	seed  [1]int32
 	x     *tensor.Dense
 	pred  []int32
@@ -526,7 +522,7 @@ type workerState struct {
 // micro-batches it parks on the doorbell, so idle servers consume no CPU.
 func (s *Server) worker() {
 	defer s.wg.Done()
-	snap0 := s.topo.Snapshot()
+	snap0 := s.topo.View()
 	ws := &workerState{sm: sampler.New(snap0, s.opts.Fanouts, sampler.FastConfig()), snap: snap0, r: rng.New(0)}
 	batch := make([]*request, 0, s.opts.MaxBatch)
 	for {
@@ -576,12 +572,12 @@ func (s *Server) worker() {
 // deliver per-request rows. Every buffer execute touches is released for
 // reuse the moment the micro-batch's responses are delivered.
 func (s *Server) execute(ws *workerState, batch []*request) {
-	// Pin the latest snapshot for this whole micro-batch: every request in
+	// Pin the latest view for this whole micro-batch: every request in
 	// it samples one topology version and reports it. The static case pins
 	// the same version-0 snapshot forever (pointer-equal, so this is free),
 	// and a Dynamic caches its snapshot per version, so steady state without
 	// churn allocates nothing here either.
-	if snap := s.topo.Snapshot(); snap != ws.snap {
+	if snap := s.topo.View(); snap != ws.snap {
 		ws.sm.Retarget(snap)
 		ws.snap = snap
 		s.refreshCache(snap)
@@ -647,9 +643,9 @@ func (s *Server) execute(ws *workerState, batch []*request) {
 }
 
 // refreshCache recomputes the feature cache's top-K-by-degree placement for
-// a newly adopted snapshot, at most once per version (workers race through
+// a newly adopted view, at most once per version (workers race through
 // the CAS; losers skip — the winner's Refresh covers them).
-func (s *Server) refreshCache(snap *graph.Snapshot) {
+func (s *Server) refreshCache(snap graph.View) {
 	c, ok := s.store.(*store.Cached)
 	if !ok {
 		return

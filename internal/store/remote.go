@@ -1,0 +1,348 @@
+package store
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"salient/internal/dataset"
+	"salient/internal/half"
+	"salient/internal/partition"
+	"salient/internal/slicing"
+	"salient/internal/transport"
+)
+
+// RemoteOptions configures NewRemote.
+type RemoteOptions struct {
+	// Precision is the storage precision of the home shard AND the wire:
+	// remote rows cross the network at this precision (fp16/int8 rows stay
+	// narrow on the wire). Zero value selects fp16, the seed layout. Every
+	// peer's handshake must advertise the same precision.
+	Precision half.Precision
+	// CacheRows mirrors up to this many remote rows locally at construction,
+	// highest-degree first (the GNS-style static cache, here keeping hot rows
+	// off the network entirely). Mirrored rows are fetched over the transport
+	// once, so warming traffic is real accounted wire traffic. Zero disables
+	// the mirror.
+	CacheRows int
+}
+
+// Remote is the feature store of one host in the distributed data plane: it
+// physically holds only the rows of its home partition (plus an optional
+// degree-warmed mirror of hot remote rows) and gathers every other row from
+// the partition's owner over a transport.Conn, one batched FetchRows per
+// remote part per gather.
+//
+// Batch contents are bit-identical to any local store at the same precision:
+// the wire moves rows at storage precision and the peers encode from the
+// same fp16 master values, so distribution changes accounting and traffic,
+// never what the model sees.
+//
+// Stats semantics: RowsRemote counts rows fetched over the transport and
+// BytesRemote counts the ACTUAL framed wire bytes those fetches moved in
+// both directions (headers, IDs, labels, and scales included — not the
+// rowBytes approximation Sharded charges), warming traffic included. Mirror
+// hits are charged as RowsSaved/BytesSaved, like a cache.
+type Remote struct {
+	dim   int
+	prec  half.Precision
+	n     int
+	parts int
+	home  int32
+	part  []int32 // node -> owning part
+	local []int32 // node -> row within its owner's shard order
+
+	rows   *rowMat // home shard rows, placement order
+	labels []int32 // home labels, indexed by local row
+
+	mirror  map[int32]int32 // remote node -> mirror row
+	mrows   *rowMat
+	mlabels []int32
+
+	peers []transport.Conn // by part; nil at home
+
+	mu    sync.Mutex
+	stats Stats
+}
+
+// NewRemote builds part home's store over ds: home rows are laid out
+// locally from the dataset's fp16 master values (exactly as Sharded lays
+// out one shard), and peers[p] must be a live connection to part p's host
+// for every p != home. Each peer's handshake is validated up front — same
+// precision (transport.CheckHello) and a dataset-compatible shape
+// (ValidateShape, the one dim/row rule) — so a cluster wired over the wrong
+// dataset fails at construction, not mid-epoch.
+func NewRemote(ds *dataset.Dataset, a *partition.Assignment, home int32, peers []transport.Conn, opts RemoteOptions) (*Remote, error) {
+	n := int(ds.G.N)
+	if len(a.Part) != n {
+		return nil, fmt.Errorf("store: assignment covers %d nodes, dataset has %d", len(a.Part), n)
+	}
+	if home < 0 || int(home) >= a.Parts {
+		return nil, fmt.Errorf("store: home part %d of %d", home, a.Parts)
+	}
+	if len(peers) != a.Parts {
+		return nil, fmt.Errorf("store: %d peer conns for %d parts", len(peers), a.Parts)
+	}
+	prec := opts.Precision
+	if !prec.Valid() {
+		return nil, fmt.Errorf("store: invalid precision %d", prec)
+	}
+	s := &Remote{
+		dim:   ds.FeatDim,
+		prec:  prec,
+		n:     n,
+		parts: a.Parts,
+		home:  home,
+		part:  append([]int32(nil), a.Part...),
+		local: make([]int32, n),
+		peers: peers,
+	}
+	counts := make([]int32, a.Parts)
+	for v, p := range s.part {
+		if p < 0 || int(p) >= a.Parts {
+			return nil, fmt.Errorf("store: node %d assigned to part %d of %d", v, p, a.Parts)
+		}
+		s.local[v] = counts[p]
+		counts[p]++
+	}
+	for p := int32(0); int(p) < a.Parts; p++ {
+		if p == home {
+			continue
+		}
+		c := peers[p]
+		if c == nil {
+			return nil, fmt.Errorf("store: no connection to part %d", p)
+		}
+		h := c.Hello()
+		want := transport.Hello{Proto: transport.ProtoVersion, Precision: prec, GraphVersion: h.GraphVersion}
+		if err := transport.CheckHello(h, want); err != nil {
+			return nil, fmt.Errorf("store: part %d: %w", p, err)
+		}
+		if err := ValidateShape(h.Dim, h.NumNodes, ds.FeatDim, n, false); err != nil {
+			return nil, fmt.Errorf("store: part %d serves incompatible shape: %w", p, err)
+		}
+	}
+
+	// Lay out the home shard: rows of home-assigned nodes in placement
+	// order, encoded from the fp16 master exactly as NewShardedPrec encodes
+	// a shard — so every store of one dataset derives from identical inputs.
+	s.rows = newRowMat(prec, s.dim, int(counts[home]))
+	s.labels = make([]int32, counts[home])
+	scratch := make([]float32, s.dim)
+	for v := 0; v < n; v++ {
+		if s.part[v] != home {
+			continue
+		}
+		row := ds.FeatHalf[v*s.dim : (v+1)*s.dim]
+		lo := int(s.local[v])
+		if prec == half.FP16 {
+			copy(s.rows.h[lo*s.dim:(lo+1)*s.dim], row)
+		} else {
+			half.DecodeSlice(scratch, row)
+			s.rows.encodeRow(lo, scratch)
+		}
+		s.labels[lo] = ds.Labels[v]
+	}
+
+	if opts.CacheRows > 0 {
+		if err := s.warmMirror(ds, opts.CacheRows); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// warmMirror fetches the hottest (highest-degree, ties by ID) remote rows
+// over the transport into the local mirror. The fetches are real wire
+// traffic and are charged to RowsRemote/BytesRemote.
+func (s *Remote) warmMirror(ds *dataset.Dataset, budget int) error {
+	remote := make([]int32, 0, s.n)
+	for v := int32(0); int(v) < s.n; v++ {
+		if s.part[v] != s.home {
+			remote = append(remote, v)
+		}
+	}
+	sort.SliceStable(remote, func(i, j int) bool {
+		di, dj := ds.G.Degree(remote[i]), ds.G.Degree(remote[j])
+		if di != dj {
+			return di > dj
+		}
+		return remote[i] < remote[j]
+	})
+	if budget < len(remote) {
+		remote = remote[:budget]
+	}
+	s.mirror = make(map[int32]int32, len(remote))
+	s.mrows = newRowMat(s.prec, s.dim, len(remote))
+	s.mlabels = make([]int32, len(remote))
+
+	byPart := make([][]int32, s.parts)
+	for _, v := range remote {
+		byPart[s.part[v]] = append(byPart[s.part[v]], v)
+	}
+	var rbuf transport.Rows
+	next := int32(0)
+	for p, ids := range byPart {
+		if len(ids) == 0 {
+			continue
+		}
+		wire, err := s.peers[p].FetchRows(ids, &rbuf)
+		if err != nil {
+			return fmt.Errorf("store: warming mirror from part %d: %w", p, err)
+		}
+		for j, v := range ids {
+			s.storeMirrorRow(next, &rbuf, j)
+			s.mlabels[next] = rbuf.Labels[j]
+			s.mirror[v] = next
+			next++
+		}
+		s.mu.Lock()
+		s.stats.RowsRemote += int64(len(ids))
+		s.stats.BytesRemote += wire
+		s.mu.Unlock()
+	}
+	return nil
+}
+
+// storeMirrorRow copies wire row j into mirror row dst (same precision, so
+// the copy is bitwise).
+func (s *Remote) storeMirrorRow(dst int32, r *transport.Rows, j int) {
+	lo, hi := int(dst)*s.dim, (int(dst)+1)*s.dim
+	switch s.prec {
+	case half.FP32:
+		copy(s.mrows.f[lo:hi], r.F[j*s.dim:(j+1)*s.dim])
+	case half.Int8:
+		copy(s.mrows.q[lo:hi], r.Q[j*s.dim:(j+1)*s.dim])
+		s.mrows.scales[dst] = r.Scales[j]
+	default:
+		copy(s.mrows.h[lo:hi], r.H[j*s.dim:(j+1)*s.dim])
+	}
+}
+
+// Dim returns the feature dimensionality.
+func (s *Remote) Dim() int { return s.dim }
+
+// Precision returns the storage precision rows are held (and wired) at.
+func (s *Remote) Precision() half.Precision { return s.prec }
+
+// NumNodes returns the number of rows addressable through this store — the
+// whole dataset's, though only the home partition's live here.
+func (s *Remote) NumNodes() int { return s.n }
+
+// Home returns the partition whose rows this store holds locally.
+func (s *Remote) Home() int32 { return s.home }
+
+// MirrorRows returns how many remote rows the warmed mirror holds.
+func (s *Remote) MirrorRows() int { return len(s.mirror) }
+
+// Gather stages features for nodeIDs and labels for the seed prefix into
+// dst. Home and mirrored rows are copied locally; everything else is
+// fetched from its owner, one batched FetchRows per remote part. Typed
+// transport errors surface unwrapped, so callers can distinguish a dead
+// peer (transient, retried by the transport first) from a rejection.
+func (s *Remote) Gather(dst *slicing.Pinned, nodeIDs []int32, batch int) error {
+	if batch > len(nodeIDs) {
+		return fmt.Errorf("store: batch %d > nodes %d", batch, len(nodeIDs))
+	}
+	if err := checkIDs(nodeIDs, s.n); err != nil {
+		return err
+	}
+	dst.EnsurePrec(len(nodeIDs), s.dim, batch, s.prec)
+
+	var reqs, pos [][]int32 // lazily sized to parts: ids to fetch per part, and their batch positions
+	var lookups, hits int64
+	for i, id := range nodeIDs {
+		p := s.part[id]
+		if p == s.home {
+			s.rows.copyRow(dst, i, int(s.local[id]))
+			if i < batch {
+				dst.Labels[i] = s.labels[s.local[id]]
+			}
+			continue
+		}
+		lookups++
+		if m, ok := s.mirror[id]; ok {
+			hits++
+			s.mrows.copyRow(dst, i, int(m))
+			if i < batch {
+				dst.Labels[i] = s.mlabels[m]
+			}
+			continue
+		}
+		if reqs == nil {
+			reqs = make([][]int32, s.parts)
+			pos = make([][]int32, s.parts)
+		}
+		reqs[p] = append(reqs[p], id)
+		pos[p] = append(pos[p], int32(i))
+	}
+
+	var fetched, wire int64
+	if reqs != nil {
+		var rbuf transport.Rows
+		for p := range reqs {
+			ids := reqs[p]
+			if len(ids) == 0 {
+				continue
+			}
+			nbytes, err := s.peers[p].FetchRows(ids, &rbuf)
+			if err != nil {
+				return fmt.Errorf("store: remote gather from part %d: %w", p, err)
+			}
+			for j := range ids {
+				i := int(pos[p][j])
+				s.copyWireRow(dst, i, &rbuf, j)
+				if i < batch {
+					dst.Labels[i] = rbuf.Labels[j]
+				}
+			}
+			fetched += int64(len(ids))
+			wire += nbytes
+		}
+	}
+
+	rowBytes := s.prec.RowBytes(s.dim)
+	s.mu.Lock()
+	s.stats.Gathers++
+	s.stats.Rows += int64(len(nodeIDs))
+	s.stats.RowsMoved += int64(len(nodeIDs))
+	s.stats.BytesMoved += int64(len(nodeIDs)) * rowBytes
+	s.stats.CacheLookups += lookups
+	s.stats.CacheHits += hits
+	s.stats.RowsSaved += hits
+	s.stats.BytesSaved += hits * rowBytes
+	s.stats.RowsRemote += fetched
+	s.stats.BytesRemote += wire
+	s.mu.Unlock()
+	return nil
+}
+
+// copyWireRow stages wire row j of r into position dstRow of p (precisions
+// match by construction, so every copy is bitwise).
+func (s *Remote) copyWireRow(p *slicing.Pinned, dstRow int, r *transport.Rows, j int) {
+	dim := s.dim
+	switch s.prec {
+	case half.FP32:
+		copy(p.Feat32[dstRow*dim:(dstRow+1)*dim], r.F[j*dim:(j+1)*dim])
+	case half.Int8:
+		copy(p.Feat8[dstRow*dim:(dstRow+1)*dim], r.Q[j*dim:(j+1)*dim])
+		p.Scales[dstRow] = r.Scales[j]
+	default:
+		copy(p.Feat[dstRow*dim:(dstRow+1)*dim], r.H[j*dim:(j+1)*dim])
+	}
+}
+
+// Stats returns the accumulated transfer accounting (see the Remote doc for
+// the wire-exact BytesRemote semantics).
+func (s *Remote) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// ResetStats clears the accounting (never the mirror or the home shard).
+func (s *Remote) ResetStats() {
+	s.mu.Lock()
+	s.stats = Stats{}
+	s.mu.Unlock()
+}

@@ -99,15 +99,51 @@ type FeatureStore interface {
 	ResetStats()
 }
 
-// Check verifies st holds exactly ds's rows, so consumers reject a store
-// built over the wrong dataset loudly at wiring time instead of deep in a
-// gather or a forward pass.
-func Check(st FeatureStore, ds *dataset.Dataset) error {
-	if st.Dim() != ds.FeatDim || st.NumNodes() != int(ds.G.N) {
+// ValidateOpts selects Validate's row-count policy.
+type ValidateOpts struct {
+	// AllowGrown accepts stores holding MORE rows than the dataset — the
+	// dynamic-graph setting, where nodes appended online make the store
+	// legitimately larger than the dataset it started from. The
+	// dimensionality must still match exactly; per-gather ID range checks
+	// cover the rest.
+	AllowGrown bool
+}
+
+// Validate verifies st is shape-compatible with ds, so consumers reject a
+// store built over the wrong dataset loudly at wiring time instead of deep
+// in a gather or a forward pass. It is the ONE dim/row compatibility check
+// on the data path: the transport handshake (internal/transport, via
+// ValidateShape) and every local consumer apply the same rule.
+func Validate(st FeatureStore, ds *dataset.Dataset, opts ValidateOpts) error {
+	return ValidateShape(st.Dim(), st.NumNodes(), ds.FeatDim, int(ds.G.N), opts.AllowGrown)
+}
+
+// ValidateShape is the shared shape-compatibility rule behind Validate: a
+// holder of gotRows×gotDim serves a consumer needing wantRows×wantDim iff
+// the dimensionalities match exactly and the row count matches exactly
+// (allowGrown false) or meets the floor (allowGrown true). Remote stores
+// apply it to a peer's handshake-advertised shape with the same semantics
+// local wiring gets.
+func ValidateShape(gotDim, gotRows, wantDim, wantRows int, allowGrown bool) error {
+	if allowGrown {
+		if gotDim != wantDim || gotRows < wantRows {
+			return fmt.Errorf("store holds %d×%d, dataset needs ≥%d×%d",
+				gotRows, gotDim, wantRows, wantDim)
+		}
+		return nil
+	}
+	if gotDim != wantDim || gotRows != wantRows {
 		return fmt.Errorf("store holds %d×%d, dataset is %d×%d",
-			st.NumNodes(), st.Dim(), ds.G.N, ds.FeatDim)
+			gotRows, gotDim, wantRows, wantDim)
 	}
 	return nil
+}
+
+// Check verifies st holds exactly ds's rows.
+//
+// Deprecated: use Validate(st, ds, ValidateOpts{}).
+func Check(st FeatureStore, ds *dataset.Dataset) error {
+	return Validate(st, ds, ValidateOpts{})
 }
 
 // Appendable is implemented by stores that can grow with a dynamic graph:
@@ -126,16 +162,12 @@ type Appendable interface {
 	AppendRows(feat []float32, labels []int32) (int32, error)
 }
 
-// CheckGrown is Check's dynamic-graph variant: a store serving a mutable
-// graph may legitimately hold MORE rows than the dataset it started from
-// (nodes appended online), so only the dimensionality and a row-count floor
-// are enforced; per-gather ID range checks cover the rest.
+// CheckGrown is Check's dynamic-graph variant, enforcing only the
+// dimensionality and a row-count floor.
+//
+// Deprecated: use Validate(st, ds, ValidateOpts{AllowGrown: true}).
 func CheckGrown(st FeatureStore, ds *dataset.Dataset) error {
-	if st.Dim() != ds.FeatDim || st.NumNodes() < int(ds.G.N) {
-		return fmt.Errorf("store holds %d×%d, dataset needs ≥%d×%d",
-			st.NumNodes(), st.Dim(), ds.G.N, ds.FeatDim)
-	}
-	return nil
+	return Validate(st, ds, ValidateOpts{AllowGrown: true})
 }
 
 // StripedGatherer is implemented by stores whose gather supports the

@@ -66,11 +66,13 @@ type Config struct {
 	// store.FusedGatherer. Training is bit-identical to the staged path.
 	Fused bool
 	// Graph is the topology source training samples against. Nil trains on
-	// the dataset's static graph; a *graph.Dynamic pins the latest snapshot
+	// the dataset's static graph; a *graph.Dynamic pins the latest view
 	// once per epoch (train-while-updating: updates applied mid-epoch take
 	// effect at the next epoch boundary). With zero applied deltas training
-	// is bit-identical to the static baseline.
-	Graph graph.Snapshotter
+	// is bit-identical to the static baseline. A *graph.Partitioned view
+	// trains against a partitioned topology fetching remote adjacency over
+	// a transport.
+	Graph graph.Viewer
 }
 
 // Defaults fills unset fields with the paper's GraphSAGE settings.

@@ -1,0 +1,113 @@
+package transport
+
+import (
+	"bytes"
+	"testing"
+
+	"salient/internal/half"
+)
+
+// FuzzReadFrame feeds arbitrary byte streams through the frame reader: it
+// must never panic, and any successfully-read frame's payload must be
+// exactly the length its prefix claimed.
+func FuzzReadFrame(f *testing.F) {
+	f.Add(appendHello(nil, Hello{Proto: ProtoVersion, Dim: 4, NumNodes: 10, Precision: half.FP16}))
+	f.Add(appendIDsFrame(nil, msgRowsReq, []int32{1, 2, 3}))
+	f.Add(appendRowsResp(nil, testRows(2, 3, half.Int8)))
+	f.Add(appendNeighResp(nil, &Adjacency{Ptr: []int64{0, 2}, Adj: []int32{4, 5}}))
+	f.Add(appendErrResp(nil, ErrRejected, "nope"))
+	f.Add([]byte{0, 0, 0, 0})
+	f.Add([]byte{0xff, 0xff, 0xff, 0x7f, 1})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := bytes.NewReader(data)
+		var scratch []byte
+		for i := 0; i < 8; i++ { // walk a few frames deep into the stream
+			typ, payload, grown, err := readFrame(r, scratch)
+			scratch = grown
+			if err != nil {
+				return
+			}
+			_ = typ
+			if len(payload) > maxFramePayload {
+				t.Fatalf("accepted %d-byte payload past the %d limit", len(payload), maxFramePayload)
+			}
+		}
+	})
+}
+
+// FuzzDecodeRowsResp: arbitrary payloads either fail with a typed error or
+// yield exactly the expected row count at the expected precision — garbage
+// bytes must never masquerade as a valid row batch of the wrong shape.
+func FuzzDecodeRowsResp(f *testing.F) {
+	for _, prec := range []half.Precision{half.FP16, half.FP32, half.Int8} {
+		raw := appendRowsResp(nil, testRows(2, 3, prec))
+		f.Add(raw[frameHeaderBytes:], 2, 3, int(prec))
+	}
+	f.Add([]byte{}, 1, 1, int(half.FP16))
+	f.Fuzz(func(t *testing.T, payload []byte, n, dim, precInt int) {
+		prec := half.Precision(precInt)
+		if !prec.Valid() || n < 0 || dim < 0 || n > 1<<12 || dim > 1<<12 {
+			return
+		}
+		var dst Rows
+		if err := decodeRowsResp(payload, &dst, n, dim, prec); err != nil {
+			if k, ok := KindOf(err); !ok || k != ErrProto {
+				t.Fatalf("decode failure is not a typed proto error: %v", err)
+			}
+			return
+		}
+		if dst.N != n || dst.Dim != dim || dst.Prec != prec {
+			t.Fatalf("decoded shape %dx%d@%v, want %dx%d@%v", dst.N, dst.Dim, dst.Prec, n, dim, prec)
+		}
+	})
+}
+
+// FuzzDecodeNeighResp mirrors FuzzDecodeRowsResp for adjacency payloads,
+// additionally checking the Ptr invariants (monotone, bounded by Adj).
+func FuzzDecodeNeighResp(f *testing.F) {
+	raw := appendNeighResp(nil, &Adjacency{Ptr: []int64{0, 1, 4}, Adj: []int32{9, 1, 2, 3}})
+	f.Add(raw[frameHeaderBytes:], 2)
+	f.Add([]byte{}, 0)
+	f.Fuzz(func(t *testing.T, payload []byte, n int) {
+		if n < 0 || n > 1<<12 {
+			return
+		}
+		var dst Adjacency
+		if err := decodeNeighResp(payload, &dst, n); err != nil {
+			if k, ok := KindOf(err); !ok || k != ErrProto {
+				t.Fatalf("decode failure is not a typed proto error: %v", err)
+			}
+			return
+		}
+		if len(dst.Ptr) != n+1 {
+			t.Fatalf("decoded %d ptrs for %d ids", len(dst.Ptr), n)
+		}
+		for i := 0; i < n; i++ {
+			if dst.Ptr[i] > dst.Ptr[i+1] {
+				t.Fatalf("non-monotone Ptr at %d", i)
+			}
+		}
+		if dst.Ptr[n] != int64(len(dst.Adj)) {
+			t.Fatalf("Ptr end %d, Adj holds %d", dst.Ptr[n], len(dst.Adj))
+		}
+	})
+}
+
+// FuzzDecodeHello: arbitrary handshake payloads must decode or typed-fail.
+func FuzzDecodeHello(f *testing.F) {
+	valid := appendHello(nil, Hello{Proto: ProtoVersion, Dim: 100, NumNodes: 170000, Precision: half.Int8, GraphVersion: 3})
+	f.Add(valid[frameHeaderBytes:])
+	f.Add([]byte{1, 2, 3})
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		h, err := decodeHello(payload)
+		if err != nil {
+			if k, ok := KindOf(err); !ok || k != ErrProto {
+				t.Fatalf("hello decode failure is not a typed proto error: %v", err)
+			}
+			return
+		}
+		if !h.Precision.Valid() {
+			t.Fatalf("decoded hello carries invalid precision %v", h.Precision)
+		}
+	})
+}

@@ -1,0 +1,91 @@
+package transport
+
+import "sync"
+
+// Loopback connects a Conn directly to a Handler in the same address space.
+// Fetches run synchronously on the caller's goroutine and the handler writes
+// straight into the caller's buffers — no frames are built, so the data path
+// through loopback is bit-identical to a direct local gather. Wire bytes are
+// still charged, computed with the exact frame-size arithmetic the TCP codec
+// emits, which makes loopback the accounting oracle for the real wire.
+func Loopback(h Handler) Conn {
+	return &loopbackConn{h: h, hello: h.Hello()}
+}
+
+type loopbackConn struct {
+	h     Handler
+	hello Hello
+
+	mu     sync.Mutex
+	stats  Stats
+	closed bool
+}
+
+func (c *loopbackConn) Hello() Hello { return c.hello }
+
+func (c *loopbackConn) FetchRows(ids []int32, dst *Rows) (int64, error) {
+	if err := c.check("fetch_rows"); err != nil {
+		return 0, err
+	}
+	if err := c.h.FetchRows(ids, dst); err != nil {
+		return 0, reject("fetch_rows", err)
+	}
+	wire := RowsReqFrameBytes(len(ids)) + RowsRespFrameBytes(len(ids), dst.Dim, dst.Prec)
+	c.mu.Lock()
+	c.stats.Calls++
+	c.stats.Rows += int64(len(ids))
+	c.stats.BytesSent += RowsReqFrameBytes(len(ids))
+	c.stats.BytesRecv += RowsRespFrameBytes(len(ids), dst.Dim, dst.Prec)
+	c.mu.Unlock()
+	return wire, nil
+}
+
+func (c *loopbackConn) FetchNeighbors(ids []int32, dst *Adjacency) (int64, error) {
+	if err := c.check("fetch_neighbors"); err != nil {
+		return 0, err
+	}
+	if err := c.h.FetchNeighbors(ids, dst); err != nil {
+		return 0, reject("fetch_neighbors", err)
+	}
+	total := int64(len(dst.Adj))
+	wire := NeighReqFrameBytes(len(ids)) + NeighRespFrameBytes(len(ids), total)
+	c.mu.Lock()
+	c.stats.Calls++
+	c.stats.Neighbors += total
+	c.stats.BytesSent += NeighReqFrameBytes(len(ids))
+	c.stats.BytesRecv += NeighRespFrameBytes(len(ids), total)
+	c.mu.Unlock()
+	return wire, nil
+}
+
+func (c *loopbackConn) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+func (c *loopbackConn) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.closed = true
+	return nil
+}
+
+func (c *loopbackConn) check(op string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return errf(ErrClosed, op, nil, "connection closed")
+	}
+	return nil
+}
+
+// reject wraps a handler failure: already-typed transport errors pass
+// through, anything else becomes a typed rejection (the peer processed the
+// request and refused it).
+func reject(op string, err error) error {
+	if _, ok := KindOf(err); ok {
+		return err
+	}
+	return errf(ErrRejected, op, err, "peer rejected request")
+}

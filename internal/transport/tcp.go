@@ -1,0 +1,399 @@
+package transport
+
+import (
+	"bufio"
+	"net"
+	"sync"
+	"time"
+)
+
+// Options tunes a TCP client connection.
+type Options struct {
+	// Timeout is the per-attempt I/O deadline covering dial, request write,
+	// and response read. Zero means 2s.
+	Timeout time.Duration
+	// Retries is how many extra attempts a transiently-failed fetch gets
+	// (each with a fresh dial — fetches are idempotent reads). Zero means 2;
+	// negative disables retries.
+	Retries int
+}
+
+func (o *Options) defaults() {
+	if o.Timeout == 0 {
+		o.Timeout = 2 * time.Second
+	}
+	if o.Retries == 0 {
+		o.Retries = 2
+	}
+	if o.Retries < 0 {
+		o.Retries = 0
+	}
+}
+
+// Server serves a Handler over TCP: one goroutine per accepted connection,
+// hello frame at accept, then a strict request/response loop.
+type Server struct {
+	l net.Listener
+	h Handler
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// ListenAndServe starts a server on addr (use "127.0.0.1:0" for an
+// OS-assigned test port; Addr reports the bound address).
+func ListenAndServe(addr string, h Handler) (*Server, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, errf(ErrUnavailable, "listen", err, "%s", addr)
+	}
+	s := &Server{l: l, h: h, conns: make(map[net.Conn]struct{})}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the server's bound address.
+func (s *Server) Addr() string { return s.l.Addr().String() }
+
+// Close stops accepting, severs every live connection, and waits for the
+// per-connection goroutines to drain. Safe to call more than once.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return nil
+	}
+	s.closed = true
+	err := s.l.Close()
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		c, err := s.l.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			c.Close()
+			return
+		}
+		s.conns[c] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go s.serveConn(c)
+	}
+}
+
+// serveConn runs one connection's request/response loop. Malformed input or
+// a dead peer drops the connection; handler rejections are answered with a
+// typed errResp frame so the client fails loudly instead of reading garbage.
+func (s *Server) serveConn(c net.Conn) {
+	defer func() {
+		c.Close()
+		s.mu.Lock()
+		delete(s.conns, c)
+		s.mu.Unlock()
+		s.wg.Done()
+	}()
+	bw := bufio.NewWriter(c)
+	if _, err := bw.Write(appendHello(nil, s.h.Hello())); err != nil {
+		return
+	}
+	if err := bw.Flush(); err != nil {
+		return
+	}
+	br := bufio.NewReader(c)
+	var (
+		scratch []byte
+		out     []byte
+		ids     []int32
+		rows    Rows
+		adj     Adjacency
+	)
+	for {
+		typ, payload, grown, err := readFrame(br, scratch)
+		scratch = grown
+		if err != nil {
+			return
+		}
+		var decErr error
+		if ids, decErr = decodeIDs(payload, ids); decErr != nil {
+			return
+		}
+		out = out[:0]
+		switch typ {
+		case msgRowsReq:
+			if herr := s.h.FetchRows(ids, &rows); herr != nil {
+				out = appendErrResp(out, kindOrRejected(herr), herr.Error())
+			} else {
+				out = appendRowsResp(out, &rows)
+			}
+		case msgNeighReq:
+			adj.Reset()
+			if herr := s.h.FetchNeighbors(ids, &adj); herr != nil {
+				out = appendErrResp(out, kindOrRejected(herr), herr.Error())
+			} else {
+				out = appendNeighResp(out, &adj)
+			}
+		default:
+			return
+		}
+		if _, err := bw.Write(out); err != nil {
+			return
+		}
+		if err := bw.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+func kindOrRejected(err error) ErrKind {
+	if k, ok := KindOf(err); ok {
+		return k
+	}
+	return ErrRejected
+}
+
+// countingConn counts actual socket bytes in each direction — the ground
+// truth the loopback accounting and the frame-size helpers are tested
+// against.
+type countingConn struct {
+	net.Conn
+	sent, recv *int64
+}
+
+func (c countingConn) Read(p []byte) (int, error) {
+	n, err := c.Conn.Read(p)
+	*c.recv += int64(n)
+	return n, err
+}
+
+func (c countingConn) Write(p []byte) (int, error) {
+	n, err := c.Conn.Write(p)
+	*c.sent += int64(n)
+	return n, err
+}
+
+type tcpConn struct {
+	addr string
+	opts Options
+
+	mu       sync.Mutex
+	nc       net.Conn
+	br       *bufio.Reader
+	hello    Hello
+	helloSet bool
+	closed   bool
+	stats    Stats
+	sent     int64 // socket bytes, all attempts and handshakes included
+	recv     int64
+	out      []byte
+	in       []byte
+}
+
+// DialTCP connects to a transport server, performs the handshake, and
+// validates the protocol version. The returned Conn redials transparently
+// when a fetch hits a transient failure.
+func DialTCP(addr string, opts Options) (Conn, error) {
+	opts.defaults()
+	c := &tcpConn{addr: addr, opts: opts}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.dialLocked(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// dialLocked establishes the socket and consumes the hello frame. On a
+// redial it re-validates the peer against the first handshake, so a host
+// that restarted with different data or graph version is a typed mismatch,
+// not silent corruption.
+func (c *tcpConn) dialLocked() error {
+	nc, err := net.DialTimeout("tcp", c.addr, c.opts.Timeout)
+	if err != nil {
+		return errf(ErrUnavailable, "dial", err, "%s", c.addr)
+	}
+	cc := countingConn{Conn: nc, sent: &c.sent, recv: &c.recv}
+	br := bufio.NewReader(cc)
+	nc.SetDeadline(time.Now().Add(c.opts.Timeout))
+	typ, payload, grown, err := readFrame(br, c.in)
+	c.in = grown
+	if err != nil {
+		nc.Close()
+		if _, typed := KindOf(err); typed {
+			return err
+		}
+		return errf(ErrUnavailable, "handshake", err, "reading hello from %s", c.addr)
+	}
+	if typ != msgHello {
+		nc.Close()
+		return errf(ErrProto, "handshake", nil, "first frame type %d, want hello", typ)
+	}
+	hello, err := decodeHello(payload)
+	if err != nil {
+		nc.Close()
+		return err
+	}
+	if hello.Proto != ProtoVersion {
+		nc.Close()
+		return errf(ErrMismatch, "handshake", nil, "peer speaks protocol %d, this client speaks %d", hello.Proto, ProtoVersion)
+	}
+	if c.helloSet {
+		if err := CheckHello(hello, c.hello); err != nil {
+			nc.Close()
+			return err
+		}
+		if hello.Dim != c.hello.Dim || hello.NumNodes != c.hello.NumNodes {
+			nc.Close()
+			return errf(ErrMismatch, "handshake", nil, "peer now holds %d×%d, was %d×%d",
+				hello.NumNodes, hello.Dim, c.hello.NumNodes, c.hello.Dim)
+		}
+	}
+	c.hello, c.helloSet = hello, true
+	c.nc, c.br = countingConn{Conn: nc, sent: &c.sent, recv: &c.recv}, br
+	return nil
+}
+
+func (c *tcpConn) dropLocked() {
+	if c.nc != nil {
+		c.nc.Close()
+		c.nc, c.br = nil, nil
+	}
+}
+
+// roundTripLocked sends the request already assembled in c.out and reads one
+// response frame, redialing and replaying on transient failure up to the
+// retry budget. It returns the response type, its payload (aliasing c.in —
+// decode before the next call), and the socket bytes this call moved.
+func (c *tcpConn) roundTripLocked(op string) (byte, []byte, int64, error) {
+	if c.closed {
+		return 0, nil, 0, errf(ErrClosed, op, nil, "connection closed")
+	}
+	for attempt := 0; ; attempt++ {
+		if c.nc == nil {
+			if err := c.dialLocked(); err != nil {
+				if IsTransient(err) && attempt < c.opts.Retries {
+					c.stats.Retries++
+					continue
+				}
+				return 0, nil, 0, err
+			}
+		}
+		sent0, recv0 := c.sent, c.recv
+		c.nc.SetDeadline(time.Now().Add(c.opts.Timeout))
+		_, err := c.nc.Write(c.out)
+		var typ byte
+		var payload []byte
+		if err == nil {
+			var grown []byte
+			typ, payload, grown, err = readFrame(c.br, c.in)
+			c.in = grown
+		}
+		if err != nil {
+			c.dropLocked()
+			if _, typed := KindOf(err); typed {
+				return 0, nil, 0, err // garbage frame: the stream is unsynchronized, not retryable
+			}
+			if transientCause(err) && attempt < c.opts.Retries {
+				c.stats.Retries++
+				continue
+			}
+			return 0, nil, 0, errf(ErrUnavailable, op, err, "%s", c.addr)
+		}
+		return typ, payload, (c.sent - sent0) + (c.recv - recv0), nil
+	}
+}
+
+func (c *tcpConn) Hello() Hello {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hello
+}
+
+func (c *tcpConn) FetchRows(ids []int32, dst *Rows) (int64, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.out = appendIDsFrame(c.out[:0], msgRowsReq, ids)
+	typ, payload, wire, err := c.roundTripLocked("fetch_rows")
+	if err != nil {
+		return 0, err
+	}
+	if typ == msgError {
+		return 0, c.peerError("fetch_rows", payload)
+	}
+	if typ != msgRowsResp {
+		c.dropLocked()
+		return 0, errf(ErrProto, "fetch_rows", nil, "response frame type %d, want rows", typ)
+	}
+	if err := decodeRowsResp(payload, dst, len(ids), c.hello.Dim, c.hello.Precision); err != nil {
+		c.dropLocked()
+		return 0, err
+	}
+	c.stats.Calls++
+	c.stats.Rows += int64(len(ids))
+	return wire, nil
+}
+
+func (c *tcpConn) FetchNeighbors(ids []int32, dst *Adjacency) (int64, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.out = appendIDsFrame(c.out[:0], msgNeighReq, ids)
+	typ, payload, wire, err := c.roundTripLocked("fetch_neighbors")
+	if err != nil {
+		return 0, err
+	}
+	if typ == msgError {
+		return 0, c.peerError("fetch_neighbors", payload)
+	}
+	if typ != msgNeighResp {
+		c.dropLocked()
+		return 0, errf(ErrProto, "fetch_neighbors", nil, "response frame type %d, want adjacency", typ)
+	}
+	if err := decodeNeighResp(payload, dst, len(ids)); err != nil {
+		c.dropLocked()
+		return 0, err
+	}
+	c.stats.Calls++
+	c.stats.Neighbors += int64(len(dst.Adj))
+	return wire, nil
+}
+
+// peerError surfaces a server-side errResp as a typed client error.
+func (c *tcpConn) peerError(op string, payload []byte) error {
+	kind, msg, err := decodeErrResp(payload)
+	if err != nil {
+		c.dropLocked()
+		return err
+	}
+	return errf(kind, op, nil, "peer: %s", msg)
+}
+
+func (c *tcpConn) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := c.stats
+	st.BytesSent, st.BytesRecv = c.sent, c.recv
+	return st
+}
+
+func (c *tcpConn) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.closed = true
+	c.dropLocked()
+	return nil
+}
