@@ -38,6 +38,12 @@ type cliFlags struct {
 	maxBatch    int
 	delay       time.Duration
 	cacheFrac   float64
+	cachePolicy string
+	policy      cache.Policy
+	embRows     int
+	embStale    uint64
+	zipf        float64
+	poisson     bool
 	dynamic     bool
 	churn       float64
 }
@@ -68,6 +74,11 @@ func (f *cliFlags) register(fs *flag.FlagSet) {
 	fs.IntVar(&f.maxBatch, "maxbatch", 32, "serve: micro-batch cap")
 	fs.DurationVar(&f.delay, "delay", 300*time.Microsecond, "serve: coalescing deadline")
 	fs.Float64Var(&f.cacheFrac, "cachefrac", 0.2, "feature cache fraction of N")
+	fs.StringVar(&f.cachePolicy, "cachepolicy", "degree", "feature cache placement: degree|lru|vip")
+	fs.IntVar(&f.embRows, "embrows", 0, "serve: historical layer-embedding cache rows (0 = reuse off)")
+	fs.Uint64Var(&f.embStale, "embstale", 1, "serve: embedding reuse staleness window, graph versions")
+	fs.Float64Var(&f.zipf, "zipf", 0, "serve: Zipf skew of request popularity (0 = cycle the test split)")
+	fs.BoolVar(&f.poisson, "poisson", false, "serve: Poisson arrivals for open-loop -rate (default fixed-interval)")
 	fs.BoolVar(&f.dynamic, "dynamic", false, "train/serve over a mutable dynamic graph")
 	fs.Float64Var(&f.churn, "churn", 0, "with -dynamic: edge updates/sec streamed during the run")
 }
@@ -125,6 +136,11 @@ func (f *cliFlags) validate(cmd string) error {
 		if f.cacheFrac < 0 || f.cacheFrac > 1 {
 			return fmt.Errorf("-cachefrac must be in [0,1], got %g", f.cacheFrac)
 		}
+		policy, err := cache.ParsePolicy(f.cachePolicy)
+		if err != nil {
+			return err
+		}
+		f.policy = policy
 		// An explicitly requested cache layer needs a nonzero size; a
 		// zero-row cache would otherwise round into a silent default.
 		if oneOf(f.storeKind, "cached", "sharded+cached") && f.cacheFrac == 0 {
@@ -179,6 +195,18 @@ func (f *cliFlags) validate(cmd string) error {
 		}
 		if f.delay < 0 {
 			return fmt.Errorf("-delay must be >= 0, got %v", f.delay)
+		}
+		if f.embRows < 0 {
+			return fmt.Errorf("-embrows must be >= 0, got %d", f.embRows)
+		}
+		if f.embRows > 0 && !oneOf(f.arch, "SAGE", "GIN") {
+			return fmt.Errorf("-embrows requires -arch SAGE or GIN (resumable forward)")
+		}
+		if f.zipf < 0 {
+			return fmt.Errorf("-zipf must be >= 0, got %g", f.zipf)
+		}
+		if f.poisson && f.rate <= 0 {
+			return fmt.Errorf("-poisson requires an open loop (-rate > 0)")
 		}
 	}
 	return nil
@@ -256,7 +284,7 @@ func buildStore(ds *dataset.Dataset, f cliFlags) (store.FeatureStore, error) {
 		Parts:       f.parts,
 		Placement:   f.placement,
 		CacheRows:   rows,
-		CachePolicy: cache.StaticDegree,
+		CachePolicy: f.policy,
 		Seed:        f.seed,
 	})
 }

@@ -9,7 +9,8 @@
 //	                                  or the extension studies (strategies,
 //	                                  batching, cache, partition, memory,
 //	                                  sensitivity, featurestore, serving,
-//	                                  ddpreal, timing, churn)
+//	                                  ddpreal, kernels, timing, churn,
+//	                                  transport, embcache)
 //	salient train [flags]             train a model and report per-epoch stats
 //	salient serve [flags]             train briefly, then serve online
 //	                                  sampled-inference traffic and report
@@ -62,6 +63,22 @@
 //	-delay D       serve: micro-batch coalescing deadline (default 300µs)
 //	-cachefrac F   serve, and train with -store cached: feature cache size
 //	               as a fraction of N (default 0.2)
+//	-cachepolicy P train/serve with a cached store: cache placement policy:
+//	               degree | lru | vip (default degree). vip admits rows by
+//	               observed access frequency x miss cost, adapting the
+//	               resident set to the live request mix.
+//	-embrows N     serve: rows in the historical layer-embedding cache
+//	               (default 0 = reuse off). Hot frontier nodes with a fresh
+//	               cached first-layer embedding skip fan-out expansion;
+//	               requires -arch SAGE or GIN.
+//	-embstale K    serve with -embrows: staleness window in graph versions
+//	               (default 1). 0 reuses only same-version embeddings, which
+//	               is bit-identical to serving without reuse.
+//	-zipf S        serve: draw request nodes from a Zipf(S) popularity
+//	               distribution over all N nodes instead of cycling the
+//	               test split (default 0 = cycle)
+//	-poisson       serve with -rate: Poisson arrivals (exponential gaps)
+//	               instead of fixed-interval pacing
 //	-dynamic       train/serve: run over a mutable dynamic graph (snapshot-
 //	               consistent views of the dataset graph; with zero churn,
 //	               results are bit-identical to the static baseline)
@@ -81,6 +98,7 @@ import (
 	"time"
 
 	"salient/internal/bench"
+	"salient/internal/cache"
 	"salient/internal/dataset"
 	"salient/internal/ddp"
 	"salient/internal/device"
@@ -425,12 +443,14 @@ func runServe(f cliFlags) error {
 		}
 	}
 	sopts := serve.Options{
-		Fanouts:  fanouts,
-		Workers:  f.workers,
-		MaxBatch: f.maxBatch,
-		MaxDelay: f.delay,
-		Seed:     f.seed,
-		Store:    fstore,
+		Fanouts:      fanouts,
+		Workers:      f.workers,
+		MaxBatch:     f.maxBatch,
+		MaxDelay:     f.delay,
+		Seed:         f.seed,
+		Store:        fstore,
+		EmbCacheRows: f.embRows,
+		EmbStaleness: f.embStale,
 	}
 	if dyn != nil {
 		sopts.Graph = dyn
@@ -442,15 +462,44 @@ func runServe(f cliFlags) error {
 	mode := "closed-loop (16 clients)"
 	if f.rate > 0 {
 		mode = fmt.Sprintf("open-loop at %.0f rps", f.rate)
+		if f.poisson {
+			mode += " (Poisson)"
+		}
 	}
-	fmt.Printf("serving %d requests over %d test nodes, %s...\n", f.requests, len(ds.Test), mode)
+	nodes := ds.Test
+	stream := fmt.Sprintf("%d test nodes", len(ds.Test))
+	if f.zipf > 0 {
+		nodes = serve.ZipfNodes(ds.G.N, f.zipf, f.seed+101, f.seed+7, f.requests)
+		stream = fmt.Sprintf("Zipf(%.2f) draws over %d nodes", f.zipf, ds.G.N)
+	}
+	// A VIP cache places rows by observed access frequency, so on a static
+	// graph the run warms it with a prefix of the workload and refreshes
+	// the resident set once before the measured pass (dynamic graphs
+	// refresh on every snapshot change instead).
+	if f.policy == cache.VIP && dyn == nil {
+		if cached, ok := fstore.(*store.Cached); ok {
+			warm := nodes
+			if len(warm) > 512 {
+				warm = warm[:512]
+			}
+			serve.DriveClosedLoop(srv, warm, 8, len(warm))
+			cached.Refresh(ds.G)
+			srv.ResetStats()
+			fmt.Printf("warmed VIP cache with %d requests\n", len(warm))
+		}
+	}
+	fmt.Printf("serving %d requests over %s, %s...\n", f.requests, stream, mode)
 
 	churn := newChurnRun(dyn, ds.G.N, f.churn, f.seed+77)
 	var wall time.Duration
 	if f.rate > 0 {
-		wall = serve.DriveOpenLoop(srv, ds.Test, f.rate, f.requests)
+		arrival := serve.ArrivalUniform
+		if f.poisson {
+			arrival = serve.ArrivalPoisson
+		}
+		wall = serve.DriveOpenLoopProcess(srv, nodes, f.rate, f.requests, arrival, f.seed+5)
 	} else {
-		wall = serve.DriveClosedLoop(srv, ds.Test, 16, f.requests)
+		wall = serve.DriveClosedLoop(srv, nodes, 16, f.requests)
 	}
 	var churnApplied int64
 	if churn.stop != nil {
@@ -468,6 +517,10 @@ func runServe(f cliFlags) error {
 	if dyn != nil {
 		fmt.Printf("graph      %d edge updates applied, final version %d, %d compactions\n",
 			churnApplied, st.GraphVersion, st.Compactions)
+	}
+	if f.embRows > 0 {
+		fmt.Printf("emb reuse  %d frontier lookups, %d hits (%.0f%% truncated)\n",
+			st.EmbLookups, st.EmbHits, 100*st.EmbHitRate())
 	}
 	printStoreStats(srv.FeatureStore())
 	return nil

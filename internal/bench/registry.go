@@ -117,6 +117,10 @@ func Experiments() map[string]Experiment {
 			t, err := TransportSweep(TransportOpts{Seed: o.Seed})
 			return []Table{t}, err
 		}},
+		{ID: "embcache", Paper: "§5/§8 extension (serving)", Run: func(o Options) ([]Table, error) {
+			t, err := EmbCacheSweep(EmbCacheOpts{Seed: o.Seed})
+			return []Table{t}, err
+		}},
 	}
 	out := make(map[string]Experiment, len(exps))
 	for _, e := range exps {

@@ -106,6 +106,29 @@ func BenchmarkTransportSweep(b *testing.B) {
 	}
 }
 
+// smallEmbCache is the quick adaptive-caching + embedding-reuse preset for
+// the smoke run: reduced scale, request count and probe size, with the full
+// policy x reuse x churn configuration grid intact.
+func smallEmbCache() EmbCacheOpts {
+	return EmbCacheOpts{
+		Scale:    0.05,
+		Epochs:   1,
+		Requests: 400,
+		Rate:     2000,
+		Probe:    40,
+	}
+}
+
+// BenchmarkEmbCacheSweep keeps the VIP-placement + embedding-reuse serving
+// sweep in the CI bench-smoke run and its uploaded per-commit artifact.
+func BenchmarkEmbCacheSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := EmbCacheSweep(smallEmbCache()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // smallKernels preset is shared with the unit tests (kernels_test.go).
 
 // BenchmarkKernelSweep keeps the precision x pipeline gather-kernel matrix

@@ -15,6 +15,12 @@
 //     advantage over static is workload drift — which node-wise sampling on
 //     a fixed graph exhibits little of.
 //
+//   - VIP cache: access-frequency placement (the SALIENT++/VIP policy the
+//     paper's successor line shows beating degree heuristics). Every Touch
+//     feeds an O(1) frequency sketch; each Rebuild re-places the top rows by
+//     observed traffic and halves the sketch, so placement tracks what is
+//     actually gathered — not a static structural proxy.
+//
 // The package computes exact per-batch hit statistics against real sampled
 // MFGs; internal/bench uses those to quantify transfer savings and feed the
 // calibrated epoch simulation (the "cacheablate" experiment).
@@ -22,7 +28,6 @@ package cache
 
 import (
 	"fmt"
-	"sort"
 
 	"salient/internal/graph"
 )
@@ -35,13 +40,33 @@ const (
 	StaticDegree Policy = iota
 	// LRU evicts the least recently used row on miss.
 	LRU
+	// VIP pins the top-capacity nodes by observed access frequency,
+	// re-placed at every Rebuild; no per-miss eviction.
+	VIP
 )
 
 func (p Policy) String() string {
-	if p == LRU {
+	switch p {
+	case LRU:
 		return "lru"
+	case VIP:
+		return "vip"
 	}
 	return "static-degree"
+}
+
+// ParsePolicy maps a flag-style name onto a Policy: "degree" (or
+// "static-degree"), "lru", "vip". The empty string selects StaticDegree.
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "", "degree", "static-degree":
+		return StaticDegree, nil
+	case "lru":
+		return LRU, nil
+	case "vip":
+		return VIP, nil
+	}
+	return 0, fmt.Errorf("cache: unknown policy %q (want degree, lru, or vip)", s)
 }
 
 // Stats accumulates cache performance over a stream of batches.
@@ -64,6 +89,9 @@ func (s Stats) HitRate() float64 {
 type Cache struct {
 	policy   Policy
 	capacity int
+	partOf   func(int32) int32 // optional: per-shard budget partitioning
+	parts    int
+	sketch   *Sketch // VIP only: traffic observed through Touch
 
 	resident map[int32]*lruNode // node -> LRU entry (nil value for static)
 	head     *lruNode           // most recent
@@ -76,18 +104,47 @@ type lruNode struct {
 	prev, next *lruNode
 }
 
+// Options configures NewWithOptions beyond the basic (capacity, policy)
+// pair.
+type Options struct {
+	// Capacity is the cache's row capacity (capped at the node count).
+	Capacity int
+	// Policy selects placement/replacement.
+	Policy Policy
+	// PartOf, with Parts, splits the row budget into per-shard budgets:
+	// placement planning selects Capacity/Parts rows (remainder spread over
+	// the first shards) independently per shard, so one shard's hot set
+	// cannot starve another's — the per-shard budget mode of the sharded
+	// store. Nil plans one global budget.
+	PartOf func(int32) int32
+	Parts  int
+}
+
 // New builds a cache of the given row capacity over topology g.
 func New(g graph.Topology, capacity int, policy Policy) (*Cache, error) {
-	if capacity < 0 {
-		return nil, fmt.Errorf("cache: negative capacity %d", capacity)
+	return NewWithOptions(g, Options{Capacity: capacity, Policy: policy})
+}
+
+// NewWithOptions builds a cache over topology g with full option control.
+func NewWithOptions(g graph.Topology, o Options) (*Cache, error) {
+	if o.Capacity < 0 {
+		return nil, fmt.Errorf("cache: negative capacity %d", o.Capacity)
 	}
-	if capacity > int(g.NumNodes()) {
-		capacity = int(g.NumNodes())
+	if o.Capacity > int(g.NumNodes()) {
+		o.Capacity = int(g.NumNodes())
+	}
+	if o.PartOf != nil && o.Parts < 1 {
+		return nil, fmt.Errorf("cache: per-shard budgets need Parts >= 1, got %d", o.Parts)
 	}
 	c := &Cache{
-		policy:   policy,
-		capacity: capacity,
-		resident: make(map[int32]*lruNode, capacity),
+		policy:   o.Policy,
+		capacity: o.Capacity,
+		partOf:   o.PartOf,
+		parts:    o.Parts,
+		resident: make(map[int32]*lruNode, o.Capacity),
+	}
+	if o.Policy == VIP {
+		c.sketch = NewSketch(int(g.NumNodes()))
 	}
 	c.Rebuild(g)
 	return c, nil
@@ -108,13 +165,16 @@ func (c *Cache) Rebuild(g graph.Topology) {
 	c.Adopt(c.Plan(g))
 }
 
-// Plan computes the placement for topology g without touching cache state:
-// the top-capacity node IDs by degree for StaticDegree, nil for recency
-// policies (whose residency is history, not placement). It reads only the
-// cache's immutable configuration, so it needs no synchronization and can
-// run outside whatever lock guards the cache.
+// Plan computes the placement for topology g without touching resident
+// state: the top-capacity node IDs by degree for StaticDegree, by observed
+// access frequency for VIP, nil for recency policies (whose residency is
+// history, not placement). It reads only the cache's immutable
+// configuration plus the atomic frequency sketch, so it needs no
+// synchronization and can run outside whatever lock guards the cache.
+// Under VIP, Plan additionally halves the sketch (atomic, concurrent-safe)
+// so each re-placement ages the traffic history.
 func (c *Cache) Plan(g graph.Topology) []int32 {
-	if c.policy != StaticDegree {
+	if c.policy == LRU {
 		return nil
 	}
 	capacity := c.capacity
@@ -124,7 +184,74 @@ func (c *Cache) Plan(g graph.Topology) []int32 {
 	if capacity <= 0 {
 		return []int32{}
 	}
-	return topKByDegree(g, capacity)
+	n := g.NumNodes()
+	var ids []int32
+	var score []int64
+	if c.policy == VIP {
+		// Cold start (no traffic yet): nothing has earned a slot. Only
+		// observed nodes are candidates — VIP never pins untouched rows.
+		if c.sketch.Observations() == 0 {
+			return []int32{}
+		}
+		ids = make([]int32, 0, n)
+		score = make([]int64, 0, n)
+		for v := int32(0); v < n; v++ {
+			if cnt := c.sketch.Count(v); cnt > 0 {
+				ids = append(ids, v)
+				score = append(score, int64(cnt))
+			}
+		}
+	} else {
+		ids = make([]int32, n)
+		score = make([]int64, n)
+		for v := int32(0); v < n; v++ {
+			ids[v] = v
+			score[v] = int64(g.Degree(v))
+		}
+	}
+	plan := c.selectBudgeted(ids, score, capacity)
+	if c.policy == VIP {
+		c.sketch.Decay()
+	}
+	return plan
+}
+
+// selectBudgeted picks up to capacity rows from the scored candidates —
+// globally, or independently per shard when per-shard budgets are
+// configured — via expected-O(n) quickselect.
+func (c *Cache) selectBudgeted(ids []int32, score []int64, capacity int) []int32 {
+	if c.partOf == nil {
+		k := capacity
+		if k > len(ids) {
+			k = len(ids)
+		}
+		topKSelect(ids, score, k)
+		return ids[:k]
+	}
+	partIDs := make([][]int32, c.parts)
+	partScore := make([][]int64, c.parts)
+	for i, v := range ids {
+		p := c.partOf(v)
+		if p < 0 || int(p) >= c.parts {
+			continue
+		}
+		partIDs[p] = append(partIDs[p], v)
+		partScore[p] = append(partScore[p], score[i])
+	}
+	base, extra := capacity/c.parts, capacity%c.parts
+	out := make([]int32, 0, capacity)
+	for p := 0; p < c.parts; p++ {
+		k := base
+		if p < extra {
+			k++
+		}
+		if k > len(partIDs[p]) {
+			k = len(partIDs[p])
+		}
+		topKSelect(partIDs[p], partScore[p], k)
+		out = append(out, partIDs[p][:k]...)
+	}
+	return out
 }
 
 // Adopt replaces the resident set with a planned placement (no-op for nil,
@@ -141,28 +268,15 @@ func (c *Cache) Adopt(ids []int32) {
 	}
 }
 
-// topKByDegree returns the k highest-degree node IDs of g. Degrees are
-// materialized once up front so the sort comparator is two array reads, not
-// two Topology calls (snapshot Degree is a map probe on churned overlays).
-func topKByDegree(g graph.Topology, k int) []int32 {
-	deg := make([]int32, g.NumNodes())
-	ids := make([]int32, g.NumNodes())
-	for i := range ids {
-		ids[i] = int32(i)
-		deg[i] = g.Degree(int32(i))
-	}
-	sort.Slice(ids, func(a, b int) bool {
-		da, db := deg[ids[a]], deg[ids[b]]
-		if da != db {
-			return da > db
-		}
-		return ids[a] < ids[b] // deterministic ties
-	})
-	return ids[:k]
-}
-
 // Capacity returns the cache's row capacity.
 func (c *Cache) Capacity() int { return c.capacity }
+
+// Policy returns the cache's configured policy.
+func (c *Cache) Policy() Policy { return c.policy }
+
+// Sketch returns the VIP frequency sketch (nil for other policies). It is
+// safe to read concurrently with Touch traffic.
+func (c *Cache) Sketch() *Sketch { return c.sketch }
 
 // Len returns the number of currently resident rows.
 func (c *Cache) Len() int { return len(c.resident) }
@@ -175,8 +289,13 @@ func (c *Cache) ResetStats() { c.stats = Stats{} }
 
 // Touch records a feature-row access for node v and reports whether it hit.
 // Under LRU, a miss inserts v (evicting the least recent row if full).
+// Under VIP, every access — hit or miss — feeds the frequency sketch, so
+// placement refreshes rank rows by the traffic they actually absorb.
 func (c *Cache) Touch(v int32) bool {
 	c.stats.Lookups++
+	if c.sketch != nil {
+		c.sketch.Observe(v)
+	}
 	n, ok := c.resident[v]
 	if ok {
 		c.stats.Hits++

@@ -1,0 +1,130 @@
+package infer
+
+import (
+	"fmt"
+
+	"salient/internal/dataset"
+	"salient/internal/embcache"
+	"salient/internal/graph"
+	"salient/internal/mfg"
+	"salient/internal/nn"
+	"salient/internal/prep"
+	"salient/internal/sampler"
+	"salient/internal/slicing"
+	"salient/internal/store"
+	"salient/internal/tensor"
+)
+
+// SampledResume is Sampled with historical layer-embedding reuse: frontier
+// nodes whose first-layer embedding is already in emb (within its
+// bounded-staleness window at the pinned view's version) are not expanded —
+// sampling truncates below them and the cached row is injected at the
+// layer-1 boundary of a split forward (nn.ResumeModel). Fresh layer-1 rows
+// are absorbed into emb as a side effect, so repeated inference over
+// overlapping neighborhoods warms its own cache.
+//
+// Batch schedule and per-batch sampling RNGs replicate Sampled exactly
+// (prep.EpochPerm + prep.BatchSeed), so with reuse disabled — an emb built
+// with Staleness 0 — predictions are bit-identical to Sampled. That is the
+// oracle callers can pin accuracy deltas against.
+//
+// The walk is sequential (one batch at a time): offline reuse is about
+// skipped fan-out, not concurrency, and a deterministic batch order makes
+// the cache contents reproducible run to run.
+func SampledResume(m nn.Model, ds *dataset.Dataset, nodes []int32, emb *embcache.Cache, opts Options) ([]int32, error) {
+	opts.defaults()
+	rm, ok := m.(nn.ResumeModel)
+	if !ok {
+		return nil, fmt.Errorf("infer: embedding reuse needs a split forward; %s does not implement nn.ResumeModel", m.Name())
+	}
+	if len(opts.Fanouts) < 2 {
+		return nil, fmt.Errorf("infer: embedding reuse needs at least 2 layers, got %d", len(opts.Fanouts))
+	}
+	if emb == nil {
+		return nil, fmt.Errorf("infer: nil embedding cache")
+	}
+	if opts.Fused {
+		return nil, fmt.Errorf("infer: fused gather and embedding reuse are mutually exclusive (reuse needs the staged layer-1 boundary)")
+	}
+	st := opts.Store
+	if st == nil {
+		st = store.NewFlat(ds)
+	}
+	if err := store.Validate(st, ds, store.ValidateOpts{AllowGrown: opts.Graph != nil}); err != nil {
+		return nil, fmt.Errorf("infer: %w", err)
+	}
+	topo := opts.Graph
+	if topo == nil {
+		topo = graph.Static(ds.G)
+	}
+	snap := topo.View()
+	version := snap.Version()
+
+	sm := sampler.New(snap, opts.Fanouts, sampler.FastConfig())
+	reuser := embcache.NewReuser(emb)
+	sm.SetTruncate(reuser.Truncate)
+
+	pred := make([]int32, len(nodes))
+	pos := make(map[int32]int, len(nodes))
+	for i, v := range nodes {
+		pos[v] = i
+	}
+
+	perm := prep.EpochPerm(nodes, opts.Seed)
+	nb := prep.NumBatches(len(perm), opts.BatchSize)
+	buf := slicing.NewPinned(0, st.Dim(), 0)
+	var g mfg.MFG
+	var x *tensor.Dense
+	var over []bool
+	rowPred := make([]int32, opts.BatchSize)
+	for idx := 0; idx < nb; idx++ {
+		lo, hi := idx*opts.BatchSize, (idx+1)*opts.BatchSize
+		if hi > len(perm) {
+			hi = len(perm)
+		}
+		seeds := perm[lo:hi]
+		reuser.Begin(version)
+		reuser.BeginRequest(0) // a whole batch is one "request": identity row mapping
+		if err := sm.SampleInto(prep.BatchRNG(opts.Seed, idx), seeds, &g); err != nil {
+			return nil, err
+		}
+		if err := st.Gather(buf, g.NodeIDs, int(g.Batch)); err != nil {
+			return nil, err
+		}
+		x = slicing.DecodeInto(x, buf)
+		h1 := rm.ForwardLayer1(x, &g, false)
+
+		// Layer-1 boundary: in a single sampled MFG the truncate hook's call
+		// order IS the frontier row order, so hit k's loc indexes h1 directly.
+		// Overwrite hits with their cached rows, then absorb the fresh rows
+		// before ForwardRest's in-place ReLU destroys them (never re-absorb a
+		// hit — that would stamp an old embedding with the current version).
+		if cap(over) < h1.Rows {
+			over = make([]bool, h1.Rows)
+		}
+		over = over[:h1.Rows]
+		for i := range over {
+			over[i] = false
+		}
+		for k := 0; k < reuser.Hits(); k++ {
+			_, loc, e := reuser.Hit(k)
+			copy(h1.Row(int(loc)), e)
+			over[loc] = true
+		}
+		for p := 0; p < h1.Rows; p++ {
+			if over[p] {
+				continue
+			}
+			if err := emb.Put(g.NodeIDs[p], version, h1.Row(p)); err != nil {
+				return nil, err
+			}
+		}
+
+		logp := rm.ForwardRest(h1, &g, false)
+		logp.ArgmaxRows(rowPred[:logp.Rows])
+		for i := 0; i < logp.Rows; i++ {
+			pred[pos[seeds[i]]] = rowPred[i]
+		}
+	}
+	return pred, nil
+}

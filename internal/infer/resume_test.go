@@ -1,0 +1,82 @@
+package infer
+
+import (
+	"testing"
+
+	"salient/internal/embcache"
+)
+
+// TestSampledResumeStalenessZeroMatchesSampled: with a zero staleness
+// window the resume path absorbs embeddings but never reuses one, so it
+// must reproduce Sampled prediction-for-prediction — the offline half of
+// the bit-identity oracle (batch schedule, per-batch RNGs and the split
+// forward all line up).
+func TestSampledResumeStalenessZeroMatchesSampled(t *testing.T) {
+	ds, tr := fitted(t)
+	nodes := ds.Test[:200]
+	opts := Options{Fanouts: []int{10, 5}, BatchSize: 128, Workers: 1, Seed: 9}
+
+	want, err := Sampled(tr.Model, ds, nodes, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	emb, err := embcache.New(embcache.Options{Rows: 1 << 14, Staleness: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := SampledResume(tr.Model, ds, nodes, emb, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("node %d: resume %d, sampled %d (staleness 0 must be bit-identical)", nodes[i], got[i], want[i])
+		}
+	}
+	if st := emb.Stats(); st.Inserts == 0 {
+		t.Fatal("resume path absorbed nothing")
+	}
+	if st := emb.Stats(); st.Hits != 0 {
+		t.Fatalf("staleness 0 produced %d hits", st.Hits)
+	}
+}
+
+// TestSampledResumeReuseAccuracyDelta pins the accuracy cost of reuse: a
+// warmed cache truncates a large share of frontier expansions while test
+// accuracy stays within a tight delta of the no-reuse baseline. Reuse
+// replaces one fanout-bounded sample with another — systematic degradation
+// would be a mapping bug, not noise.
+func TestSampledResumeReuseAccuracyDelta(t *testing.T) {
+	ds, tr := fitted(t)
+	nodes := ds.Test
+	opts := Options{Fanouts: []int{10, 5}, BatchSize: 256, Workers: 1, Seed: 9}
+
+	base, err := Sampled(tr.Model, ds, nodes, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseAcc := Accuracy(base, ds.Labels, nodes)
+
+	emb, err := embcache.New(embcache.Options{Rows: 1 << 16, Staleness: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm pass fills the cache, measure pass reuses it.
+	if _, err := SampledResume(tr.Model, ds, nodes, emb, opts); err != nil {
+		t.Fatal(err)
+	}
+	emb.ResetStats()
+	pred, err := SampledResume(tr.Model, ds, nodes, emb, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := emb.Stats()
+	if st.HitRate() < 0.5 {
+		t.Fatalf("warmed measure pass hit rate %.2f, want >= 0.5", st.HitRate())
+	}
+	acc := Accuracy(pred, ds.Labels, nodes)
+	if delta := baseAcc - acc; delta > 0.01 {
+		t.Fatalf("reuse accuracy %.4f trails baseline %.4f by %.4f (>1%%)", acc, baseAcc, delta)
+	}
+	t.Logf("hit rate %.2f, accuracy %.4f vs baseline %.4f", st.HitRate(), acc, baseAcc)
+}

@@ -61,6 +61,18 @@ func (m *GINModel) ForwardFused(agg, xt *tensor.Dense, g *mfg.MFG, train bool) *
 	return m.finishForward(x, g, train)
 }
 
+// ForwardLayer1 implements ResumeModel: layer 0 alone.
+func (m *GINModel) ForwardLayer1(x *tensor.Dense, g *mfg.MFG, train bool) *tensor.Dense {
+	return m.convs[0].Forward(x, &g.Blocks[0], train)
+}
+
+// ForwardRest implements ResumeModel: the stack after layer 0. Mutates h1
+// in place (the head's ReLU; GINConv layers allocate fresh outputs but the
+// caller must still treat h1 as consumed).
+func (m *GINModel) ForwardRest(h1 *tensor.Dense, g *mfg.MFG, train bool) *tensor.Dense {
+	return m.finishForward(h1, g, train)
+}
+
 // finishForward runs convs 1..L-1 and the prediction head after layer 0's
 // output x.
 func (m *GINModel) finishForward(x *tensor.Dense, g *mfg.MFG, train bool) *tensor.Dense {

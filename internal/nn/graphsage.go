@@ -68,6 +68,17 @@ func (m *GraphSAGE) ForwardFused(agg, xt *tensor.Dense, g *mfg.MFG, train bool) 
 	return m.finishForward(x, g, train)
 }
 
+// ForwardLayer1 implements ResumeModel: layer 0 alone.
+func (m *GraphSAGE) ForwardLayer1(x *tensor.Dense, g *mfg.MFG, train bool) *tensor.Dense {
+	return m.convs[0].Forward(x, &g.Blocks[0], train)
+}
+
+// ForwardRest implements ResumeModel: the stack after layer 0. Mutates h1
+// in place (inter-layer ReLU).
+func (m *GraphSAGE) ForwardRest(h1 *tensor.Dense, g *mfg.MFG, train bool) *tensor.Dense {
+	return m.finishForward(h1, g, train)
+}
+
 // finishForward runs the stack after layer 0's output x: inter-layer
 // ReLU+dropout, layers 1..L-1, and the log-softmax head.
 func (m *GraphSAGE) finishForward(x *tensor.Dense, g *mfg.MFG, train bool) *tensor.Dense {

@@ -48,6 +48,22 @@ type BufferModel interface {
 	StatBuffers() [][]float32
 }
 
+// ResumeModel is implemented by models whose forward pass can be split at
+// the layer-1 boundary, which is where the historical-embedding cache
+// (internal/embcache) injects reused rows: ForwardLayer1 produces the
+// layer-1 output for the level-1 frontier, the caller may overwrite rows
+// of it with cached embeddings (and absorb fresh rows into the cache),
+// then ForwardRest runs the remainder of the stack.
+//
+// Contract: ForwardRest(ForwardLayer1(x, g, train), g, train) must be
+// bit-identical to Forward(x, g, train). ForwardRest mutates h1 in place
+// (the inter-layer ReLU is in-place), so callers must absorb any rows they
+// want to cache BEFORE calling it.
+type ResumeModel interface {
+	ForwardLayer1(x *tensor.Dense, g *mfg.MFG, train bool) *tensor.Dense
+	ForwardRest(h1 *tensor.Dense, g *mfg.MFG, train bool) *tensor.Dense
+}
+
 // conv abstracts the per-layer convolution shared by the architectures.
 type conv interface {
 	Forward(x *tensor.Dense, blk *mfg.Block, train bool) *tensor.Dense

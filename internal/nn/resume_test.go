@@ -1,0 +1,53 @@
+package nn
+
+import (
+	"testing"
+)
+
+// TestResumeSplitBitIdentical: ForwardLayer1 + ForwardRest is the exact
+// same computation as Forward. Two fresh models with the same seed are run
+// side-by-side so stochastic layers (dropout) and running statistics
+// (GIN's BatchNorm) consume identical streams — any divergence in the
+// output log-probabilities is a split bug.
+func TestResumeSplitBitIdentical(t *testing.T) {
+	ds, m := smallWorld(t)
+	cfg := ModelConfig{In: ds.FeatDim, Hidden: 8, Out: ds.NumClasses, Layers: 2, Seed: 11}
+	for _, name := range []string{"SAGE", "GIN"} {
+		for _, train := range []bool{false, true} {
+			whole := buildModel(name, cfg)
+			split := buildModel(name, cfg)
+			rm, ok := split.(ResumeModel)
+			if !ok {
+				t.Fatalf("%s does not implement ResumeModel", name)
+			}
+			want := whole.Forward(gatherFeatures(ds, m), m, train)
+			h1 := rm.ForwardLayer1(gatherFeatures(ds, m), m, train)
+			got := rm.ForwardRest(h1, m, train)
+			if got.Rows != want.Rows || got.Cols != want.Cols {
+				t.Fatalf("%s train=%v: shape %dx%d, want %dx%d",
+					name, train, got.Rows, got.Cols, want.Rows, want.Cols)
+			}
+			for k := range want.Data {
+				if got.Data[k] != want.Data[k] {
+					t.Fatalf("%s train=%v: element %d differs: %v vs %v",
+						name, train, k, got.Data[k], want.Data[k])
+				}
+			}
+		}
+	}
+}
+
+// TestResumeLayer1Shape: the layer-1 output covers every level-1 frontier
+// node (Blocks[0].NumDst rows) at the hidden width — the surface the
+// embedding cache overwrites and absorbs.
+func TestResumeLayer1Shape(t *testing.T) {
+	ds, m := smallWorld(t)
+	cfg := ModelConfig{In: ds.FeatDim, Hidden: 8, Out: ds.NumClasses, Layers: 2, Seed: 11}
+	for _, name := range []string{"SAGE", "GIN"} {
+		rm := buildModel(name, cfg).(ResumeModel)
+		h1 := rm.ForwardLayer1(gatherFeatures(ds, m), m, false)
+		if h1.Rows != int(m.Blocks[0].NumDst) || h1.Cols != 8 {
+			t.Fatalf("%s: layer-1 output %dx%d, want %dx8", name, h1.Rows, h1.Cols, m.Blocks[0].NumDst)
+		}
+	}
+}

@@ -66,6 +66,12 @@ type Sampler struct {
 	}
 	emitMap func(int32) // fused build: map + record one sampled neighbor
 	emitBuf func(int32) // two-phase build: buffer one sampled global ID
+
+	// truncate, when set, is consulted by SampleInto once per level-1
+	// frontier destination (the hop that fills Blocks[0]), in destination
+	// order: returning true skips neighbor expansion below that node,
+	// leaving it an empty adjacency range. See SetTruncate.
+	truncate func(int32) bool
 }
 
 // New returns a sampler over topology g (a *graph.CSR or a pinned
@@ -104,6 +110,22 @@ func New(g graph.Topology, fanouts []int, cfg Config) *Sampler {
 
 // Config returns the design-space configuration of this sampler.
 func (s *Sampler) Config() Config { return s.cfg }
+
+// SetTruncate installs (or, with nil, removes) the frontier truncation
+// predicate — the embedding-reuse hook. SampleInto consults it exactly once
+// per destination of the LAST sampling hop (the one that fills Blocks[0],
+// whose destinations are the layer-1 frontier), in destination order; a
+// true return skips sampling below that node, so its hop-2 neighborhood is
+// never drawn, mapped, or gathered. The predicate observes the same
+// destination sequence the block records, which lets callers map the i-th
+// consultation of a request straight to frontier position i.
+//
+// A nil predicate — or one that always returns false — leaves the RNG
+// consumption and output bit-identical to an un-hooked sampler: the
+// predicate runs before any randomness for that destination is drawn.
+// Sample (the pooled research path) ignores the hook; serving and
+// inference run through SampleInto.
+func (s *Sampler) SetTruncate(f func(int32) bool) { s.truncate = f }
 
 // Retarget points the sampler at a new topology — how long-lived samplers
 // (the prep executors' per-worker samplers, the serving workers') follow a
@@ -325,6 +347,14 @@ func (s *Sampler) SampleInto(r *rng.Rand, seeds []int32, out *mfg.MFG) error {
 		numDst := frontier
 		blk := &out.Blocks[blockIdx]
 
+		// The truncation hook applies only to the hop that fills Blocks[0]
+		// (its destinations are the layer-1 frontier); a local nil predicate
+		// keeps the other hops' inner loops branch-free.
+		trunc := s.truncate
+		if blockIdx != 0 {
+			trunc = nil
+		}
+
 		dstPtr := blk.DstPtr
 		if cap(dstPtr) < int(numDst)+1 {
 			dstPtr = make([]int32, int(numDst)+1)
@@ -335,6 +365,9 @@ func (s *Sampler) SampleInto(r *rng.Rand, seeds []int32, out *mfg.MFG) error {
 		if s.cfg.Build == BuildFused {
 			for v := int32(0); v < numDst; v++ {
 				dstPtr[v] = int32(len(s.cur.src))
+				if trunc != nil && trunc(s.cur.nodeIDs[v]) {
+					continue // cached embedding: no expansion below this node
+				}
 				ns := s.G.Neighbors(s.cur.nodeIDs[v])
 				s.picker.Pick(r, ns, fanout, s.emitMap)
 			}
@@ -345,8 +378,10 @@ func (s *Sampler) SampleInto(r *rng.Rand, seeds []int32, out *mfg.MFG) error {
 			cnt := s.grabCnt(int(numDst))
 			for v := int32(0); v < numDst; v++ {
 				before := len(s.cur.buf)
-				ns := s.G.Neighbors(s.cur.nodeIDs[v])
-				s.picker.Pick(r, ns, fanout, s.emitBuf)
+				if trunc == nil || !trunc(s.cur.nodeIDs[v]) {
+					ns := s.G.Neighbors(s.cur.nodeIDs[v])
+					s.picker.Pick(r, ns, fanout, s.emitBuf)
+				}
 				cnt[v] = int32(len(s.cur.buf) - before)
 			}
 			// Phase 2: map globals to locals and build the block.

@@ -1,0 +1,135 @@
+package sampler
+
+import (
+	"testing"
+
+	"salient/internal/mfg"
+	"salient/internal/rng"
+)
+
+// TestTruncateNilAndFalseAreBitIdentical: installing a predicate that never
+// truncates changes nothing — same RNG consumption, same MFG — for every
+// design-space configuration. This is the oracle serve's staleness-0 mode
+// rests on.
+func TestTruncateNilAndFalseAreBitIdentical(t *testing.T) {
+	g := testGraph(t)
+	fanouts := []int{5, 3}
+	sds := seeds(32, 7)
+	for _, cfg := range Enumerate() {
+		plain := New(g, fanouts, cfg)
+		hooked := New(g, fanouts, cfg)
+		hooked.SetTruncate(func(int32) bool { return false })
+		var a, b mfg.MFG
+		for round := 0; round < 3; round++ {
+			rA, rB := rng.New(uint64(round)+5), rng.New(uint64(round)+5)
+			if err := plain.SampleInto(rA, sds, &a); err != nil {
+				t.Fatal(err)
+			}
+			if err := hooked.SampleInto(rB, sds, &b); err != nil {
+				t.Fatal(err)
+			}
+			if !mfgEqual(&a, &b) {
+				t.Fatalf("%v round %d: always-false predicate changed the MFG", cfg, round)
+			}
+		}
+	}
+}
+
+// TestTruncateCallOrderAndScope: the predicate is consulted exactly once
+// per level-1 frontier destination, in destination order, and never for
+// deeper hops.
+func TestTruncateCallOrderAndScope(t *testing.T) {
+	g := testGraph(t)
+	s := New(g, []int{4, 3}, FastConfig())
+	var calls []int32
+	s.SetTruncate(func(v int32) bool {
+		calls = append(calls, v)
+		return false
+	})
+	var out mfg.MFG
+	if err := s.SampleInto(rng.New(3), seeds(16, 5), &out); err != nil {
+		t.Fatal(err)
+	}
+	// Level-1 destinations are the first Blocks[0].NumDst entries of
+	// NodeIDs, in that order.
+	f := int(out.Blocks[0].NumDst)
+	if len(calls) != f {
+		t.Fatalf("predicate consulted %d times, want once per %d frontier dsts", len(calls), f)
+	}
+	for i, v := range calls {
+		if v != out.NodeIDs[i] {
+			t.Fatalf("call %d saw node %d, want NodeIDs[%d] = %d", i, v, i, out.NodeIDs[i])
+		}
+	}
+}
+
+// TestTruncateSkipsExpansion: truncated destinations get empty adjacency
+// ranges and their hop-2 neighborhoods are never materialized, so the MFG
+// shrinks; untruncated destinations still expand.
+func TestTruncateSkipsExpansion(t *testing.T) {
+	g := testGraph(t)
+	sds := seeds(16, 5)
+
+	full := New(g, []int{4, 3}, FastConfig())
+	var ref mfg.MFG
+	if err := full.SampleInto(rng.New(9), sds, &ref); err != nil {
+		t.Fatal(err)
+	}
+
+	s := New(g, []int{4, 3}, FastConfig())
+	truncated := map[int32]bool{}
+	call := 0
+	s.SetTruncate(func(v int32) bool {
+		call++
+		if call%2 == 1 { // truncate every other frontier node
+			truncated[v] = true
+			return true
+		}
+		return false
+	})
+	var out mfg.MFG
+	if err := s.SampleInto(rng.New(9), sds, &out); err != nil {
+		t.Fatal(err)
+	}
+	if err := out.Validate(); err != nil {
+		t.Fatalf("truncated MFG invalid: %v", err)
+	}
+
+	blk := &out.Blocks[0]
+	for v := int32(0); v < blk.NumDst; v++ {
+		width := blk.DstPtr[v+1] - blk.DstPtr[v]
+		if truncated[out.NodeIDs[v]] && width != 0 {
+			t.Fatalf("truncated dst %d has %d sampled neighbors, want 0", v, width)
+		}
+	}
+	if len(out.NodeIDs) >= len(ref.NodeIDs) {
+		t.Fatalf("truncation did not shrink the neighborhood: %d vs %d nodes", len(out.NodeIDs), len(ref.NodeIDs))
+	}
+	if out.Blocks[1].NumDst != ref.Blocks[1].NumDst {
+		t.Fatalf("deeper block changed shape: truncation must only affect Blocks[0]")
+	}
+}
+
+// TestTruncateRemovableAndRetargetSafe: clearing the hook restores the
+// plain path bit-identically.
+func TestTruncateRemovableAndRetargetSafe(t *testing.T) {
+	g := testGraph(t)
+	sds := seeds(8, 3)
+	plain := New(g, []int{3, 2}, FastConfig())
+	s := New(g, []int{3, 2}, FastConfig())
+	s.SetTruncate(func(int32) bool { return true })
+	var a, b mfg.MFG
+	if err := s.SampleInto(rng.New(4), sds, &a); err != nil {
+		t.Fatal(err)
+	}
+	s.SetTruncate(nil)
+	if err := s.SampleInto(rng.New(4), sds, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := plain.SampleInto(rng.New(4), sds, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !mfgEqual(&a, &b) {
+		t.Fatal("clearing the truncate hook did not restore the plain path")
+	}
+}

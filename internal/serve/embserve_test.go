@@ -1,0 +1,188 @@
+package serve
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"salient/internal/graph"
+	"salient/internal/rng"
+)
+
+// TestEmbReuseStalenessZeroBitIdentical is the oracle the tentpole rests
+// on: a server with the embedding cache enabled but a zero staleness window
+// absorbs embeddings yet never serves one, so every answer stays equal to
+// one-shot infer.Sampled — repeated submissions included (a warm cache must
+// not change anything at window 0).
+func TestEmbReuseStalenessZeroBitIdentical(t *testing.T) {
+	ds, tr := fitted(t)
+	nodes := ds.Test[:40]
+	want := singleShot(t, nodes)
+
+	s, err := New(tr.Model, ds, Options{
+		Fanouts: serveFanouts, Workers: 3, MaxBatch: 8, Seed: serveSeed,
+		EmbCacheRows: 4096, EmbStaleness: 0,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for round := 0; round < 3; round++ {
+		for _, v := range nodes {
+			got, err := s.Submit(v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want[v] {
+				t.Fatalf("round %d node %d: label %d, want %d (staleness 0 must be bit-identical)", round, v, got, want[v])
+			}
+		}
+	}
+	st := s.Stats()
+	if st.EmbLookups == 0 {
+		t.Fatal("cache enabled but never consulted")
+	}
+	if st.EmbHits != 0 {
+		t.Fatalf("staleness 0 served %d hits", st.EmbHits)
+	}
+	if s.EmbCache().Len() == 0 {
+		t.Fatal("window 0 must still absorb embeddings")
+	}
+}
+
+// TestEmbReuseTruncatesAndPinsAccuracy turns reuse on (static graph: every
+// version is 0, so window 1 covers everything) and pins both effects: the
+// warm pass serves real hits, and the answers stay overwhelmingly in
+// agreement with the exact one-shot oracle — reuse swaps one fanout-bounded
+// sample of a frontier node's neighborhood for another, it does not corrupt
+// the computation.
+func TestEmbReuseTruncatesAndPinsAccuracy(t *testing.T) {
+	ds, tr := fitted(t)
+	nodes := ds.Test[:120]
+	want := singleShot(t, nodes)
+
+	s, err := New(tr.Model, ds, Options{
+		Fanouts: serveFanouts, Workers: 2, MaxBatch: 8, Seed: serveSeed,
+		EmbCacheRows: 1 << 15, EmbStaleness: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	// Warm pass populates the cache; measure pass should truncate.
+	for _, v := range nodes {
+		if _, err := s.Submit(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.ResetStats()
+	agree := 0
+	for _, v := range nodes {
+		got, err := s.Submit(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got == want[v] {
+			agree++
+		}
+	}
+	st := s.Stats()
+	if st.EmbHits == 0 {
+		t.Fatal("warm cache produced no truncations")
+	}
+	if frac := float64(agree) / float64(len(nodes)); frac < 0.9 {
+		t.Fatalf("only %.0f%% of reused answers agree with the one-shot oracle", 100*frac)
+	}
+	t.Logf("emb hit rate %.2f, oracle agreement %d/%d", st.EmbHitRate(), agree, len(nodes))
+}
+
+// TestEmbReuseRequiresResumeModelAndDepth: option validation fails loudly.
+func TestEmbReuseRequiresResumeModelAndDepth(t *testing.T) {
+	ds, tr := fitted(t)
+	if _, err := New(tr.Model, ds, Options{Fanouts: []int{10}, EmbCacheRows: 64}); err == nil {
+		t.Fatal("1-layer embedding reuse accepted")
+	}
+}
+
+// TestEmbReuseConcurrentWithInvalidation hammers a dynamic-graph server
+// with concurrent submitters while churn bumps the graph version and a
+// third party hard-flushes the embedding cache — the -race exercise for the
+// serve/embcache/sampler seams. Answers only need to be valid labels; the
+// point is that no interleaving of Lookup/Put/Invalidate with live
+// truncating samplers races or deadlocks.
+func TestEmbReuseConcurrentWithInvalidation(t *testing.T) {
+	ds, tr := fitted(t)
+	dyn, err := graph.NewDynamic(ds.G, graph.DynamicOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(tr.Model, ds, Options{
+		Fanouts: serveFanouts, Workers: 3, MaxBatch: 8, Seed: serveSeed,
+		QueueCapacity: 4096, Graph: dyn,
+		EmbCacheRows: 2048, EmbStaleness: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	stop := make(chan struct{})
+	var churners sync.WaitGroup
+	churners.Add(1)
+	go func() {
+		defer churners.Done()
+		r := rng.New(11)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			src := []int32{int32(r.Intn(int(ds.G.N)))}
+			dst := []int32{int32(r.Intn(int(ds.G.N)))}
+			if _, _, err := s.Update(src, dst); err != nil {
+				t.Error(err)
+				return
+			}
+			time.Sleep(200 * time.Microsecond)
+		}
+	}()
+	churners.Add(1)
+	go func() {
+		defer churners.Done()
+		for i := uint64(1); ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			s.EmbCache().Invalidate(i % 64)
+			time.Sleep(300 * time.Microsecond)
+		}
+	}()
+
+	var clients sync.WaitGroup
+	for c := 0; c < 4; c++ {
+		clients.Add(1)
+		go func(c int) {
+			defer clients.Done()
+			r := rng.New(uint64(c) + 1)
+			for i := 0; i < 150; i++ {
+				v := ds.Test[r.Intn(len(ds.Test))]
+				got, err := s.Submit(v)
+				if err != nil {
+					t.Errorf("Submit(%d): %v", v, err)
+					return
+				}
+				if got < 0 || got >= int32(ds.NumClasses) {
+					t.Errorf("Submit(%d) = invalid label %d", v, got)
+					return
+				}
+			}
+		}(c)
+	}
+	clients.Wait()
+	close(stop)
+	churners.Wait()
+}

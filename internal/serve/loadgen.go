@@ -2,6 +2,7 @@ package serve
 
 import (
 	"errors"
+	"math"
 	"sync"
 	"time"
 
@@ -48,7 +49,28 @@ func DriveClosedLoop(s *Server, nodes []int32, clients, requests int) time.Durat
 // wall time from first dispatch until every outstanding request completed;
 // rejections land in the server's Stats.
 func DriveOpenLoop(s *Server, nodes []int32, rate float64, requests int) time.Duration {
-	interval := time.Duration(float64(time.Second) / rate)
+	return DriveOpenLoopProcess(s, nodes, rate, requests, ArrivalUniform, 0)
+}
+
+// Arrival selects the inter-dispatch process of the open-loop driver.
+type Arrival int
+
+const (
+	// ArrivalUniform paces dispatches at exactly 1/rate seconds apart — the
+	// deterministic metronome, easiest to reason about but kind to tail
+	// latency (no bursts).
+	ArrivalUniform Arrival = iota
+	// ArrivalPoisson draws exponential gaps with mean 1/rate, the memoryless
+	// process real request traffic resembles. Bursts arrive for free, which
+	// is exactly what p99 measurements need to be honest.
+	ArrivalPoisson
+)
+
+// DriveOpenLoopProcess is DriveOpenLoop with a selectable arrival process;
+// seed keys the Poisson gap stream (ignored for ArrivalUniform). Mean
+// offered load equals rate for both processes.
+func DriveOpenLoopProcess(s *Server, nodes []int32, rate float64, requests int, proc Arrival, seed uint64) time.Duration {
+	r := rng.New(seed)
 	var wg sync.WaitGroup
 	start := time.Now()
 	next := start
@@ -56,7 +78,14 @@ func DriveOpenLoop(s *Server, nodes []int32, rate float64, requests int) time.Du
 		if d := time.Until(next); d > 0 {
 			time.Sleep(d)
 		}
-		next = next.Add(interval)
+		switch proc {
+		case ArrivalPoisson:
+			// Exponential gap: -ln(1-U)/rate, U uniform in [0,1).
+			gap := -math.Log(1-r.Float64()) / rate
+			next = next.Add(time.Duration(gap * float64(time.Second)))
+		default:
+			next = next.Add(time.Duration(float64(time.Second) / rate))
+		}
 		wg.Add(1)
 		go func(v int32) {
 			defer wg.Done()
@@ -65,6 +94,46 @@ func DriveOpenLoop(s *Server, nodes []int32, rate float64, requests int) time.Du
 	}
 	wg.Wait()
 	return time.Since(start)
+}
+
+// ZipfNodes builds a length-count request sequence over nodes [0, n)
+// following a Zipf popularity law: the node of popularity rank k (0-based)
+// is drawn with probability proportional to 1/(k+1)^skew. Which node holds
+// which rank is a uniform permutation keyed by permSeed, so two sequences
+// sharing permSeed target the same hot set (the warm-then-measure contract
+// cache experiments need), while drawSeed varies the draws themselves.
+// skew <= 0 degenerates to uniform traffic.
+func ZipfNodes(n int32, skew float64, permSeed, drawSeed uint64, count int) []int32 {
+	out := make([]int32, count)
+	draws := rng.New(drawSeed)
+	if skew <= 0 {
+		for i := range out {
+			out[i] = int32(draws.Intn(int(n)))
+		}
+		return out
+	}
+	rankToNode := make([]int32, n)
+	rng.New(permSeed).Perm(rankToNode)
+	cum := make([]float64, n)
+	var total float64
+	for k := range cum {
+		total += 1 / math.Pow(float64(k+1), skew)
+		cum[k] = total
+	}
+	for i := range out {
+		u := draws.Float64() * total
+		lo, hi := 0, int(n)-1
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if cum[mid] < u {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		out[i] = rankToNode[lo]
+	}
+	return out
 }
 
 // DriveChurn streams random directed edge updates over nodes [0, n) into

@@ -37,6 +37,7 @@ import (
 
 	"salient/internal/cache"
 	"salient/internal/dataset"
+	"salient/internal/embcache"
 	"salient/internal/event"
 	"salient/internal/graph"
 	"salient/internal/mfg"
@@ -103,6 +104,24 @@ type Options struct {
 	// is free correctness-wise; 1 recomputes at every adopted snapshot.
 	// Default 64. Ignored for static graphs and recency (LRU) policies.
 	CacheRefreshEvery uint64
+	// EmbCacheRows enables historical layer-embedding reuse with the given
+	// row capacity: first-layer output embeddings of completed micro-batches
+	// are cached by (node, snapshot version), and a later micro-batch stops
+	// sampling below a frontier node whose cached embedding is within the
+	// EmbStaleness window — the node's whole deeper fan-out (sampling,
+	// gather, layer-1 aggregation) collapses into one row copy. 0 disables
+	// reuse entirely. Requires a model implementing nn.ResumeModel and at
+	// least 2 layers.
+	EmbCacheRows int
+	// EmbStaleness is the bounded-staleness window in graph snapshot
+	// versions for embedding reuse: an embedding computed at version V may
+	// answer a micro-batch pinned at version W iff W-V <= EmbStaleness.
+	// 0 means never reuse (predictions stay bit-identical to a server
+	// without the cache — the oracle mode); the cache still absorbs
+	// embeddings so widening the window later takes effect immediately. On
+	// a static graph every version is 0, so any nonzero window enables
+	// full reuse.
+	EmbStaleness uint64
 	// Graph is the topology source micro-batches sample against. Nil serves
 	// the dataset's static graph. A *graph.Dynamic enables the update APIs
 	// (Update, AddNode): every micro-batch pins the graph's LATEST view
@@ -187,6 +206,22 @@ type Stats struct {
 	CacheHits        int64
 	BytesTransferred int64
 	BytesSaved       int64
+
+	// Embedding-reuse accounting (zero-valued when Options.EmbCacheRows
+	// is 0). EmbLookups counts frontier nodes consulted against the
+	// historical-embedding cache; EmbHits counts the ones whose deeper
+	// fan-out was truncated by a cached row.
+	EmbLookups int64
+	EmbHits    int64
+}
+
+// EmbHitRate returns the fraction of frontier-node lookups answered by the
+// historical-embedding cache (the fraction of level-1 fan-outs avoided).
+func (s Stats) EmbHitRate() float64 {
+	if s.EmbLookups == 0 {
+		return 0
+	}
+	return float64(s.EmbHits) / float64(s.EmbLookups)
 }
 
 // CacheHitRate returns the fraction of feature-row lookups served from the
@@ -222,6 +257,12 @@ type Server struct {
 	// store is the feature-access layer; it owns all transfer and cache
 	// accounting (Cached-wrapped when Options.CacheRows > 0).
 	store store.FeatureStore
+
+	// emb is the shared historical layer-embedding cache and resume the
+	// model's split forward entry points; both are nil/zero unless
+	// Options.EmbCacheRows > 0.
+	emb    *embcache.Cache
+	resume nn.ResumeModel
 
 	// topo yields the topology view each micro-batch samples against; a
 	// static server holds one pinned version-0 snapshot here. dyn is non-nil
@@ -293,6 +334,20 @@ func New(m nn.Model, ds *dataset.Dataset, opts Options) (*Server, error) {
 			return nil, err
 		}
 		s.store = cached
+	}
+	if opts.EmbCacheRows > 0 {
+		rm, ok := m.(nn.ResumeModel)
+		if !ok {
+			return nil, fmt.Errorf("serve: model %s cannot reuse embeddings (need nn.ResumeModel)", m.Name())
+		}
+		if len(opts.Fanouts) < 2 {
+			return nil, fmt.Errorf("serve: embedding reuse needs at least 2 layers, got %d", len(opts.Fanouts))
+		}
+		emb, err := embcache.New(embcache.Options{Rows: opts.EmbCacheRows, Staleness: opts.EmbStaleness})
+		if err != nil {
+			return nil, err
+		}
+		s.emb, s.resume = emb, rm
 	}
 	for w := 0; w < opts.Workers; w++ {
 		s.wg.Add(1)
@@ -467,6 +522,10 @@ func (s *Server) Close() {
 // store with other consumers, they share the accounting too.
 func (s *Server) Stats() Stats {
 	ss := s.store.Stats()
+	var es embcache.Stats
+	if s.emb != nil {
+		es = s.emb.Stats()
+	}
 	// Read the version without pinning a snapshot: a monitoring call must
 	// never be the one that materializes an overlay or runs a compaction.
 	var version uint64
@@ -492,6 +551,8 @@ func (s *Server) Stats() Stats {
 		BytesSaved:       ss.BytesSaved,
 		CacheLookups:     ss.CacheLookups,
 		CacheHits:        ss.CacheHits,
+		EmbLookups:       es.Lookups,
+		EmbHits:          es.Hits,
 	}
 }
 
@@ -515,6 +576,13 @@ type workerState struct {
 	seed  [1]int32
 	x     *tensor.Dense
 	pred  []int32
+
+	// Embedding-reuse scratch (nil/empty unless the server has an emb
+	// cache): the per-worker reuser installed as the sampler's truncate
+	// hook, and the hit-row marks of the current micro-batch's layer-1
+	// output.
+	emb  *embcache.Reuser
+	over []bool
 }
 
 // worker pulls one request, coalesces a deadline-bounded micro-batch behind
@@ -524,6 +592,10 @@ func (s *Server) worker() {
 	defer s.wg.Done()
 	snap0 := s.topo.View()
 	ws := &workerState{sm: sampler.New(snap0, s.opts.Fanouts, sampler.FastConfig()), snap: snap0, r: rng.New(0)}
+	if s.emb != nil {
+		ws.emb = embcache.NewReuser(s.emb)
+		ws.sm.SetTruncate(ws.emb.Truncate)
+	}
 	batch := make([]*request, 0, s.opts.MaxBatch)
 	for {
 		first, ok := s.ring.TryPop()
@@ -585,12 +657,20 @@ func (s *Server) execute(ws *workerState, batch []*request) {
 	for len(ws.slots) < len(batch) {
 		ws.slots = append(ws.slots, mfg.MFG{})
 	}
+	if ws.emb != nil {
+		// One reuse epoch per micro-batch, pinned at the batch's snapshot
+		// version; the sampler's truncate hook attributes hits to requests.
+		ws.emb.Begin(ws.snap.Version())
+	}
 	for i, req := range batch {
 		// Singleton-epoch RNG: this exact draw is what infer.Sampled performs
 		// for a one-node request, which pins per-request determinism no
 		// matter how requests coalesce.
 		ws.r.Reseed(prep.BatchSeed(s.opts.Seed, 0))
 		ws.seed[0] = req.node
+		if ws.emb != nil {
+			ws.emb.BeginRequest(int32(i))
+		}
 		if err := ws.sm.SampleInto(ws.r, ws.seed[:], &ws.slots[i]); err != nil {
 			// Unreachable in practice — Submit range-checks the node and a
 			// single seed cannot duplicate — but fail the batch over panicking.
@@ -616,7 +696,18 @@ func (s *Server) execute(ws *workerState, batch []*request) {
 	ws.x = slicing.DecodeInto(ws.x, buf)
 
 	s.modelMu.Lock()
-	logp := s.model.Forward(ws.x, merged, false)
+	var logp *tensor.Dense
+	if ws.emb != nil {
+		// Split forward: compute layer 1, swap in cached embeddings for the
+		// truncated frontier rows and absorb the fresh ones (ForwardRest's
+		// in-place ReLU destroys them, so absorption must happen here), then
+		// run the rest of the stack.
+		h1 := s.resume.ForwardLayer1(ws.x, merged, false)
+		s.applyReuse(ws, merged, h1, len(batch))
+		logp = s.resume.ForwardRest(h1, merged, false)
+	} else {
+		logp = s.model.Forward(ws.x, merged, false)
+	}
 	if cap(ws.pred) < logp.Rows {
 		ws.pred = make([]int32, logp.Rows)
 	}
@@ -668,6 +759,97 @@ func (s *Server) refreshCache(snap graph.View) {
 	}
 	c.Refresh(snap)
 	s.refreshed.Store(v)
+}
+
+// applyReuse finishes a split forward's layer-1 boundary work: every
+// frontier row the sampler truncated is overwritten with its cached
+// embedding (ForwardLayer1 aggregated an empty neighborhood there, so the
+// fresh row is not the real layer-1 output), and every fresh row is
+// absorbed into the cache at the micro-batch's snapshot version. Hit rows
+// are NOT re-absorbed: they carry an older version's values, and stamping
+// them with the current version would launder staleness.
+func (s *Server) applyReuse(ws *workerState, merged *mfg.MFG, h1 *tensor.Dense, nreq int) {
+	n := h1.Rows
+	if cap(ws.over) < n {
+		ws.over = make([]bool, n)
+	}
+	over := ws.over[:n]
+	for i := range over {
+		over[i] = false
+	}
+	for k := 0; k < ws.emb.Hits(); k++ {
+		req, loc, emb := ws.emb.Hit(k)
+		p := mergedFrontierPos(ws.slots[:nreq], int(req), int(loc))
+		copy(h1.Row(p), emb)
+		over[p] = true
+	}
+	version := ws.snap.Version()
+	for p := 0; p < n; p++ {
+		if over[p] {
+			continue
+		}
+		// Width mismatches are impossible (one model, one hidden width), and
+		// duplicate nodes across requests just overwrite at equal version.
+		_ = s.emb.Put(merged.NodeIDs[p], version, h1.Row(p))
+	}
+}
+
+// mergedFrontierPos maps request req's loc-th level-1 frontier entry (the
+// order the sampler consults the truncate hook in) to its row in the merged
+// forward. mfg.Merge lays levels out in bands — all inputs' seeds, then per
+// level l = layers-1..1 each input's newly discovered sources — and a
+// single-request batch is the identity mapping, so one formula covers both
+// the merged and the bypassed (len(slots) == 1) paths.
+func mergedFrontierPos(slots []mfg.MFG, req, loc int) int {
+	seedOff := 0
+	for j := 0; j < req; j++ {
+		seedOff += int(slots[j].Batch)
+	}
+	if loc < int(slots[req].Batch) {
+		return seedOff + loc
+	}
+	loc -= int(slots[req].Batch)
+	base := seedOff
+	for j := req; j < len(slots); j++ {
+		base += int(slots[j].Batch)
+	}
+	for l := len(slots[req].Blocks) - 1; l >= 1; l-- {
+		off, total := 0, 0
+		for j := range slots {
+			e := int(slots[j].Blocks[l].NumSrc - slots[j].Blocks[l].NumDst)
+			if j < req {
+				off += e
+			}
+			total += e
+		}
+		band := int(slots[req].Blocks[l].NumSrc - slots[req].Blocks[l].NumDst)
+		if loc < band {
+			return base + off + loc
+		}
+		loc -= band
+		base += total
+	}
+	panic("serve: frontier position out of range") //lint:allow panicdiscipline the truncate hook is consulted only for level-1 frontier entries, so an overflow here is a sampler/merge invariant violation
+}
+
+// EmbCache returns the server's historical layer-embedding cache, or nil
+// when Options.EmbCacheRows was 0.
+func (s *Server) EmbCache() *embcache.Cache { return s.emb }
+
+// ResetStats zeroes the server's counters and latency/occupancy recorders
+// along with the feature store's transfer accounting and the embedding
+// cache's counters — the warm-up/measure seam benchmarks cut on. Cached
+// rows and embeddings stay resident.
+func (s *Server) ResetStats() {
+	s.statsMu.Lock()
+	s.submitted, s.rejected, s.served, s.batches = 0, 0, 0, 0
+	s.latency = event.Recorder{}
+	s.occupancy = event.Recorder{}
+	s.statsMu.Unlock()
+	s.store.ResetStats()
+	if s.emb != nil {
+		s.emb.ResetStats()
+	}
 }
 
 // deliverError fails every request of a micro-batch with the same error.

@@ -4,12 +4,30 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
+	"salient/internal/cache"
 	"salient/internal/dataset"
 	"salient/internal/half"
 	"salient/internal/partition"
 	"salient/internal/slicing"
 	"salient/internal/transport"
+)
+
+// MirrorPolicy selects how a Remote store picks which remote rows to
+// mirror locally.
+type MirrorPolicy int
+
+const (
+	// MirrorDegree warms the mirror once at construction with the
+	// highest-degree remote rows (the GNS-style static heuristic).
+	MirrorDegree MirrorPolicy = iota
+	// MirrorVIP warms the mirror from observed fetch traffic: every remote
+	// row a gather touches feeds a frequency sketch, and the mirror is
+	// periodically re-placed with the hottest rows — the SALIENT++/VIP
+	// access-frequency policy, replicating what is actually fetched rather
+	// than what a structural proxy predicts.
+	MirrorVIP
 )
 
 // RemoteOptions configures NewRemote.
@@ -19,12 +37,17 @@ type RemoteOptions struct {
 	// narrow on the wire). Zero value selects fp16, the seed layout. Every
 	// peer's handshake must advertise the same precision.
 	Precision half.Precision
-	// CacheRows mirrors up to this many remote rows locally at construction,
-	// highest-degree first (the GNS-style static cache, here keeping hot rows
-	// off the network entirely). Mirrored rows are fetched over the transport
-	// once, so warming traffic is real accounted wire traffic. Zero disables
-	// the mirror.
+	// CacheRows bounds the local mirror of remote rows. Under MirrorDegree
+	// the mirror is filled once at construction, highest-degree first; under
+	// MirrorVIP it starts empty and is re-placed from fetch traffic. Mirrored
+	// rows are fetched over the transport, so warming traffic is real
+	// accounted wire traffic. Zero disables the mirror.
 	CacheRows int
+	// Mirror selects the mirror placement policy (default MirrorDegree).
+	Mirror MirrorPolicy
+	// MirrorRefreshEvery, under MirrorVIP, re-places the mirror every this
+	// many gathers (default 256). Ignored for MirrorDegree.
+	MirrorRefreshEvery int
 }
 
 // Remote is the feature store of one host in the distributed data plane: it
@@ -55,14 +78,30 @@ type Remote struct {
 	rows   *rowMat // home shard rows, placement order
 	labels []int32 // home labels, indexed by local row
 
-	mirror  map[int32]int32 // remote node -> mirror row
-	mrows   *rowMat
-	mlabels []int32
+	// The mirror is an immutable set swapped atomically so the Gather hot
+	// path reads it lock-free while a refresher builds its replacement.
+	mirror  atomic.Pointer[mirrorSet]
+	mpolicy MirrorPolicy
+	mbudget int // max mirrored rows
+
+	sketch      *cache.Sketch // MirrorVIP: remote-row fetch traffic
+	gatherSeq   atomic.Uint64 // gathers since construction (refresh trigger)
+	mirrorEvery uint64        // MirrorVIP: gathers between re-placements
+	refreshMu   sync.Mutex    // serializes mirror re-placement
 
 	peers []transport.Conn // by part; nil at home
 
 	mu    sync.Mutex
 	stats Stats
+}
+
+// mirrorSet is one immutable generation of the local mirror: remote node ->
+// mirror row, plus the row storage and labels. Readers load the pointer
+// once per gather; replacements swap in a freshly built set.
+type mirrorSet struct {
+	idx    map[int32]int32
+	rows   *rowMat
+	labels []int32
 }
 
 // NewRemote builds part home's store over ds: home rows are laid out
@@ -87,15 +126,22 @@ func NewRemote(ds *dataset.Dataset, a *partition.Assignment, home int32, peers [
 	if !prec.Valid() {
 		return nil, fmt.Errorf("store: invalid precision %d", prec)
 	}
+	every := opts.MirrorRefreshEvery
+	if every <= 0 {
+		every = 256
+	}
 	s := &Remote{
-		dim:   ds.FeatDim,
-		prec:  prec,
-		n:     n,
-		parts: a.Parts,
-		home:  home,
-		part:  append([]int32(nil), a.Part...),
-		local: make([]int32, n),
-		peers: peers,
+		dim:         ds.FeatDim,
+		prec:        prec,
+		n:           n,
+		parts:       a.Parts,
+		home:        home,
+		part:        append([]int32(nil), a.Part...),
+		local:       make([]int32, n),
+		peers:       peers,
+		mpolicy:     opts.Mirror,
+		mbudget:     opts.CacheRows,
+		mirrorEvery: uint64(every),
 	}
 	counts := make([]int32, a.Parts)
 	for v, p := range s.part {
@@ -145,8 +191,16 @@ func NewRemote(ds *dataset.Dataset, a *partition.Assignment, home int32, peers [
 	}
 
 	if opts.CacheRows > 0 {
-		if err := s.warmMirror(ds, opts.CacheRows); err != nil {
-			return nil, err
+		switch opts.Mirror {
+		case MirrorVIP:
+			// VIP starts cold: the sketch fills from real fetch traffic and
+			// the first re-placement (periodic, or explicit RefreshMirror)
+			// warms the mirror with what was actually fetched.
+			s.sketch = cache.NewSketch(n)
+		default:
+			if err := s.warmMirror(ds, opts.CacheRows); err != nil {
+				return nil, err
+			}
 		}
 	}
 	return s, nil
@@ -172,28 +226,51 @@ func (s *Remote) warmMirror(ds *dataset.Dataset, budget int) error {
 	if budget < len(remote) {
 		remote = remote[:budget]
 	}
-	s.mirror = make(map[int32]int32, len(remote))
-	s.mrows = newRowMat(s.prec, s.dim, len(remote))
-	s.mlabels = make([]int32, len(remote))
+	m, err := s.buildMirror(remote, nil)
+	if err != nil {
+		return fmt.Errorf("store: warming mirror: %w", err)
+	}
+	s.mirror.Store(m)
+	return nil
+}
 
+// buildMirror assembles a fresh mirrorSet holding exactly the given remote
+// nodes. Rows already present in old are copied locally (a re-placed hot
+// row costs no wire traffic twice); the rest are batch-fetched from their
+// owners, one FetchRows per part, charged to RowsRemote/BytesRemote.
+func (s *Remote) buildMirror(nodes []int32, old *mirrorSet) (*mirrorSet, error) {
+	m := &mirrorSet{
+		idx:    make(map[int32]int32, len(nodes)),
+		rows:   newRowMat(s.prec, s.dim, len(nodes)),
+		labels: make([]int32, len(nodes)),
+	}
 	byPart := make([][]int32, s.parts)
-	for _, v := range remote {
+	next := int32(0)
+	for _, v := range nodes {
+		if old != nil {
+			if o, ok := old.idx[v]; ok {
+				m.rows.copyRowFrom(int(next), old.rows, int(o))
+				m.labels[next] = old.labels[o]
+				m.idx[v] = next
+				next++
+				continue
+			}
+		}
 		byPart[s.part[v]] = append(byPart[s.part[v]], v)
 	}
 	var rbuf transport.Rows
-	next := int32(0)
 	for p, ids := range byPart {
 		if len(ids) == 0 {
 			continue
 		}
 		wire, err := s.peers[p].FetchRows(ids, &rbuf)
 		if err != nil {
-			return fmt.Errorf("store: warming mirror from part %d: %w", p, err)
+			return nil, fmt.Errorf("mirror fill from part %d: %w", p, err)
 		}
 		for j, v := range ids {
-			s.storeMirrorRow(next, &rbuf, j)
-			s.mlabels[next] = rbuf.Labels[j]
-			s.mirror[v] = next
+			s.storeMirrorRow(m, next, &rbuf, j)
+			m.labels[next] = rbuf.Labels[j]
+			m.idx[v] = next
 			next++
 		}
 		s.mu.Lock()
@@ -201,22 +278,74 @@ func (s *Remote) warmMirror(ds *dataset.Dataset, budget int) error {
 		s.stats.BytesRemote += wire
 		s.mu.Unlock()
 	}
-	return nil
+	return m, nil
 }
 
-// storeMirrorRow copies wire row j into mirror row dst (same precision, so
-// the copy is bitwise).
-func (s *Remote) storeMirrorRow(dst int32, r *transport.Rows, j int) {
+// storeMirrorRow copies wire row j into mirror row dst of m (same
+// precision, so the copy is bitwise).
+func (s *Remote) storeMirrorRow(m *mirrorSet, dst int32, r *transport.Rows, j int) {
 	lo, hi := int(dst)*s.dim, (int(dst)+1)*s.dim
 	switch s.prec {
 	case half.FP32:
-		copy(s.mrows.f[lo:hi], r.F[j*s.dim:(j+1)*s.dim])
+		copy(m.rows.f[lo:hi], r.F[j*s.dim:(j+1)*s.dim])
 	case half.Int8:
-		copy(s.mrows.q[lo:hi], r.Q[j*s.dim:(j+1)*s.dim])
-		s.mrows.scales[dst] = r.Scales[j]
+		copy(m.rows.q[lo:hi], r.Q[j*s.dim:(j+1)*s.dim])
+		m.rows.scales[dst] = r.Scales[j]
 	default:
-		copy(s.mrows.h[lo:hi], r.H[j*s.dim:(j+1)*s.dim])
+		copy(m.rows.h[lo:hi], r.H[j*s.dim:(j+1)*s.dim])
 	}
+}
+
+// RefreshMirror re-places the VIP mirror now: the hottest remote rows by
+// observed fetch frequency (capped at the mirror budget) become the new
+// mirror generation, rows surviving from the old generation are copied
+// without wire traffic, and the frequency sketch is halved so placement
+// follows traffic shifts. Blocks until the swap completes — tests and
+// schedulers call it for deterministic warm points; the gather path uses
+// the same machinery opportunistically. No-op under MirrorDegree.
+func (s *Remote) RefreshMirror() error {
+	if s.sketch == nil || s.mbudget <= 0 {
+		return nil
+	}
+	s.refreshMu.Lock()
+	defer s.refreshMu.Unlock()
+	return s.refreshMirrorLocked()
+}
+
+func (s *Remote) refreshMirrorLocked() error {
+	ids := make([]int32, 0, s.mbudget*2)
+	freq := make([]int64, 0, s.mbudget*2)
+	for v := int32(0); int(v) < s.n; v++ {
+		if s.part[v] == s.home {
+			continue
+		}
+		if c := s.sketch.Count(v); c > 0 {
+			ids = append(ids, v)
+			freq = append(freq, int64(c))
+		}
+	}
+	plan := cache.PlanVIP(ids, freq, nil, int64(s.mbudget))
+	m, err := s.buildMirror(plan, s.mirror.Load())
+	if err != nil {
+		return fmt.Errorf("store: refreshing VIP mirror: %w", err)
+	}
+	s.mirror.Store(m)
+	s.sketch.Decay()
+	return nil
+}
+
+// maybeRefreshMirror is the opportunistic gather-path trigger: at most one
+// gather per refresh window pays for re-placement, and only if no other
+// refresh is in flight.
+func (s *Remote) maybeRefreshMirror() {
+	if !s.refreshMu.TryLock() {
+		return
+	}
+	defer s.refreshMu.Unlock()
+	// Best effort: a failed fetch leaves the old mirror generation in
+	// place, and the next window retries. Gathers must not fail because an
+	// optional replication refresh hit a transient peer error.
+	_ = s.refreshMirrorLocked()
 }
 
 // Dim returns the feature dimensionality.
@@ -232,8 +361,18 @@ func (s *Remote) NumNodes() int { return s.n }
 // Home returns the partition whose rows this store holds locally.
 func (s *Remote) Home() int32 { return s.home }
 
-// MirrorRows returns how many remote rows the warmed mirror holds.
-func (s *Remote) MirrorRows() int { return len(s.mirror) }
+// MirrorRows returns how many remote rows the current mirror generation
+// holds.
+func (s *Remote) MirrorRows() int {
+	m := s.mirror.Load()
+	if m == nil {
+		return 0
+	}
+	return len(m.idx)
+}
+
+// MirrorPolicy returns the configured mirror placement policy.
+func (s *Remote) MirrorPolicy() MirrorPolicy { return s.mpolicy }
 
 // Gather stages features for nodeIDs and labels for the seed prefix into
 // dst. Home and mirrored rows are copied locally; everything else is
@@ -249,6 +388,7 @@ func (s *Remote) Gather(dst *slicing.Pinned, nodeIDs []int32, batch int) error {
 	}
 	dst.EnsurePrec(len(nodeIDs), s.dim, batch, s.prec)
 
+	mir := s.mirror.Load()  // one generation per gather, lock-free
 	var reqs, pos [][]int32 // lazily sized to parts: ids to fetch per part, and their batch positions
 	var lookups, hits int64
 	for i, id := range nodeIDs {
@@ -261,13 +401,18 @@ func (s *Remote) Gather(dst *slicing.Pinned, nodeIDs []int32, batch int) error {
 			continue
 		}
 		lookups++
-		if m, ok := s.mirror[id]; ok {
-			hits++
-			s.mrows.copyRow(dst, i, int(m))
-			if i < batch {
-				dst.Labels[i] = s.mlabels[m]
+		if s.sketch != nil {
+			s.sketch.Observe(id) // VIP: every remote touch is traffic, hit or miss
+		}
+		if mir != nil {
+			if m, ok := mir.idx[id]; ok {
+				hits++
+				mir.rows.copyRow(dst, i, int(m))
+				if i < batch {
+					dst.Labels[i] = mir.labels[m]
+				}
+				continue
 			}
-			continue
 		}
 		if reqs == nil {
 			reqs = make([][]int32, s.parts)
@@ -314,6 +459,12 @@ func (s *Remote) Gather(dst *slicing.Pinned, nodeIDs []int32, batch int) error {
 	s.stats.RowsRemote += fetched
 	s.stats.BytesRemote += wire
 	s.mu.Unlock()
+
+	if s.sketch != nil && s.mbudget > 0 {
+		if seq := s.gatherSeq.Add(1); seq%s.mirrorEvery == 0 {
+			s.maybeRefreshMirror()
+		}
+	}
 	return nil
 }
 
