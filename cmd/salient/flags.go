@@ -7,6 +7,7 @@ import (
 
 	"salient/internal/cache"
 	"salient/internal/dataset"
+	"salient/internal/fleet"
 	"salient/internal/half"
 	"salient/internal/store"
 )
@@ -46,6 +47,11 @@ type cliFlags struct {
 	poisson     bool
 	dynamic     bool
 	churn       float64
+	fleet       int
+	routing     string
+	routePolicy fleet.Routing
+	maxSkew     uint64
+	resultRows  int
 }
 
 // register wires every CLI flag onto fs — the one place the flag set is
@@ -81,6 +87,10 @@ func (f *cliFlags) register(fs *flag.FlagSet) {
 	fs.BoolVar(&f.poisson, "poisson", false, "serve: Poisson arrivals for open-loop -rate (default fixed-interval)")
 	fs.BoolVar(&f.dynamic, "dynamic", false, "train/serve over a mutable dynamic graph")
 	fs.Float64Var(&f.churn, "churn", 0, "with -dynamic: edge updates/sec streamed during the run")
+	fs.IntVar(&f.fleet, "fleet", 0, "serve: replicated fleet size (0 = single bare server)")
+	fs.StringVar(&f.routing, "routing", "hash", "serve with -fleet: request routing: hash|random")
+	fs.Uint64Var(&f.maxSkew, "maxskew", 0, "serve with -fleet -dynamic: max graph-version lag before routing skips a replica (0 = unbounded)")
+	fs.IntVar(&f.resultRows, "resultrows", 0, "serve with -fleet: versioned result-cache rows (0 = off)")
 }
 
 // oneOf reports whether v is among the allowed values.
@@ -208,6 +218,30 @@ func (f *cliFlags) validate(cmd string) error {
 		if f.poisson && f.rate <= 0 {
 			return fmt.Errorf("-poisson requires an open loop (-rate > 0)")
 		}
+		if f.fleet < 0 {
+			return fmt.Errorf("-fleet must be >= 0, got %d", f.fleet)
+		}
+		pol, err := fleet.ParseRouting(f.routing)
+		if err != nil {
+			return err
+		}
+		f.routePolicy = pol
+		if f.resultRows < 0 {
+			return fmt.Errorf("-resultrows must be >= 0, got %d", f.resultRows)
+		}
+		if f.fleet == 0 && (f.maxSkew != 0 || f.resultRows != 0) {
+			return fmt.Errorf("-maxskew/-resultrows require -fleet >= 1")
+		}
+		if f.fleet > 0 {
+			if f.storeKind != "" {
+				return fmt.Errorf("-fleet builds each replica's store from -cachefrac/-cachepolicy; drop -store %s", f.storeKind)
+			}
+			if f.maxSkew != 0 && !f.dynamic {
+				return fmt.Errorf("-maxskew bounds graph-version lag and requires -dynamic")
+			}
+		}
+	} else if f.fleet != 0 || f.maxSkew != 0 || f.resultRows != 0 {
+		return fmt.Errorf("-fleet/-maxskew/-resultrows apply to serve only")
 	}
 	return nil
 }

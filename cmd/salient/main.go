@@ -10,7 +10,7 @@
 //	                                  batching, cache, partition, memory,
 //	                                  sensitivity, featurestore, serving,
 //	                                  ddpreal, kernels, timing, churn,
-//	                                  transport, embcache)
+//	                                  transport, embcache, fleet)
 //	salient train [flags]             train a model and report per-epoch stats
 //	salient serve [flags]             train briefly, then serve online
 //	                                  sampled-inference traffic and report
@@ -84,7 +84,20 @@
 //	               results are bit-identical to the static baseline)
 //	-churn F       train/serve with -dynamic: stream F random edge
 //	               updates/sec into the graph while training epochs or
-//	               serving traffic run (default 0)
+//	               serving traffic run (default 0; with -fleet, updates fan
+//	               out to every replica through the router's watermarks)
+//	-fleet R       serve: replicate the server R ways behind the affinity
+//	               router (default 0 = single bare server). The -cachefrac
+//	               budget is split across replicas; a 1-replica fleet is
+//	               bit-identical to the bare server.
+//	-routing P     serve with -fleet: request routing: hash (consistent-hash
+//	               affinity) | random (default hash)
+//	-maxskew K     serve with -fleet -dynamic: skip replicas whose graph
+//	               version lags the fleet maximum by more than K (default
+//	               0 = unbounded)
+//	-resultrows N  serve with -fleet: rows in the versioned result cache in
+//	               front of the router; entries invalidate when the graph
+//	               version advances (default 0 = off)
 //
 // Bad flag values exit with status 2 and a usage message instead of running
 // with silently substituted defaults.
@@ -103,7 +116,9 @@ import (
 	"salient/internal/ddp"
 	"salient/internal/device"
 	"salient/internal/dist"
+	"salient/internal/fleet"
 	"salient/internal/graph"
+	"salient/internal/nn"
 	"salient/internal/serve"
 	"salient/internal/store"
 	"salient/internal/train"
@@ -428,6 +443,9 @@ func runServe(f cliFlags) error {
 	if _, err := tr.Fit(f.epochs); err != nil {
 		return err
 	}
+	if f.fleet > 0 {
+		return runFleet(ds, tr, fanouts, f)
+	}
 
 	// The composed store (cache layer included) is built exactly as train
 	// builds it, so the same flag set means the same store everywhere; the
@@ -523,6 +541,110 @@ func runServe(f cliFlags) error {
 			st.EmbLookups, st.EmbHits, 100*st.EmbHitRate())
 	}
 	printStoreStats(srv.FeatureStore())
+	return nil
+}
+
+// runFleet stands up the replicated serving fleet behind the affinity
+// router and drives it with the same traffic shapes as the single-server
+// path, then prints fleet-level routing/admission/cache statistics.
+func runFleet(ds *dataset.Dataset, tr *train.Trainer, fanouts []int, f cliFlags) error {
+	build := func() (nn.Model, error) {
+		return train.NewModel(f.arch, nn.ModelConfig{
+			In: ds.FeatDim, Hidden: 64, Out: ds.NumClasses,
+			Layers: len(fanouts), Seed: f.seed,
+		})
+	}
+	models, err := fleet.Replicate(tr.Model, f.fleet, build)
+	if err != nil {
+		return err
+	}
+	// The total -cachefrac budget is split across replicas, so growing the
+	// fleet redistributes the same cache capacity instead of adding more.
+	perCache := f.cacheRows(ds.G.N) / f.fleet
+	if perCache < 1 && f.cacheFrac > 0 {
+		perCache = 1
+	}
+	fl, err := fleet.New(ds, fleet.Options{
+		Replicas: f.fleet,
+		Serve: serve.Options{
+			Fanouts: fanouts, Workers: f.workers, MaxBatch: f.maxBatch,
+			MaxDelay: f.delay, Seed: f.seed,
+			CacheRows: perCache, CachePolicy: f.policy,
+			EmbCacheRows: f.embRows, EmbStaleness: f.embStale,
+		},
+		Routing: f.routePolicy, MaxSkew: f.maxSkew, ResultRows: f.resultRows,
+		Dynamic: f.dynamic, Seed: f.seed,
+	}, models...)
+	if err != nil {
+		return err
+	}
+	defer fl.Close()
+
+	nodes := ds.Test
+	stream := fmt.Sprintf("%d test nodes", len(ds.Test))
+	if f.zipf > 0 {
+		nodes = serve.ZipfNodes(ds.G.N, f.zipf, f.seed+101, f.seed+7, f.requests)
+		stream = fmt.Sprintf("Zipf(%.2f) draws over %d nodes", f.zipf, ds.G.N)
+	}
+	mode := "closed-loop (16 clients)"
+	if f.rate > 0 {
+		mode = fmt.Sprintf("open-loop at %.0f rps", f.rate)
+		if f.poisson {
+			mode += " (Poisson)"
+		}
+	}
+	fmt.Printf("serving %d requests over %s, %s, across %d replicas (%s routing)...\n",
+		f.requests, stream, mode, f.fleet, f.routing)
+
+	var stopChurn func() int64
+	if f.dynamic && f.churn > 0 {
+		done := make(chan struct{})
+		finished := make(chan int64, 1)
+		apply := func(src, dst []int32) (int, error) {
+			n, _, err := fl.Update(src, dst)
+			return n, err
+		}
+		go func() { finished <- serve.DriveChurn(apply, ds.G.N, f.churn, f.seed+77, done) }()
+		stopChurn = func() int64 { close(done); return <-finished }
+	}
+	var wall time.Duration
+	if f.rate > 0 {
+		arrival := serve.ArrivalUniform
+		if f.poisson {
+			arrival = serve.ArrivalPoisson
+		}
+		wall = serve.DriveOpenLoopProcess(fl, nodes, f.rate, f.requests, arrival, f.seed+5)
+	} else {
+		wall = serve.DriveClosedLoop(fl, nodes, 16, f.requests)
+	}
+	var churnApplied int64
+	if stopChurn != nil {
+		churnApplied = stopChurn()
+	}
+
+	st := fl.Stats()
+	fmt.Printf("\nserved     %d requests in %v (%.0f rps), %d rejected, %d shed (deadline %d, priority %d, capacity %d)\n",
+		st.Served, wall.Round(time.Millisecond), float64(st.Served)/wall.Seconds(),
+		st.Rejected, st.TotalSheds(), st.ShedDeadlines, st.ShedPriorities, st.ShedCapacities)
+	fmt.Printf("latency    p50 %.2fms  p95 %.2fms  p99 %.2fms  max %.2fms\n",
+		st.Latency.P50*1e3, st.Latency.P95*1e3, st.Latency.P99*1e3, st.Latency.Max*1e3)
+	fmt.Printf("routing    %v answered per replica\n", st.Routed)
+	if f.dynamic {
+		fmt.Printf("graph      %d edge updates applied, versions %v (skew %d, bound %d)\n",
+			churnApplied, st.Versions, st.Skew(), f.maxSkew)
+	}
+	if f.resultRows > 0 {
+		fmt.Printf("result memo  %d lookups, %d hits (%.0f%%), %d invalidated\n",
+			st.Result.Lookups, st.Result.Hits, 100*st.Result.HitRate(), st.Result.Invalidated)
+	}
+	if st.CacheLookups+st.EmbLookups > 0 {
+		fmt.Printf("caches     combined hit rate %.0f%% (feature %d/%d, embedding %d/%d)\n",
+			100*st.CombinedCacheHitRate(), st.CacheHits, st.CacheLookups, st.EmbHits, st.EmbLookups)
+	}
+	for i := 0; i < fl.NumReplicas(); i++ {
+		fmt.Printf("replica %d: ", i)
+		printStoreStats(fl.Replica(i).FeatureStore())
+	}
 	return nil
 }
 

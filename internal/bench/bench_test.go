@@ -85,7 +85,7 @@ func TestRegistryCoversEveryPaperExhibit(t *testing.T) {
 		"fig1", "fig2", "fig3", "fig4", "fig5", "fig6",
 		"cache", "partition", "memory", "strategies", "sensitivity", "batching",
 		"serving", "featurestore", "ddpreal", "timing", "churn", "kernels",
-		"transport", "embcache"}
+		"transport", "embcache", "fleet"}
 	got := IDs()
 	if len(got) != len(want) {
 		t.Fatalf("registry has %d experiments, want %d: %v", len(got), len(want), got)

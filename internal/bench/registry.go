@@ -121,6 +121,10 @@ func Experiments() map[string]Experiment {
 			t, err := EmbCacheSweep(EmbCacheOpts{Seed: o.Seed})
 			return []Table{t}, err
 		}},
+		{ID: "fleet", Paper: "§5/§8 extension (replicated serving)", Run: func(o Options) ([]Table, error) {
+			t, err := FleetSweep(FleetOpts{Seed: o.Seed})
+			return []Table{t}, err
+		}},
 	}
 	out := make(map[string]Experiment, len(exps))
 	for _, e := range exps {

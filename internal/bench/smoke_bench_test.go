@@ -129,6 +129,30 @@ func BenchmarkEmbCacheSweep(b *testing.B) {
 	}
 }
 
+// smallFleet is the quick replicated-serving preset for the smoke run:
+// reduced scale and request count with the full routing-policy grid and
+// the overload phase intact.
+func smallFleet() FleetOpts {
+	return FleetOpts{
+		Scale:    0.05,
+		Epochs:   1,
+		Requests: 600,
+		Rate:     2000,
+		Replicas: 3,
+	}
+}
+
+// BenchmarkFleetSweep keeps the affinity-routing + admission + result-memo
+// fleet sweep in the CI bench-smoke run and its uploaded per-commit
+// artifact.
+func BenchmarkFleetSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := FleetSweep(smallFleet()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // smallKernels preset is shared with the unit tests (kernels_test.go).
 
 // BenchmarkKernelSweep keeps the precision x pipeline gather-kernel matrix

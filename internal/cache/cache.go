@@ -118,6 +118,12 @@ type Options struct {
 	// store. Nil plans one global budget.
 	PartOf func(int32) int32
 	Parts  int
+	// DecayEvery, under VIP, enables TTL aging of the frequency sketch:
+	// after every DecayEvery observed accesses the sketch halves itself,
+	// so popularity from shifted-away Zipf hotspots ages out even between
+	// placement refreshes (refreshes also halve, sharing the same window
+	// clock). 0 (default) decays only at refreshes.
+	DecayEvery int64
 }
 
 // New builds a cache of the given row capacity over topology g.
@@ -145,6 +151,7 @@ func NewWithOptions(g graph.Topology, o Options) (*Cache, error) {
 	}
 	if o.Policy == VIP {
 		c.sketch = NewSketch(int(g.NumNodes()))
+		c.sketch.SetDecayWindow(o.DecayEvery)
 	}
 	c.Rebuild(g)
 	return c, nil

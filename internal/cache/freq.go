@@ -3,6 +3,7 @@ package cache
 import (
 	"math"
 	"sort"
+	"sync"
 	"sync/atomic"
 )
 
@@ -20,6 +21,17 @@ import (
 type Sketch struct {
 	counts []uint32
 	obs    atomic.Int64
+
+	// TTL aging (SetDecayWindow): after every `window` observations the
+	// sketch halves itself, so popularity a hot set accrued K windows ago
+	// carries 2^-K weight even if the placement planner never runs — the
+	// way stale celebrities age out under shifting Zipf hotspots between
+	// refreshes. sinceDecay counts observations since the last halving
+	// (automatic or planner-triggered); decayMu elects one decayer so
+	// concurrent observers at the boundary can't stack halvings.
+	window     int64
+	sinceDecay atomic.Int64
+	decayMu    sync.Mutex
 }
 
 // NewSketch returns a sketch over n nodes (IDs [0, n)).
@@ -49,9 +61,59 @@ func (s *Sketch) Observe(v int32) {
 		}
 		if atomic.CompareAndSwapUint32(&s.counts[v], c, c+1) {
 			s.obs.Add(1)
+			s.maybeDecay()
 			return
 		}
 	}
+}
+
+// SetDecayWindow configures observation-count TTL aging: after every
+// `window` recorded observations the sketch halves every counter, exactly
+// as a planner-triggered Decay would. window <= 0 (the default) disables
+// automatic aging — history then decays only at placement refreshes.
+// Safe to call before traffic starts; not intended to race with Observe.
+func (s *Sketch) SetDecayWindow(window int64) {
+	if window < 0 {
+		window = 0
+	}
+	s.window = window
+}
+
+// DecayWindow returns the configured automatic-aging window (0 = disabled).
+func (s *Sketch) DecayWindow() int64 { return s.window }
+
+// maybeDecay halves the sketch when the observation window has filled.
+// One observer wins the election (TryLock); the rest proceed without
+// blocking — an extra observation or two past the boundary is noise, a
+// convoy on the hot path would not be.
+func (s *Sketch) maybeDecay() {
+	if s.window <= 0 {
+		return
+	}
+	if s.sinceDecay.Add(1) < s.window {
+		return
+	}
+	if !s.decayMu.TryLock() {
+		return
+	}
+	defer s.decayMu.Unlock()
+	if s.sinceDecay.Load() < s.window {
+		return // another decayer covered this window
+	}
+	s.decay()
+}
+
+// decay performs the halving itself; Decay (public) also resets the
+// TTL window so planner-triggered and automatic aging share one clock.
+func (s *Sketch) decay() {
+	s.sinceDecay.Store(0)
+	var total int64
+	for i := range s.counts {
+		c := atomic.LoadUint32(&s.counts[i]) / 2
+		atomic.StoreUint32(&s.counts[i], c)
+		total += int64(c)
+	}
+	s.obs.Store(total)
 }
 
 // Count returns node v's current access count (0 for out-of-range IDs).
@@ -69,15 +131,13 @@ func (s *Sketch) Observations() int64 { return s.obs.Load() }
 // Decay halves every counter — exponential aging, called by the placement
 // planner at each re-placement so that K refreshes ago's traffic carries
 // 2^-K weight. Concurrent Observes may slip between the load and the
-// store of a slot; the lost increment is one access of noise.
+// store of a slot; the lost increment is one access of noise. Resets the
+// automatic-aging window (SetDecayWindow), so a refresh and a TTL
+// expiration never halve back to back.
 func (s *Sketch) Decay() {
-	var total int64
-	for i := range s.counts {
-		c := atomic.LoadUint32(&s.counts[i]) / 2
-		atomic.StoreUint32(&s.counts[i], c)
-		total += int64(c)
-	}
-	s.obs.Store(total)
+	s.decayMu.Lock()
+	defer s.decayMu.Unlock()
+	s.decay()
 }
 
 // PlanVIP selects the rows to admit under a byte budget, frequency first:

@@ -1,0 +1,80 @@
+package event
+
+import (
+	"math"
+	"sort"
+)
+
+// Window is a sliding-window Recorder: it keeps only the most recent
+// Capacity samples, so its quantiles track the *current* behaviour of a
+// long-lived process instead of its all-time integral. The serving fleet's
+// admission layer uses one per replica to maintain a live service-time
+// estimate (p95 of recent request latencies) that deadline feasibility
+// checks can consult cheaply.
+//
+// Like Recorder, Window is not safe for concurrent use; callers that record
+// from multiple goroutines must synchronize externally. Quantile sorts a
+// private scratch copy lazily — repeated quantile reads between Adds cost
+// one sort total — so interleaving admission checks with deliveries stays
+// cheap.
+type Window struct {
+	ring    []float64
+	next    int // ring insertion cursor
+	scratch []float64
+	dirty   bool
+}
+
+// NewWindow returns a window over the most recent capacity samples
+// (minimum 1).
+func NewWindow(capacity int) *Window {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Window{ring: make([]float64, 0, capacity)}
+}
+
+// Add records one sample, evicting the oldest if the window is full.
+func (w *Window) Add(v float64) {
+	if len(w.ring) < cap(w.ring) {
+		w.ring = append(w.ring, v)
+	} else {
+		w.ring[w.next] = v
+	}
+	w.next = (w.next + 1) % cap(w.ring)
+	w.dirty = true
+}
+
+// Count returns the number of samples currently in the window.
+func (w *Window) Count() int { return len(w.ring) }
+
+// Capacity returns the window length.
+func (w *Window) Capacity() int { return cap(w.ring) }
+
+// Quantile returns the p-quantile (0 <= p <= 1) of the windowed samples
+// using the nearest-rank method (the same convention as Recorder), or 0
+// with no samples.
+func (w *Window) Quantile(p float64) float64 {
+	n := len(w.ring)
+	if n == 0 {
+		return 0
+	}
+	if w.dirty {
+		w.scratch = append(w.scratch[:0], w.ring...)
+		sort.Float64s(w.scratch)
+		w.dirty = false
+	}
+	rank := int(math.Ceil(p*float64(n))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= n {
+		rank = n - 1
+	}
+	return w.scratch[rank]
+}
+
+// Reset discards every sample (capacity is kept).
+func (w *Window) Reset() {
+	w.ring = w.ring[:0]
+	w.next, w.dirty = 0, false
+}

@@ -1,0 +1,78 @@
+package event
+
+import "testing"
+
+func TestWindowQuantileMatchesRecorderWhileUnderCapacity(t *testing.T) {
+	w := NewWindow(64)
+	var r Recorder
+	vals := []float64{5, 1, 9, 3, 7, 2, 8, 4, 6, 0}
+	for _, v := range vals {
+		w.Add(v)
+		r.Add(v)
+	}
+	for _, p := range []float64{0, 0.5, 0.95, 0.99, 1} {
+		if got, want := w.Quantile(p), r.Quantile(p); got != want {
+			t.Fatalf("Quantile(%g) = %g, want %g (Recorder convention)", p, got, want)
+		}
+	}
+}
+
+func TestWindowEvictsOldest(t *testing.T) {
+	w := NewWindow(4)
+	for v := 1; v <= 10; v++ {
+		w.Add(float64(v))
+	}
+	if w.Count() != 4 {
+		t.Fatalf("Count = %d, want 4", w.Count())
+	}
+	// Window now holds {7,8,9,10}: the old small samples must be gone.
+	if got := w.Quantile(0); got != 7 {
+		t.Fatalf("min of window = %g, want 7 (oldest samples evicted)", got)
+	}
+	if got := w.Quantile(1); got != 10 {
+		t.Fatalf("max of window = %g, want 10", got)
+	}
+}
+
+func TestWindowInterleavedQuantiles(t *testing.T) {
+	// Quantile reads between Adds must observe every sample added so far
+	// (the lazy sort must invalidate correctly).
+	w := NewWindow(8)
+	w.Add(3)
+	if got := w.Quantile(1); got != 3 {
+		t.Fatalf("after Add(3): max %g, want 3", got)
+	}
+	w.Add(9)
+	if got := w.Quantile(1); got != 9 {
+		t.Fatalf("after Add(9): max %g, want 9", got)
+	}
+	w.Add(1)
+	if got := w.Quantile(0); got != 1 {
+		t.Fatalf("after Add(1): min %g, want 1", got)
+	}
+}
+
+func TestWindowReset(t *testing.T) {
+	w := NewWindow(4)
+	w.Add(5)
+	w.Reset()
+	if w.Count() != 0 || w.Quantile(0.5) != 0 {
+		t.Fatalf("Reset did not clear the window: count %d", w.Count())
+	}
+	w.Add(2)
+	if got := w.Quantile(0.5); got != 2 {
+		t.Fatalf("window unusable after Reset: p50 %g, want 2", got)
+	}
+}
+
+func TestWindowMinimumCapacity(t *testing.T) {
+	w := NewWindow(0)
+	if w.Capacity() != 1 {
+		t.Fatalf("Capacity = %d, want floor of 1", w.Capacity())
+	}
+	w.Add(1)
+	w.Add(2)
+	if got := w.Quantile(0.5); got != 2 {
+		t.Fatalf("capacity-1 window p50 = %g, want most recent sample 2", got)
+	}
+}

@@ -1,0 +1,81 @@
+package fleet
+
+import "testing"
+
+func TestResultCacheVersionedHit(t *testing.T) {
+	c := newResultCache(8)
+	if _, ok := c.Get(5, 0); ok {
+		t.Fatal("empty cache hit")
+	}
+	c.Put(5, 42, 0)
+	if label, ok := c.Get(5, 0); !ok || label != 42 {
+		t.Fatalf("Get(5, 0) = %d, %v; want 42, true", label, ok)
+	}
+	// A version advance misses — the memoized answer may be stale.
+	if _, ok := c.Get(5, 1); ok {
+		t.Fatal("stale entry hit at advanced version")
+	}
+	// And the miss dropped the dead entry.
+	if c.Len() != 0 {
+		t.Fatalf("stale entry still resident, Len() = %d", c.Len())
+	}
+	st := c.Stats()
+	if st.Lookups != 3 || st.Hits != 1 || st.Stores != 1 || st.Invalidated != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestResultCachePutReplaces(t *testing.T) {
+	c := newResultCache(4)
+	c.Put(1, 10, 0)
+	c.Put(1, 11, 1)
+	if label, ok := c.Get(1, 1); !ok || label != 11 {
+		t.Fatalf("Get(1, 1) = %d, %v; want 11, true", label, ok)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len() = %d after replacing put", c.Len())
+	}
+}
+
+func TestResultCacheCapacityAndClock(t *testing.T) {
+	c := newResultCache(4)
+	for v := int32(0); v < 4; v++ {
+		c.Put(v, v, 0)
+	}
+	// Reference node 0 so CLOCK prefers other victims.
+	if _, ok := c.Get(0, 0); !ok {
+		t.Fatal("node 0 missing")
+	}
+	for v := int32(10); v < 20; v++ {
+		c.Put(v, v, 0)
+		if c.Len() > 4 {
+			t.Fatalf("cache grew past capacity: %d", c.Len())
+		}
+	}
+	if c.Len() != 4 {
+		t.Fatalf("Len() = %d, want full capacity 4", c.Len())
+	}
+}
+
+func TestResultCacheInvalidateBelow(t *testing.T) {
+	c := newResultCache(8)
+	c.Put(1, 1, 3)
+	c.Put(2, 2, 5)
+	c.Put(3, 3, 7)
+	c.InvalidateBelow(6)
+	if c.Len() != 1 {
+		t.Fatalf("Len() = %d after sweep, want 1", c.Len())
+	}
+	if _, ok := c.Get(3, 7); !ok {
+		t.Fatal("entry at version 7 swept by InvalidateBelow(6)")
+	}
+	if st := c.Stats(); st.Invalidated != 2 {
+		t.Fatalf("Invalidated = %d, want 2", st.Invalidated)
+	}
+}
+
+func TestResultCacheDisabled(t *testing.T) {
+	if c := newResultCache(0); c != nil {
+		t.Fatal("newResultCache(0) should be nil (disabled)")
+	}
+}

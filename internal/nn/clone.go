@@ -1,0 +1,49 @@
+package nn
+
+import "fmt"
+
+// CopyState copies all learned state from src into dst: trainable
+// parameters (by position, with shape checks) and, when both models carry
+// running statistics (BufferModel), the non-trainable stat buffers too.
+// Gradient accumulators are untouched — replicas built for serving never
+// run Backward, and replicas built for training should start from zeroed
+// grads anyway.
+//
+// The two models must be the same architecture built from the same config;
+// a parameter-count or shape mismatch is an error, not a partial copy.
+// After a successful CopyState, dst.Forward is bit-identical to
+// src.Forward on identical inputs — the property the serving fleet's N=1
+// equivalence test pins.
+func CopyState(dst, src Model) error {
+	dp, sp := dst.Params(), src.Params()
+	if len(dp) != len(sp) {
+		return fmt.Errorf("nn: copy state %s -> %s: %d params vs %d", src.Name(), dst.Name(), len(sp), len(dp))
+	}
+	for i := range sp {
+		if dp[i].W.Rows != sp[i].W.Rows || dp[i].W.Cols != sp[i].W.Cols {
+			return fmt.Errorf("nn: copy state param %d (%s): shape %dx%d vs %dx%d",
+				i, sp[i].Name, sp[i].W.Rows, sp[i].W.Cols, dp[i].W.Rows, dp[i].W.Cols)
+		}
+	}
+	for i := range sp {
+		copy(dp[i].W.Data, sp[i].W.Data)
+	}
+	db, dok := dst.(BufferModel)
+	sb, sok := src.(BufferModel)
+	if dok != sok {
+		return fmt.Errorf("nn: copy state %s -> %s: buffer-model mismatch", src.Name(), dst.Name())
+	}
+	if dok {
+		dbufs, sbufs := db.StatBuffers(), sb.StatBuffers()
+		if len(dbufs) != len(sbufs) {
+			return fmt.Errorf("nn: copy state %s -> %s: %d stat buffers vs %d", src.Name(), dst.Name(), len(sbufs), len(dbufs))
+		}
+		for i := range sbufs {
+			if len(dbufs[i]) != len(sbufs[i]) {
+				return fmt.Errorf("nn: copy state stat buffer %d: length %d vs %d", i, len(sbufs[i]), len(dbufs[i]))
+			}
+			copy(dbufs[i], sbufs[i])
+		}
+	}
+	return nil
+}

@@ -10,14 +10,22 @@ import (
 )
 
 // Load drivers shared by the bench sweep and the CLI: the two canonical ways
-// to offer traffic to a Server. Requests cycle over the given node set.
+// to offer traffic to a Server (or any Submitter, e.g. a fleet.Fleet).
+// Requests cycle over the given node set.
+
+// Submitter is anything that answers single-node prediction requests — a
+// *Server, or the replicated front end in internal/fleet. The load drivers
+// accept the seam so one workload generator drives both tiers.
+type Submitter interface {
+	Submit(node int32) (int32, error)
+}
 
 // DriveClosedLoop submits exactly `requests` requests from `clients`
 // always-busy goroutines (request i goes to client i%clients), retrying
 // saturation rejections — the classic closed-loop client that measures
 // service capacity. It returns the wall time of the run. Errors other than
 // ErrSaturated (e.g. a concurrently closed server) abort that client.
-func DriveClosedLoop(s *Server, nodes []int32, clients, requests int) time.Duration {
+func DriveClosedLoop(s Submitter, nodes []int32, clients, requests int) time.Duration {
 	if clients < 1 {
 		clients = 1
 	}
@@ -48,7 +56,7 @@ func DriveClosedLoop(s *Server, nodes []int32, clients, requests int) time.Durat
 // latency and rejection behaviour under a set offered load. It returns the
 // wall time from first dispatch until every outstanding request completed;
 // rejections land in the server's Stats.
-func DriveOpenLoop(s *Server, nodes []int32, rate float64, requests int) time.Duration {
+func DriveOpenLoop(s Submitter, nodes []int32, rate float64, requests int) time.Duration {
 	return DriveOpenLoopProcess(s, nodes, rate, requests, ArrivalUniform, 0)
 }
 
@@ -69,7 +77,7 @@ const (
 // DriveOpenLoopProcess is DriveOpenLoop with a selectable arrival process;
 // seed keys the Poisson gap stream (ignored for ArrivalUniform). Mean
 // offered load equals rate for both processes.
-func DriveOpenLoopProcess(s *Server, nodes []int32, rate float64, requests int, proc Arrival, seed uint64) time.Duration {
+func DriveOpenLoopProcess(s Submitter, nodes []int32, rate float64, requests int, proc Arrival, seed uint64) time.Duration {
 	r := rng.New(seed)
 	var wg sync.WaitGroup
 	start := time.Now()

@@ -58,6 +58,11 @@ var ErrSaturated = errors.New("serve: server saturated, request rejected")
 // ErrClosed is returned by Submit after Close.
 var ErrClosed = errors.New("serve: server closed")
 
+// ErrDeadline is returned (wrapped in a *RequestError) for a request whose
+// deadline expired before its micro-batch executed: the answer could not
+// have been useful, so the server sheds the work instead of computing it.
+var ErrDeadline = errors.New("serve: deadline expired before execution")
+
 // ErrStaticGraph is returned by the update APIs (Update, AddNode) when the
 // server was built without a dynamic graph (Options.Graph).
 var ErrStaticGraph = errors.New("serve: server has no dynamic graph (set Options.Graph)")
@@ -159,11 +164,60 @@ func (o *Options) normalize() error {
 	return nil
 }
 
+// Request is one prediction request with its serving QoS attributes. The
+// zero values — no deadline, lowest priority — reproduce plain Submit
+// semantics exactly, so callers that don't care about QoS never see it.
+type Request struct {
+	// Node is the node to predict.
+	Node int32
+	// Deadline, when nonzero, is the instant after which the answer is
+	// useless: the server sheds the request (with ErrDeadline wrapped in a
+	// *RequestError) instead of executing it past-due, and fleet-level
+	// admission refuses it up front when the replica's live service-time
+	// estimate says it provably cannot be met.
+	Deadline time.Time
+	// Priority orders requests under overload: higher values are more
+	// important. The server itself is FIFO — priority is consumed by the
+	// admission layer in front of the ring (internal/fleet), which sheds
+	// lowest-priority traffic first.
+	Priority uint8
+}
+
+// RequestError is the per-request context of a failed or shed request: which
+// node, how its deadline stood at failure time, and the underlying cause.
+// A failed micro-batch reports one RequestError per member rather than one
+// anonymous error for the whole batch, so shed accounting can distinguish a
+// deadline miss on node A from a capacity shed of node B.
+type RequestError struct {
+	// Node is the requested node.
+	Node int32
+	// HasDeadline reports whether the request carried a deadline (Remaining
+	// is meaningless without one).
+	HasDeadline bool
+	// Remaining is deadline minus the failure instant: negative means the
+	// deadline had already passed by that much.
+	Remaining time.Duration
+	// Err is the underlying cause (ErrDeadline, a store/sampler error, ...).
+	Err error
+}
+
+func (e *RequestError) Error() string {
+	if e.HasDeadline {
+		return fmt.Sprintf("serve: node %d (deadline remaining %v): %v", e.Node, e.Remaining, e.Err)
+	}
+	return fmt.Sprintf("serve: node %d: %v", e.Node, e.Err)
+}
+
+// Unwrap exposes the cause to errors.Is/errors.As.
+func (e *RequestError) Unwrap() error { return e.Err }
+
 // request is one in-flight Submit.
 type request struct {
-	node int32
-	enq  time.Time
-	done chan result
+	node     int32
+	deadline time.Time // zero: none
+	pri      uint8
+	enq      time.Time
+	done     chan result
 }
 
 type result struct {
@@ -189,6 +243,12 @@ type Stats struct {
 	Rejected  int64 // requests refused with ErrSaturated
 	Served    int64 // requests answered
 	Batches   int64 // micro-batches executed
+
+	// DeadlineSheds counts accepted requests whose deadline expired before
+	// their micro-batch executed; each was failed with ErrDeadline (wrapped
+	// in a *RequestError) instead of being computed past-due. Distinct from
+	// Rejected, which counts capacity refusals at admission.
+	DeadlineSheds int64
 
 	Latency   event.Summary // per-request Submit→answer latency, seconds
 	Occupancy event.Summary // requests per micro-batch
@@ -283,8 +343,13 @@ type Server struct {
 	rejected  int64
 	served    int64
 	batches   int64
+	deadlined int64 // accepted requests shed because their deadline expired
 	latency   event.Recorder
 	occupancy event.Recorder
+	// svc holds the most recent per-request submit->answer latencies; its
+	// p95 is the live service-time estimate fleet admission consults for
+	// deadline feasibility (EstimateServiceTime).
+	svc *event.Window
 
 	// gate orders Submit's push against Close: Submit pushes under the read
 	// lock, Close flips closing under the write lock before closing the ring,
@@ -309,6 +374,7 @@ func New(m nn.Model, ds *dataset.Dataset, opts Options) (*Server, error) {
 		ring:     queue.New[*request](opts.QueueCapacity),
 		doorbell: make(chan struct{}, 1),
 		stop:     make(chan struct{}),
+		svc:      event.NewWindow(serviceWindow),
 	}
 	if opts.Graph != nil {
 		s.topo = opts.Graph
@@ -387,10 +453,51 @@ func (s *Server) Submit(node int32) (int32, error) {
 // rejected, reporting the graph snapshot version the answer was computed
 // against alongside the label. Safe for any number of goroutines.
 func (s *Server) Predict(node int32) (Prediction, error) {
+	return s.PredictReq(Request{Node: node})
+}
+
+// serviceWindow is how many recent request latencies feed the live
+// service-time estimate: large enough to smooth micro-batch granularity,
+// small enough to track load shifts within a few hundred requests.
+const serviceWindow = 256
+
+// EstimateServiceTime returns the p95 of the most recent requests'
+// submit->answer latencies — the server's live service-time estimate. A
+// request whose deadline is closer than this provably (to p95 confidence)
+// cannot be met, which is the admission layer's shed criterion. Returns 0
+// when no request has completed yet (callers should admit on no-signal).
+func (s *Server) EstimateServiceTime() time.Duration {
+	s.statsMu.Lock()
+	defer s.statsMu.Unlock()
+	return time.Duration(s.svc.Quantile(0.95) * float64(time.Second))
+}
+
+// QueueDepth returns the instantaneous (advisory) number of requests
+// waiting in the admission ring.
+func (s *Server) QueueDepth() int { return s.ring.Len() }
+
+// QueueCap returns the ring's true capacity — the saturation point Submit
+// rejects at (Options.QueueCapacity rounded up to a power of two).
+func (s *Server) QueueCap() int { return s.ring.Cap() }
+
+// PredictReq is Predict with the full request attributes: an optional
+// deadline (expired requests are shed, not computed) and a priority level
+// consumed by fleet-level admission. A Request with only Node set behaves
+// exactly like Predict.
+func (s *Server) PredictReq(r Request) (Prediction, error) {
+	node := r.Node
 	if n := s.numNodes(); node < 0 || node >= n {
 		return Prediction{}, fmt.Errorf("serve: node %d out of range [0,%d)", node, n)
 	}
-	req := &request{node: node, enq: time.Now(), done: make(chan result, 1)}
+	now := time.Now()
+	if !r.Deadline.IsZero() && now.After(r.Deadline) {
+		// Already past due at submission: shed without touching the ring.
+		s.statsMu.Lock()
+		s.deadlined++
+		s.statsMu.Unlock()
+		return Prediction{}, &RequestError{Node: node, HasDeadline: true, Remaining: r.Deadline.Sub(now), Err: ErrDeadline}
+	}
+	req := &request{node: node, deadline: r.Deadline, pri: r.Priority, enq: now, done: make(chan result, 1)}
 	s.gate.RLock()
 	if s.closing {
 		s.gate.RUnlock()
@@ -413,8 +520,8 @@ func (s *Server) Predict(node int32) (Prediction, error) {
 	s.statsMu.Lock()
 	s.submitted++
 	s.statsMu.Unlock()
-	r := <-req.done
-	return Prediction{Label: r.label, Version: r.version}, r.err
+	res := <-req.done
+	return Prediction{Label: res.label, Version: res.version}, res.err
 }
 
 // numNodes returns the live node count without touching the dynamic
@@ -545,6 +652,7 @@ func (s *Server) Stats() Stats {
 		Rejected:         s.rejected,
 		Served:           s.served,
 		Batches:          s.batches,
+		DeadlineSheds:    s.deadlined,
 		Latency:          s.latency.Summarize(),
 		Occupancy:        s.occupancy.Summarize(),
 		BytesTransferred: ss.BytesMoved,
@@ -643,7 +751,33 @@ func (s *Server) worker() {
 // single request — the slot is used directly), slice, forward once, and
 // deliver per-request rows. Every buffer execute touches is released for
 // reuse the moment the micro-batch's responses are delivered.
+//
+// Requests whose deadline expired while they queued are shed here, before
+// any sampling: their answers could not be useful, and shedding them first
+// shrinks the batch the survivors pay for. Per-request determinism makes
+// this safe — each survivor is sampled with its own singleton-epoch RNG, so
+// batch composition never changes an answer.
 func (s *Server) execute(ws *workerState, batch []*request) {
+	now := time.Now()
+	live := batch[:0]
+	shed := 0
+	for _, req := range batch {
+		if !req.deadline.IsZero() && now.After(req.deadline) {
+			req.done <- result{err: &RequestError{Node: req.node, HasDeadline: true, Remaining: req.deadline.Sub(now), Err: ErrDeadline}}
+			shed++
+			continue
+		}
+		live = append(live, req)
+	}
+	if shed > 0 {
+		s.statsMu.Lock()
+		s.deadlined += int64(shed)
+		s.statsMu.Unlock()
+	}
+	if len(live) == 0 {
+		return
+	}
+	batch = live
 	// Pin the latest view for this whole micro-batch: every request in
 	// it samples one topology version and reports it. The static case pins
 	// the same version-0 snapshot forever (pointer-equal, so this is free),
@@ -716,13 +850,15 @@ func (s *Server) execute(ws *workerState, batch []*request) {
 	s.modelMu.Unlock()
 	s.pool.Put(buf)
 
-	now := time.Now()
+	now = time.Now()
 	s.statsMu.Lock()
 	s.batches++
 	s.served += int64(len(batch))
 	s.occupancy.Add(float64(len(batch)))
 	for _, req := range batch {
-		s.latency.Add(now.Sub(req.enq).Seconds())
+		lat := now.Sub(req.enq).Seconds()
+		s.latency.Add(lat)
+		s.svc.Add(lat)
 	}
 	s.statsMu.Unlock()
 
@@ -842,9 +978,10 @@ func (s *Server) EmbCache() *embcache.Cache { return s.emb }
 // rows and embeddings stay resident.
 func (s *Server) ResetStats() {
 	s.statsMu.Lock()
-	s.submitted, s.rejected, s.served, s.batches = 0, 0, 0, 0
+	s.submitted, s.rejected, s.served, s.batches, s.deadlined = 0, 0, 0, 0, 0
 	s.latency = event.Recorder{}
 	s.occupancy = event.Recorder{}
+	s.svc.Reset()
 	s.statsMu.Unlock()
 	s.store.ResetStats()
 	if s.emb != nil {
@@ -852,9 +989,20 @@ func (s *Server) ResetStats() {
 	}
 }
 
-// deliverError fails every request of a micro-batch with the same error.
+// deliverError fails every request of a micro-batch with the shared
+// underlying cause, wrapped per request with that request's own context
+// (node ID, deadline standing at failure time) — so a caller, or the
+// fleet's shed accounting, can tell a deadline miss on one node from a
+// capacity or store failure on another instead of seeing one anonymous
+// error for the whole batch.
 func (s *Server) deliverError(batch []*request, err error) {
+	now := time.Now()
 	for _, req := range batch {
-		req.done <- result{err: err}
+		re := &RequestError{Node: req.node, Err: err}
+		if !req.deadline.IsZero() {
+			re.HasDeadline = true
+			re.Remaining = req.deadline.Sub(now)
+		}
+		req.done <- result{err: re}
 	}
 }

@@ -53,6 +53,10 @@ type CacheOptions struct {
 	// this many versions since the last adopted plan (versioned topologies
 	// only; static graphs always replan). Zero replans on every call.
 	RefreshEvery uint64
+	// DecayEvery, under VIP, TTL-ages the frequency sketch every this many
+	// observed accesses (cache.Options.DecayEvery), so stale popularity
+	// fades between refreshes. 0 decays only at refreshes.
+	DecayEvery int64
 }
 
 // NewCached wraps inner with a cache of the given row capacity and policy
@@ -68,7 +72,7 @@ func NewCachedOpts(inner FeatureStore, g graph.Topology, o CacheOptions) (*Cache
 	if int(g.NumNodes()) != inner.NumNodes() {
 		return nil, fmt.Errorf("store: cache graph has %d nodes, store holds %d", g.NumNodes(), inner.NumNodes())
 	}
-	copts := cache.Options{Capacity: o.Rows, Policy: o.Policy}
+	copts := cache.Options{Capacity: o.Rows, Policy: o.Policy, DecayEvery: o.DecayEvery}
 	if o.PerShard {
 		sh, ok := inner.(*Sharded)
 		if !ok {
